@@ -1,0 +1,65 @@
+"""Ablation: the merging phase (Algorithm 3) on/off.
+
+DESIGN.md calls out merging as the design choice that trades widget count
+against widget complexity.  Expectation: merging never increases interface
+cost and never loses log expressiveness.
+"""
+
+from repro import PipelineOptions, PrecisionInterfaces
+from repro.evaluation import format_table
+from repro.logs import OLAPLogGenerator, SDSSLogGenerator, listing_4_log
+
+from helpers import emit, run_once
+
+
+def test_ablation_merge(benchmark):
+    workloads = {
+        "listing4": listing_4_log(20).asts(),
+        "sdss C1": SDSSLogGenerator(seed=0)
+        .client_log("C1", "object_lookup", 100)
+        .asts(),
+        "olap": OLAPLogGenerator(seed=1).generate(100).asts(),
+    }
+
+    def run():
+        out = []
+        for name, queries in workloads.items():
+            merged = PrecisionInterfaces(PipelineOptions(merge=True)).generate(queries)
+            unmerged = PrecisionInterfaces(PipelineOptions(merge=False)).generate(queries)
+            out.append(
+                (
+                    name,
+                    merged.n_widgets,
+                    merged.cost,
+                    merged.expressiveness(queries),
+                    unmerged.n_widgets,
+                    unmerged.cost,
+                    unmerged.expressiveness(queries),
+                )
+            )
+        return out
+
+    results = run_once(benchmark, run)
+
+    rows = [
+        [name, mw, f"{mc:.0f}", f"{me:.2f}", uw, f"{uc:.0f}", f"{ue:.2f}"]
+        for name, mw, mc, me, uw, uc, ue in results
+    ]
+    emit(
+        "ablation_merge",
+        format_table(
+            ["workload", "widgets", "cost", "expr", "widgets (no merge)",
+             "cost (no merge)", "expr (no merge)"],
+            rows,
+            title="Ablation: Algorithm 3 merging on/off",
+        ),
+    )
+
+    for _name, mw, mc, me, uw, uc, ue in results:
+        assert mc <= uc           # merging reduces (or keeps) cost
+        assert mw <= uw           # and widget count
+        # the log stays (almost entirely) expressible: the membership test
+        # reasons from q0, so a handful of distant OLAP states may need
+        # compositions beyond its search horizon
+        assert me >= 0.9
+        assert ue >= 0.9

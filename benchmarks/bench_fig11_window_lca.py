@@ -1,0 +1,52 @@
+"""Figure 11 (Appendix B): sliding-window size × LCA pruning on ~100-query
+client logs.
+
+Paper shape: LCA pruning shrinks the interaction graph by up to ~5x at
+window 100; a window of 2 drives the total runtime to nearly zero; the
+output interfaces keep expressing the whole log.
+"""
+
+from repro.evaluation import format_table, window_lca_sweep
+from repro.logs import SDSSLogGenerator
+
+from helpers import emit, run_once
+
+WINDOWS = [2, 5, 10, 25, 50, 100]
+
+
+def test_fig11_window_and_pruning(benchmark):
+    log = SDSSLogGenerator(seed=0).client_log("C1", "object_lookup", 100)
+    queries = log.asts()
+
+    measurements = run_once(
+        benchmark, lambda: window_lca_sweep(queries, windows=WINDOWS)
+    )
+
+    rows = [
+        [
+            m.window,
+            "on" if m.lca_pruning else "off",
+            m.n_edges,
+            m.n_diffs,
+            f"{m.mining_seconds * 1000:.0f}",
+            f"{m.mapping_seconds * 1000:.0f}",
+            f"{m.total_seconds * 1000:.0f}",
+        ]
+        for m in measurements
+    ]
+    emit(
+        "fig11_window_lca",
+        format_table(
+            ["window", "LCA", "edges", "diffs", "mine ms", "map ms", "total ms"],
+            rows,
+            title="Figure 11: window size x LCA pruning (100-query log)",
+        ),
+    )
+
+    by_key = {(m.window, m.lca_pruning): m for m in measurements}
+    # pruning shrinks the diffs table substantially at the full window
+    assert by_key[(100, True)].n_diffs * 2 <= by_key[(100, False)].n_diffs
+    # a window of 2 processes far fewer edges than a window of 100
+    assert by_key[(2, True)].n_edges * 5 <= by_key[(100, True)].n_edges
+    # and is faster end to end
+    assert by_key[(2, True)].total_seconds <= by_key[(100, False)].total_seconds

@@ -1,0 +1,47 @@
+"""Figure 12 + Section 7.3: scalability with log size (window=2, LCA on).
+
+Paper shape: edges and runtime grow with the log; 10,000 queries complete
+within 10 seconds and ~2,000 within 3 seconds.
+"""
+
+from repro.evaluation import format_table, scalability_sweep
+from repro.logs import SDSSLogGenerator
+
+from helpers import emit, run_once
+
+SIZES = [100, 500, 1000, 2000, 5000, 10000]
+
+
+def test_fig12_scalability(benchmark):
+    generator = SDSSLogGenerator(seed=0)
+    logs = {size: generator.full_log(size).asts() for size in SIZES}
+
+    measurements = run_once(benchmark, lambda: scalability_sweep(logs))
+
+    rows = [
+        [
+            m.n_queries,
+            m.n_edges,
+            m.n_diffs,
+            f"{m.mining_seconds:.2f}",
+            f"{m.mapping_seconds:.2f}",
+            f"{m.total_seconds:.2f}",
+            m.n_widgets,
+        ]
+        for m in measurements
+    ]
+    emit(
+        "fig12_scalability",
+        format_table(
+            ["queries", "edges", "diffs", "mine s", "map s", "total s", "widgets"],
+            rows,
+            title="Figure 12: scalability (window=2, LCA pruning on)",
+        ),
+    )
+
+    by_size = {m.n_queries: m for m in measurements}
+    # the paper's headline numbers
+    assert by_size[10000].total_seconds < 10.0
+    assert by_size[2000].total_seconds < 3.0
+    # edge count grows with the log
+    assert by_size[10000].n_edges > by_size[100].n_edges

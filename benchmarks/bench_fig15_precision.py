@@ -1,0 +1,62 @@
+"""Figure 15 (Appendix D): closure precision for mixed-client logs.
+
+Paper shape: as heterogeneity rises from M=1 to M=8 interleaved clients,
+the fraction of the closure that the schema accepts drops from ≈30 % toward
+≈1 %; the column↔table consistency filter restores precision to 100 %.
+"""
+
+from repro import PrecisionInterfaces
+from repro.evaluation import format_table
+from repro.logs import SDSSLogGenerator
+from repro.schema import SDSS_CATALOG, closure_precision
+
+from helpers import emit, run_once
+
+CLIENT_COUNTS = [1, 3, 5, 8]
+QUERIES_PER_CLIENT = 40
+CLOSURE_LIMIT = 4000
+
+
+def test_fig15_closure_precision(benchmark):
+    generator = SDSSLogGenerator(seed=0)
+
+    def run():
+        out = []
+        for m in CLIENT_COUNTS:
+            mixed = generator.interleaved(m, n_queries=QUERIES_PER_CLIENT)
+            interface = PrecisionInterfaces().generate(mixed.asts())
+            unfiltered, n_unfiltered = closure_precision(
+                interface, SDSS_CATALOG, limit=CLOSURE_LIMIT, filtered=False
+            )
+            filtered, n_filtered = closure_precision(
+                interface, SDSS_CATALOG, limit=CLOSURE_LIMIT, filtered=True
+            )
+            out.append((m, unfiltered, n_unfiltered, filtered, n_filtered))
+        return out
+
+    results = run_once(benchmark, run)
+
+    rows = [
+        [m, f"{unf:.3f}", n_unf, f"{fil:.3f}", n_fil]
+        for m, unf, n_unf, fil, n_fil in results
+    ]
+    emit(
+        "fig15_precision",
+        format_table(
+            ["M clients", "precision", "closure size", "filtered precision",
+             "filtered size"],
+            rows,
+            title="Figure 15: closure precision vs log heterogeneity",
+        ),
+    )
+
+    by_m = {m: (unf, fil) for m, unf, _n1, fil, _n2 in results}
+    # precision degrades with heterogeneity (paper: ~30% at M=1 down to
+    # ~1% at M=8; our single-client logs are schema-coherent by
+    # construction, so the M=1 point sits at 1.0 and the decline is
+    # milder — see EXPERIMENTS.md)
+    assert by_m[8][0] < by_m[3][0] < by_m[1][0]
+    assert by_m[8][0] < 0.7
+    # the filter restores 100% for every mix
+    for m in CLIENT_COUNTS:
+        assert by_m[m][1] == 1.0

@@ -1,0 +1,73 @@
+"""Figure 5: interface-mapping trade-offs on the Section 7.1 example logs.
+
+(a) simple parameter changes in a complex query (Listing 4);
+(b) three-query function-call log — compact widgets (Listing 5 left);
+(c) thirteen-query log — widgets split per component (Listing 5 full);
+(d) TOP-clause toggle plus limit slider (Listing 6);
+(e) subquery toggle with nested widgets (Listing 7).
+"""
+
+from repro import PrecisionInterfaces
+from repro.evaluation import format_table
+from repro.logs import (
+    LISTING_6,
+    LISTING_7,
+    listing_4_log,
+    listing_5_large,
+    listing_5_small,
+)
+
+from helpers import emit, run_once
+
+
+def _summarise(name, interface):
+    rows = [
+        [name, w_type, path, size]
+        for w_type, path, size in interface.widget_summary()
+    ]
+    return rows
+
+
+def test_fig5_widget_tradeoffs(benchmark):
+    logs = {
+        "5a listing4": listing_4_log(20).asts(),
+        "5b listing5-small": listing_5_small().asts(),
+        "5c listing5-large": listing_5_large().asts(),
+    }
+
+    def run():
+        out = {}
+        out["5a listing4"] = PrecisionInterfaces().generate(logs["5a listing4"])
+        out["5b listing5-small"] = PrecisionInterfaces().generate(
+            logs["5b listing5-small"]
+        )
+        out["5c listing5-large"] = PrecisionInterfaces().generate(
+            logs["5c listing5-large"]
+        )
+        out["5d listing6"] = PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+        out["5e listing7"] = PrecisionInterfaces().generate_from_sql(list(LISTING_7))
+        return out
+
+    interfaces = run_once(benchmark, run)
+
+    rows = []
+    for name, interface in interfaces.items():
+        rows.extend(_summarise(name, interface))
+    emit(
+        "fig5_tradeoffs",
+        format_table(
+            ["panel", "widget", "path", "|domain|"],
+            rows,
+            title="Figure 5: widgets mapped to the example logs",
+        ),
+    )
+
+    # shape assertions matching the paper's panels
+    names_5a = {w for w, _p, _n in interfaces["5a listing4"].widget_summary()}
+    assert names_5a == {"dropdown", "slider"}            # Fig 5a
+    assert interfaces["5b listing5-small"].n_widgets <= 2  # Fig 5b compact
+    assert interfaces["5c listing5-large"].n_widgets == 2  # Fig 5c split
+    names_5d = {w for w, _p, _n in interfaces["5d listing6"].widget_summary()}
+    assert names_5d == {"toggle_button", "slider"}        # Fig 5d
+    names_5e = {w for w, _p, _n in interfaces["5e listing7"].widget_summary()}
+    assert "toggle_button" in names_5e and "slider" in names_5e  # Fig 5e

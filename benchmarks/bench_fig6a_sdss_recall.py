@@ -1,0 +1,64 @@
+"""Figure 6a: recall vs training size for single-client SDSS logs.
+
+Paper shape: ~10 training queries express the hold-outs for the majority
+of clients, 50 pushes recall to 100 %, and one client (C5) climbs slowly
+because its literal pool is revealed gradually.
+"""
+
+from repro.evaluation import format_series, recall_curve
+from repro.logs import SDSSLogGenerator
+
+from helpers import emit, run_once
+
+TRAINING_SIZES = [2, 5, 10, 25, 50, 100]
+CLIENT_PROFILES = [
+    ("C1", "object_lookup"),
+    ("C2", "top_nearby"),
+    ("C3", "rect_photometry"),
+    ("C4", "color_cut"),
+    ("C5", "slow_pool"),
+    ("C6", "redshift_range"),
+    ("C7", "spectro_lines"),
+    ("C8", "neighbours"),
+    ("C9", "object_lookup"),
+]
+
+
+def test_fig6a_sdss_single_client_recall(benchmark):
+    generator = SDSSLogGenerator(seed=0)
+
+    def run():
+        curves = {}
+        for client, profile in CLIENT_PROFILES:
+            log = generator.client_log(client=client, profile=profile, n=200)
+            curves[client] = recall_curve(
+                log, TRAINING_SIZES, holdout_size=100, window_size=200,
+                label=f"{client} ({profile})",
+            )
+        return curves
+
+    curves = run_once(benchmark, run)
+
+    lines = ["Figure 6a: recall vs #training queries (SDSS clients)"]
+    for client, curve in curves.items():
+        lines.append(
+            format_series(curve.label, TRAINING_SIZES, [p.recall for p in curve.points])
+        )
+    emit("fig6a_sdss_recall", "\n".join(lines))
+
+    finals = {client: curve.final_recall() for client, curve in curves.items()}
+    # majority of clients reach 1.0 within 10 training queries
+    at_10 = sum(
+        1 for curve in curves.values()
+        if dict(curve.as_rows()).get(10, 0) >= 1.0
+    )
+    assert at_10 >= 5
+    # all non-C5 clients reach 1.0 by 50
+    assert all(
+        recall >= 0.99 for client, recall in finals.items() if client != "C5"
+    )
+    # C5 is the slow climber: low at 10, rising steadily, high by 100
+    c5 = dict(curves["C5"].as_rows())
+    assert c5[10] < 0.5
+    assert c5[25] <= c5[50] <= c5[100]
+    assert c5[100] > 0.6

@@ -1,0 +1,48 @@
+"""Figures 6b and 6d: the widget sets generated for SDSS client C1 and for
+the synthetic OLAP log.
+
+Paper shape: C1 gets simple controls for the table, attribute, and object
+id (Figure 6b); the OLAP log gets drop-downs for the aggregation/grouping
+changes and sliders for the predicate values (Figure 6d).
+"""
+
+from repro import PrecisionInterfaces
+from repro.evaluation import format_table
+from repro.logs import OLAPLogGenerator, SDSSLogGenerator
+
+from helpers import emit, run_once
+
+
+def test_fig6b_and_6d_widgets(benchmark):
+    sdss = SDSSLogGenerator(seed=0).client_log("C1", "object_lookup", 200)
+    olap = OLAPLogGenerator(seed=1).generate(200)
+
+    def run():
+        return (
+            PrecisionInterfaces().generate(sdss.asts()),
+            PrecisionInterfaces().generate(olap.asts()[:100]),
+        )
+
+    c1_interface, olap_interface = run_once(benchmark, run)
+
+    rows = [
+        ["6b (SDSS C1)", w, p, n] for w, p, n in c1_interface.widget_summary()
+    ] + [
+        ["6d (OLAP)", w, p, n] for w, p, n in olap_interface.widget_summary()
+    ]
+    emit(
+        "fig6bd_widgets",
+        format_table(
+            ["figure", "widget", "path", "|domain|"],
+            rows,
+            title="Figures 6b/6d: generated widgets",
+        ),
+    )
+
+    c1_names = {w for w, _p, _n in c1_interface.widget_summary()}
+    assert "slider" in c1_names            # numeric object id control
+    assert c1_interface.n_widgets <= 4     # a simple interface
+
+    olap_names = {w for w, _p, _n in olap_interface.widget_summary()}
+    assert "slider" in olap_names          # predicate values
+    assert olap_names & {"dropdown", "checkbox_list", "radio_button"}

@@ -1,0 +1,64 @@
+"""Figures 7a/7b: recall on interleaved multi-client SDSS logs.
+
+7a varies the *total* training budget: recall rises slowly because each
+client contributes few examples.  7b varies training *per client*: recall
+rises quickly, like the single-client experiments.
+"""
+
+from repro.evaluation import format_series, multi_client_recall
+from repro.logs import SDSSLogGenerator
+
+from helpers import emit, run_once
+
+CLIENT_COUNTS = [1, 3, 5, 8]
+TOTAL_SIZES = [5, 10, 25, 50, 100]
+PER_CLIENT_SIZES = [2, 5, 10, 25]
+
+
+def test_fig7ab_multiclient_recall(benchmark):
+    generator = SDSSLogGenerator(seed=0)
+
+    def run():
+        total_curves = {}
+        per_client_curves = {}
+        for m in CLIENT_COUNTS:
+            logs = list(generator.clients(m, n_queries=200).values())
+            total_curves[m] = multi_client_recall(
+                logs, TOTAL_SIZES, holdout_size=50, per_client=False
+            )
+            per_client_curves[m] = multi_client_recall(
+                logs, PER_CLIENT_SIZES, holdout_size=50, per_client=True
+            )
+        return total_curves, per_client_curves
+
+    total_curves, per_client_curves = run_once(benchmark, run)
+
+    lines = ["Figure 7a: vary TOTAL training queries (interleaved clients)"]
+    for m, curve in total_curves.items():
+        lines.append(
+            format_series(f"M={m}", TOTAL_SIZES, [p.recall for p in curve.points])
+        )
+    lines.append("")
+    lines.append("Figure 7b: vary PER-CLIENT training queries")
+    for m, curve in per_client_curves.items():
+        lines.append(
+            format_series(
+                f"M={m}", PER_CLIENT_SIZES, [p.recall for p in curve.points]
+            )
+        )
+    emit("fig7ab_multiclient", "\n".join(lines))
+
+    # 7a: with many clients, a small total budget yields low recall
+    assert dict(total_curves[8].as_rows())[10] < 0.5
+    # heterogeneity hurts: more interleaved clients → lower recall at the
+    # same budget (the Section 7.2.3 takeaway)
+    assert dict(total_curves[8].as_rows())[100] <= dict(total_curves[1].as_rows())[100]
+    # single-client case is the Figure 6a behaviour
+    assert dict(total_curves[1].as_rows())[100] >= 0.9
+    assert dict(per_client_curves[1].as_rows())[25] >= 0.9
+    # NOTE (EXPERIMENTS.md): the paper's 7b shows per-client budgets
+    # recovering high recall for all M; our merge heuristic collapses
+    # highly mixed logs more aggressively, so the recovery only shows for
+    # small M.  We assert the partial shape we do reproduce.
+    assert dict(per_client_curves[3].as_rows())[10] > \
+        dict(total_curves[3].as_rows())[10] - 1e-9

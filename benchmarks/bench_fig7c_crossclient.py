@@ -1,0 +1,74 @@
+"""Figure 7c + Appendix A (Figures 9, 10): cross-client recall.
+
+Train an interface on each client, evaluate on every other client.  Paper
+shape: the recall distribution is bimodal — an interface either fully
+expresses another client's analysis (same task) or not at all — and most
+training clients benefit at least one other client.
+"""
+
+from repro.evaluation import cross_client_matrix, format_table, recall_histogram
+from repro.logs import SDSSLogGenerator
+
+from helpers import emit, run_once
+
+N_CLIENTS = 12          # scaled down from the paper's 22 for bench runtime
+N_QUERIES = 80
+
+
+def test_fig7c_fig9_fig10_cross_client(benchmark):
+    clients = SDSSLogGenerator(seed=0).clients(N_CLIENTS, n_queries=N_QUERIES)
+
+    matrix = run_once(
+        benchmark, lambda: cross_client_matrix(clients, n_queries=N_QUERIES)
+    )
+
+    names = list(matrix)
+    rows = []
+    for train in names:
+        rows.append(
+            [train]
+            + [
+                f"{matrix[train].get(holdout, float('nan')):.2f}"
+                if holdout != train
+                else "-"
+                for holdout in names
+            ]
+        )
+    matrix_text = format_table(
+        ["train\\holdout"] + names, rows,
+        title="Figure 9: pairwise recall matrix",
+    )
+
+    histogram = recall_histogram(matrix, bins=10)
+    histogram_text = "\n".join(
+        f"[{edge:.1f},{edge + 0.1:.1f}) {'#' * count} {count}"
+        for edge, count in histogram
+    )
+
+    benefited = {}
+    for train, row in matrix.items():
+        benefited[train] = sum(1 for recall in row.values() if recall > 0.5)
+    fig7c_text = "\n".join(
+        f"benefits {k} other clients: {sum(1 for v in benefited.values() if v == k)} "
+        f"training clients"
+        for k in sorted(set(benefited.values()))
+    )
+
+    emit(
+        "fig7c_fig9_fig10_crossclient",
+        "\n\n".join(
+            [
+                matrix_text,
+                "Figure 10: histogram of hold-out recall\n" + histogram_text,
+                "Figure 7c: cross-client benefit counts\n" + fig7c_text,
+            ]
+        ),
+    )
+
+    # bimodality: the extreme bins dominate the middle ones
+    counts = [count for _edge, count in histogram]
+    extremes = counts[0] + counts[-1]
+    middle = sum(counts[1:-1])
+    assert extremes > middle
+    # the majority of training clients benefit at least one other client
+    assert sum(1 for v in benefited.values() if v >= 1) > N_CLIENTS / 2

@@ -1,0 +1,87 @@
+"""Figure 8c + Figure 13 + the Section 7.4 ANOVA: the simulated user study.
+
+Paper shape: Task 1 takes ≈60 s (capped) with the SDSS form because it has
+no objectId widgets and participants must write SQL, versus ≈10 s with the
+generated interface; Tasks 2–4 are slightly faster with Precision
+Interfaces; accuracies match except Task 1; task, interface, order, and
+the task × interface interaction are all significant.
+"""
+
+from repro.evaluation import format_table
+from repro.study import TASKS, UserStudySimulator, anova, study_interfaces, user_study_log
+
+from helpers import emit, run_once
+
+
+def test_fig8c_fig13_user_study(benchmark):
+    log = user_study_log(1000)
+
+    def run():
+        interfaces = study_interfaces(log)
+        simulator = UserStudySimulator(interfaces, n_users=40, seed=7)
+        return simulator.run()
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    for task in TASKS:
+        for interface in ("precision", "sdss"):
+            rows.append(
+                [
+                    f"task {task.number}",
+                    interface,
+                    f"{results.mean_time(task=task.number, interface=interface):.1f}",
+                    f"±{results.confidence_95(task=task.number, interface=interface):.1f}",
+                    f"{results.accuracy(task=task.number, interface=interface):.2f}",
+                ]
+            )
+    fig8c = format_table(
+        ["task", "interface", "time s", "95% CI", "accuracy"],
+        rows,
+        title="Figure 8c: time and accuracy per task and interface",
+    )
+
+    order_rows = []
+    for task in TASKS:
+        for order in (1, 2, 3, 4):
+            order_rows.append(
+                [
+                    f"task {task.number}",
+                    order,
+                    f"{results.mean_time(task=task.number, interface='precision', order=order):.1f}",
+                    f"{results.mean_time(task=task.number, interface='sdss', order=order):.1f}",
+                ]
+            )
+    fig13 = format_table(
+        ["task", "order", "precision s", "sdss s"],
+        order_rows,
+        title="Figure 13: ordering (learning) effects",
+    )
+
+    response, factors = results.as_columns()
+    anova_rows = [
+        [row.term, row.df, f"{row.f_value:.1f}", f"{row.p_value:.2e}"]
+        for row in anova(response, factors, interactions=[("task", "interface")])
+        if row.term != "Residual"
+    ]
+    anova_text = format_table(
+        ["term", "df", "F", "p"], anova_rows, title="Section 7.4 ANOVA"
+    )
+
+    emit("fig8c_fig13_user_study", "\n\n".join([fig8c, fig13, anova_text]))
+
+    # headline: Task 1 needs the write-SQL fallback on the SDSS form
+    assert results.mean_time(task=1, interface="sdss") > 50
+    assert results.mean_time(task=1, interface="precision") < 15
+    assert results.accuracy(task=1, interface="sdss") < results.accuracy(
+        task=1, interface="precision"
+    )
+    # Tasks 2-4: Precision Interfaces faster, accuracy parity
+    for task in (2, 3, 4):
+        assert results.mean_time(task=task, interface="precision") < \
+            results.mean_time(task=task, interface="sdss")
+    # all factors significant
+    table = anova(response, factors, interactions=[("task", "interface")])
+    for row in table:
+        if row.term != "Residual":
+            assert row.p_value < 1e-6

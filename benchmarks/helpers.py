@@ -1,0 +1,28 @@
+"""Shared helpers for the figure/table benchmarks.
+
+Each bench regenerates one table or figure of the paper: it times the core
+computation through pytest-benchmark (single round — these are experiment
+harnesses, not micro-benchmarks) and writes the figure's series both to
+stdout and to ``benchmarks/results/<name>.txt`` so the output survives
+pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a figure's series and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return its
+    result (experiment harness semantics)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

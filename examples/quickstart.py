@@ -1,0 +1,57 @@
+"""Quickstart: mine an interface from a handful of queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the paper's core loop on Listing 6 (an SDSS analysis that first
+adds a TOP clause, then tunes its limit): parse the log, mine the
+interaction graph, map the interactions to widgets, and use the interface's
+closure to check which new queries it can express.
+"""
+
+from repro import PrecisionInterfaces, parse_sql
+
+LOG = [
+    "SELECT g.objID FROM Galaxy AS g, "
+    "dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID",
+    "SELECT TOP 1 g.objID FROM Galaxy AS g, "
+    "dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID",
+    "SELECT TOP 10 g.objID FROM Galaxy AS g, "
+    "dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID",
+]
+
+
+def main() -> None:
+    system = PrecisionInterfaces()
+    interface = system.generate_from_sql(LOG)
+
+    print("Generated interface")
+    print("-------------------")
+    print(interface.describe())
+    print()
+
+    run = system.last_run
+    print(
+        f"mined {run.n_diffs} diffs across {run.n_edges} edges "
+        f"in {run.total_seconds * 1000:.1f} ms"
+    )
+    print()
+
+    probes = [
+        # unseen limit, within the slider's extrapolated range
+        LOG[1].replace("TOP 1 ", "TOP 7 "),
+        # beyond the slider's range
+        LOG[1].replace("TOP 1 ", "TOP 9999 "),
+        # a different analysis entirely
+        "SELECT name FROM Stars WHERE magnitude < 6",
+    ]
+    print("Closure membership")
+    print("------------------")
+    for sql in probes:
+        verdict = interface.expresses(parse_sql(sql))
+        print(f"[{'yes' if verdict else 'no '}] {sql[:70]}")
+
+
+if __name__ == "__main__":
+    main()

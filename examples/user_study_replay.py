@@ -1,0 +1,74 @@
+"""Replay the Section 7.4 user study.
+
+Run with::
+
+    python examples/user_study_replay.py
+
+Synthesises the study log, mines the per-task interfaces, simulates the 40
+participants on both the generated interface and the SDSS search form, and
+prints the Figure 8c summary plus the ANOVA table.
+"""
+
+from repro.evaluation import format_table
+from repro.study import (
+    TASKS,
+    UserStudySimulator,
+    anova,
+    study_interfaces,
+    user_study_log,
+)
+
+
+def main() -> None:
+    log = user_study_log(1000)
+    interfaces = study_interfaces(log)
+
+    print("Per-task generated widget groups")
+    print("--------------------------------")
+    for task in TASKS:
+        interface = interfaces[task.number]
+        widgets = ", ".join(
+            f"{w.widget_type.name}@{w.path}" for w in interface.widgets
+        )
+        print(f"task {task.number} ({task.description}): {widgets}")
+    print()
+
+    results = UserStudySimulator(interfaces, n_users=40, seed=7).run()
+
+    rows = []
+    for task in TASKS:
+        rows.append(
+            [
+                f"task {task.number}",
+                f"{results.mean_time(task=task.number, interface='precision'):.1f}",
+                f"{results.mean_time(task=task.number, interface='sdss'):.1f}",
+                f"{results.accuracy(task=task.number, interface='precision'):.2f}",
+                f"{results.accuracy(task=task.number, interface='sdss'):.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["task", "PI time s", "SDSS time s", "PI acc", "SDSS acc"],
+            rows,
+            title="Figure 8c summary (simulated study)",
+        )
+    )
+    print()
+
+    response, factors = results.as_columns()
+    table = anova(response, factors, interactions=[("task", "interface")])
+    print(
+        format_table(
+            ["term", "df", "F", "p"],
+            [
+                [row.term, row.df, f"{row.f_value:.1f}", f"{row.p_value:.2e}"]
+                for row in table
+                if row.term != "Residual"
+            ],
+            title="Three-factor ANOVA (+ task x interface)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of *Mining Precision Interfaces From Query Logs*
+(Zhang, Zhang, Sellam, Wu; SIGMOD 2019).
+
+Precision Interfaces mines the recurring structural transformations in a
+SQL query log and maps them onto interactive widgets, producing a
+minimal-cost interface whose closure covers the log.
+
+Quickstart::
+
+    from repro import PrecisionInterfaces
+    interface = PrecisionInterfaces().generate_from_sql(list_of_sql_strings)
+    print(interface.describe())
+"""
+
+from repro.core.interface import Interface
+from repro.core.options import PipelineOptions
+from repro.core.pipeline import PipelineRun, PrecisionInterfaces
+from repro.errors import ReproError
+from repro.paths import Path
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.parser import parse_sql
+from repro.sqlparser.render import render_sql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrecisionInterfaces",
+    "PipelineOptions",
+    "PipelineRun",
+    "Interface",
+    "Node",
+    "Path",
+    "parse_sql",
+    "render_sql",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,120 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``mine``    — mine an interface from a query-log file (one statement per
+  line) and print it; optionally compile to an HTML app.
+* ``recall``  — train/hold-out recall for a log file.
+* ``check``   — closure-membership check of one query against a log.
+
+Example::
+
+    python -m repro mine mylog.sql --html out.html
+    python -m repro check mylog.sql "SELECT * FROM t WHERE x = 5"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import PipelineOptions, PrecisionInterfaces, parse_sql
+from repro.compiler import compile_html
+from repro.errors import ReproError
+from repro.logs.io import load_text
+from repro.logs.sessions import segment_log
+
+
+def _options(args: argparse.Namespace) -> PipelineOptions:
+    return PipelineOptions(
+        window=None if args.window == 0 else args.window,
+        lca_pruning=not args.no_pruning,
+        merge=not args.no_merge,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("log", help="query log file, one statement per line")
+    parser.add_argument("--window", type=int, default=2,
+                        help="sliding window (0 = all pairs)")
+    parser.add_argument("--no-pruning", action="store_true",
+                        help="disable LCA pruning")
+    parser.add_argument("--no-merge", action="store_true",
+                        help="disable the widget merging phase")
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    log = load_text(args.log)
+    logs = segment_log(log) if args.segment else [log]
+    for sublog in logs:
+        system = PrecisionInterfaces(_options(args))
+        interface = system.generate([parse_sql(s) for s in sublog.statements()])
+        print(f"# {sublog.name}: {len(sublog)} queries")
+        print(interface.describe())
+        run = system.last_run
+        print(
+            f"(mined {run.n_diffs} diffs / {run.n_edges} edges "
+            f"in {run.total_seconds * 1000:.0f} ms)\n"
+        )
+        if args.html:
+            path = args.html if len(logs) == 1 else f"{sublog.name}-{args.html}"
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(compile_html(interface, title=sublog.name))
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_recall(args: argparse.Namespace) -> int:
+    log = load_text(args.log)
+    asts = [parse_sql(s) for s in log.statements()]
+    split = max(1, int(len(asts) * args.split))
+    interface = PrecisionInterfaces(_options(args)).generate(asts[:split])
+    recall = interface.expressiveness(asts[split:])
+    print(f"training {split} / holdout {len(asts) - split}: recall {recall:.3f}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    log = load_text(args.log)
+    interface = PrecisionInterfaces(_options(args)).generate(
+        [parse_sql(s) for s in log.statements()]
+    )
+    verdict = interface.expresses(parse_sql(args.query))
+    print("expressible" if verdict else "NOT expressible")
+    return 0 if verdict else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Precision Interfaces (SIGMOD 2019) reproduction"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    mine = commands.add_parser("mine", help="mine an interface from a log")
+    _add_common(mine)
+    mine.add_argument("--html", help="compile the interface to an HTML file")
+    mine.add_argument("--segment", action="store_true",
+                      help="segment the log into analyses first")
+    mine.set_defaults(fn=_cmd_mine)
+
+    recall = commands.add_parser("recall", help="train/holdout recall")
+    _add_common(recall)
+    recall.add_argument("--split", type=float, default=0.5,
+                        help="training fraction (default 0.5)")
+    recall.set_defaults(fn=_cmd_recall)
+
+    check = commands.add_parser("check", help="closure membership of a query")
+    _add_common(check)
+    check.add_argument("query", help="SQL statement to test")
+    check.set_defaults(fn=_cmd_check)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

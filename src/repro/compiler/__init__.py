@@ -1,0 +1,17 @@
+"""Interface compilation: grid layout, HTML generation, exec/render runtime."""
+
+from repro.compiler.html import compile_html
+from repro.compiler.layout import LayoutPlan, WidgetCell, describe_layout, grid_layout
+from repro.compiler.runtime import Database, Table, execute, render_text
+
+__all__ = [
+    "compile_html",
+    "grid_layout",
+    "describe_layout",
+    "LayoutPlan",
+    "WidgetCell",
+    "Database",
+    "Table",
+    "execute",
+    "render_text",
+]

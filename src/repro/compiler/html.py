@@ -1,0 +1,211 @@
+"""Interface → standalone HTML+JavaScript web application (Section 5.3).
+
+"We then compile the interface into a web application that executes an
+internal query q by running the provided exec() function, and renders the
+results using the user provided render() method."
+
+Offline we have no query server, so the compiler *pre-evaluates* the
+interface closure: every combination of widget states (sliders sampled at
+their initialising values) is rendered to SQL — and, when a
+:class:`~repro.compiler.runtime.Database` is supplied, executed — and the
+results are embedded in the page.  The generated file is fully
+self-contained: interacting with a widget looks up the composed query and
+updates the SQL view and the result table, exactly the interaction loop of
+Figure 2b.
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+import json
+from itertools import product
+
+from repro.compiler.layout import LayoutPlan, grid_layout
+from repro.compiler.runtime import Database, execute, render_text
+from repro.core.closure import apply_widget_choice
+from repro.core.interface import Interface
+from repro.errors import CompileError
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.render import render_sql
+
+__all__ = ["compile_html"]
+
+_UNCHANGED = "(unchanged)"
+_ABSENT = "(none)"
+
+_PAGE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ font-family: sans-serif; margin: 2em; background: #fafafa; }}
+h1 {{ font-size: 1.3em; }}
+.grid {{ display: grid; grid-template-columns: repeat({columns}, minmax(220px, 1fr));
+        gap: 1em; max-width: 60em; }}
+.widget {{ background: white; border: 1px solid #ddd; border-radius: 6px;
+          padding: 0.8em; }}
+.widget label {{ display: block; font-weight: bold; margin-bottom: 0.4em;
+               font-size: 0.9em; }}
+#sql {{ font-family: monospace; background: #272822; color: #f8f8f2;
+       padding: 1em; border-radius: 6px; max-width: 60em; margin-top: 1em;
+       white-space: pre-wrap; }}
+#result {{ font-family: monospace; white-space: pre; background: white;
+          border: 1px solid #ddd; padding: 1em; border-radius: 6px;
+          max-width: 60em; margin-top: 1em; overflow-x: auto; }}
+.miss {{ color: #b00; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<div class="grid">
+{widgets}
+</div>
+<div id="sql"></div>
+<div id="result"></div>
+<script>
+const CLOSURE = {closure_json};
+const WIDGET_IDS = {widget_ids_json};
+function currentKey() {{
+  return WIDGET_IDS.map(id => {{
+    const el = document.getElementById(id);
+    if (el.type === "checkbox") return el.checked ? "1" : "0";
+    return el.value;
+  }}).join("|");
+}}
+function refresh() {{
+  const entry = CLOSURE[currentKey()];
+  const sqlDiv = document.getElementById("sql");
+  const resultDiv = document.getElementById("result");
+  if (!entry) {{
+    sqlDiv.innerHTML = '<span class="miss">-- combination not pre-evaluated --</span>';
+    resultDiv.textContent = "";
+    return;
+  }}
+  sqlDiv.textContent = entry.sql;
+  resultDiv.textContent = entry.result || "(no result pre-computed)";
+}}
+for (const id of WIDGET_IDS) {{
+  document.getElementById(id).addEventListener("input", refresh);
+  document.getElementById(id).addEventListener("change", refresh);
+}}
+refresh();
+</script>
+</body>
+</html>
+"""
+
+
+def _option_label(entry: Node | None) -> str:
+    if entry is None:
+        return _ABSENT
+    return render_sql(entry) if entry.node_type in ("SelectStmt", "SetOpStmt") else _render_fragment(entry)
+
+
+def _render_fragment(entry: Node) -> str:
+    """Best-effort SQL text for a subtree (fall back to the node label)."""
+    from repro.sqlparser.render import _Renderer  # local: shares expr logic
+
+    renderer = _Renderer()
+    try:
+        if entry.node_type in ("SelectStmt", "SetOpStmt"):
+            return renderer.statement(entry)
+        if entry.node_type == "Top":
+            return f"TOP {renderer.expr(entry.children[0])}"
+        if entry.node_type == "ProjClause":
+            return renderer._proj(entry)
+        if entry.node_type in ("TableRef", "FuncTableRef", "SubqueryRef", "JoinRef"):
+            return renderer._from_item(entry)
+        if entry.node_type == "GroupClause":
+            return renderer.expr(entry.children[0])
+        return renderer.expr(entry)
+    except CompileError:
+        return entry.label()
+
+
+def compile_html(
+    interface: Interface,
+    title: str = "Precision Interface",
+    database: Database | None = None,
+    limit: int = 2048,
+    columns: int = 2,
+    layout: LayoutPlan | None = None,
+) -> str:
+    """Compile an interface into a self-contained HTML application.
+
+    Args:
+        interface: the generated interface.
+        title: page title.
+        database: optional in-memory database; when given, every closure
+            query is executed and its rendered result embedded.
+        limit: cap on pre-evaluated widget-state combinations.
+        columns: grid columns.
+        layout: optional custom layout (defaults to :func:`grid_layout`).
+
+    Returns:
+        The HTML document as a string.
+
+    Raises:
+        CompileError: when the interface has no widgets.
+    """
+    if not interface.widgets:
+        raise CompileError("cannot compile an interface with no widgets")
+    plan = layout or grid_layout(interface, columns=columns)
+    ordered = [cell.widget for cell in plan.cells]
+
+    # per-widget choice lists: index 0 is always "(unchanged)"
+    choice_lists: list[list[Node | None | str]] = []
+    for widget in ordered:
+        choices: list[Node | None | str] = [_UNCHANGED]
+        entries = list(widget.domain.entries())
+        if widget.widget_type.extrapolates and len(entries) > 5:
+            entries = entries[:5]
+        choices.extend(entries)
+        choice_lists.append(choices)
+
+    closure: dict[str, dict[str, str]] = {}
+    for combo in product(*(range(len(c)) for c in choice_lists)):
+        if len(closure) >= limit:
+            break
+        query = interface.initial_query
+        for widget, choices, choice_index in zip(ordered, choice_lists, combo):
+            choice = choices[choice_index]
+            if choice == _UNCHANGED:
+                continue
+            query = apply_widget_choice(query, widget, choice)  # type: ignore[arg-type]
+        sql = render_sql(query)
+        entry: dict[str, str] = {"sql": sql}
+        if database is not None:
+            try:
+                entry["result"] = render_text(execute(query, database))
+            except Exception as exc:  # noqa: BLE001 - surface in the page
+                entry["result"] = f"(execution failed: {exc})"
+        closure["|".join(str(i) for i in combo)] = entry
+
+    widget_blocks = []
+    widget_ids = []
+    for index, (cell, choices) in enumerate(zip(plan.cells, choice_lists)):
+        widget_id = f"w{index}"
+        widget_ids.append(widget_id)
+        label = html_escape.escape(cell.label)
+        tag = cell.widget.widget_type.name
+        if tag == "toggle_button" and len(choices) == 3 and None in choices:
+            # presence toggle: checkbox semantics over {unchanged, on}
+            pass
+        options = "".join(
+            f'<option value="{i}">{html_escape.escape(_option_label(c) if not isinstance(c, str) else c)}</option>'
+            for i, c in enumerate(choices)
+        )
+        control = f'<select id="{widget_id}">{options}</select>'
+        widget_blocks.append(
+            f'<div class="widget"><label>{label} '
+            f'<small>({tag})</small></label>{control}</div>'
+        )
+
+    return _PAGE.format(
+        title=html_escape.escape(title),
+        columns=plan.columns,
+        widgets="\n".join(widget_blocks),
+        closure_json=json.dumps(closure),
+        widget_ids_json=json.dumps(widget_ids),
+    )

@@ -1,0 +1,124 @@
+"""Widget grid layout (Section 5.3).
+
+"After generating I*, an editor interface renders the widgets in a grid.
+The user can optionally edit, add labels, or change the widget type for
+each widget."  This module computes the default grid placement and exposes
+the editing operations; the HTML compiler consumes the resulting
+:class:`LayoutPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interface import Interface
+from repro.errors import CompileError
+from repro.sqlparser.render import render_sql
+from repro.widgets.base import Widget
+
+__all__ = ["WidgetCell", "LayoutPlan", "grid_layout"]
+
+
+@dataclass
+class WidgetCell:
+    """One widget's placement in the editor grid."""
+
+    widget: Widget
+    row: int
+    column: int
+    label: str
+    width: int = 1
+
+    def describe(self) -> str:
+        return f"({self.row},{self.column}) {self.label} [{self.widget.widget_type.name}]"
+
+
+@dataclass
+class LayoutPlan:
+    """A grid of widget cells plus the visualization placeholder."""
+
+    cells: list[WidgetCell] = field(default_factory=list)
+    columns: int = 2
+
+    def cell_for(self, widget: Widget) -> WidgetCell:
+        for cell in self.cells:
+            if cell.widget is widget:
+                return cell
+        raise CompileError("widget is not part of this layout")
+
+    # ------------------------------------------------------------------
+    # editor operations
+    # ------------------------------------------------------------------
+    def relabel(self, widget: Widget, label: str) -> None:
+        """Rename a widget's display label."""
+        self.cell_for(widget).label = label
+        widget.label = label
+
+    def move(self, widget: Widget, row: int, column: int) -> None:
+        """Reposition a widget cell.
+
+        Raises:
+            CompileError: for out-of-grid positions.
+        """
+        if row < 0 or column < 0 or column >= self.columns:
+            raise CompileError(f"bad grid position ({row}, {column})")
+        cell = self.cell_for(widget)
+        cell.row, cell.column = row, column
+
+
+def _default_label(widget: Widget) -> str:
+    """Derive a human-readable label from the widget's domain."""
+    subtrees = list(widget.domain.subtrees())
+    if not subtrees:
+        return f"option @{widget.path}"
+    sample = subtrees[0]
+    if sample.node_type == "Top":
+        return "Toggle TOP" if widget.domain.includes_none else "TOP limit"
+    if sample.node_type in ("TableRef",):
+        return "table"
+    if sample.node_type in ("ColExpr", "FuncName"):
+        values = sorted(str(s.attributes.get("name", "")) for s in subtrees[:3])
+        return " / ".join(values) if values else "column"
+    if sample.node_type in ("NumExpr", "HexExpr"):
+        return f"value @{widget.path}"
+    if sample.node_type == "StrExpr":
+        return f"choice @{widget.path}"
+    if sample.node_type == "BetweenExpr":
+        target = sample.children[0]
+        name = target.attributes.get("name", "range")
+        return f"{name} range"
+    if widget.domain.includes_none:
+        return f"toggle {sample.node_type}"
+    return f"{sample.node_type} @{widget.path}"
+
+
+def grid_layout(interface: Interface, columns: int = 2) -> LayoutPlan:
+    """Place widgets into a grid, shallow paths first (the most global
+    controls at the top), two per row by default.
+
+    Raises:
+        CompileError: for a non-positive column count.
+    """
+    if columns <= 0:
+        raise CompileError(f"columns must be positive, got {columns}")
+    plan = LayoutPlan(columns=columns)
+    ordered = sorted(interface.widgets, key=lambda w: (w.path.depth, w.path))
+    for index, widget in enumerate(ordered):
+        label = widget.label or _default_label(widget)
+        plan.cells.append(
+            WidgetCell(
+                widget=widget,
+                row=index // columns,
+                column=index % columns,
+                label=label,
+            )
+        )
+    return plan
+
+
+def describe_layout(interface: Interface) -> str:
+    """Editor-style summary: the grid plus the initial query."""
+    plan = grid_layout(interface)
+    lines = [f"initial: {render_sql(interface.initial_query)}"]
+    lines.extend(cell.describe() for cell in plan.cells)
+    return "\n".join(lines)

@@ -1,0 +1,507 @@
+"""In-memory ``exec()`` / ``render()`` runtime (Section 3.3).
+
+The paper assumes two user-provided functions: ``exec()`` executes a query
+AST, ``render()`` visualises the result.  This module provides working
+defaults: a tiny columnar table store and a SQL evaluator covering the
+query surface our generated interfaces produce — single-table SELECT with
+projections, scalar arithmetic, CASE/CAST/FLOOR, WHERE (AND/OR/NOT,
+comparisons, BETWEEN, IN, LIKE, IS NULL), GROUP BY with the standard
+aggregates, HAVING, ORDER BY, LIMIT/TOP and DISTINCT.
+
+It is intentionally not a full DBMS: FROM-clause subqueries are evaluated
+recursively, but joins and correlated subqueries raise
+:class:`~repro.errors.CompileError` — interfaces that need them should be
+wired to a real engine through the same two callables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError, SchemaError
+from repro.sqlparser.astnodes import Node
+
+__all__ = ["Table", "Database", "execute", "render_text"]
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+
+
+@dataclass
+class Table:
+    """A tiny in-memory table: named columns over row tuples."""
+
+    name: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(c.lower() for c in self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate columns in table {self.name}")
+
+    def column_index(self, name: str) -> int:
+        """Case-insensitive column lookup (qualifiers stripped).
+
+        Raises:
+            SchemaError: for an unknown column.
+        """
+        bare = name.rsplit(".", 1)[-1].lower()
+        for index, column in enumerate(self.columns):
+            if column.lower() == bare:
+                return index
+        raise SchemaError(f"no column {name} in table {self.name}")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class Database:
+    """A named collection of tables."""
+
+    tables: dict[str, Table] = field(default_factory=dict)
+
+    def add(self, table: Table) -> None:
+        self.tables[table.name.lower()] = table
+
+    def get(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self.tables:
+            raise SchemaError(f"unknown table {name}")
+        return self.tables[key]
+
+
+# ----------------------------------------------------------------------
+# scalar expression evaluation
+# ----------------------------------------------------------------------
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE with % and _ wildcards."""
+    import re
+
+    regex = "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$"
+    return re.match(regex, value, flags=re.IGNORECASE) is not None
+
+
+def _scalar(node: Node, table: Table, row: tuple):
+    kind = node.node_type
+    if kind == "NumExpr":
+        return node.attributes["value"]
+    if kind == "HexExpr":
+        return node.attributes["value"]
+    if kind == "StrExpr":
+        return node.attributes["value"]
+    if kind == "NullExpr":
+        return None
+    if kind == "BoolExpr":
+        return node.attributes["value"] == "TRUE"
+    if kind == "ColExpr":
+        return row[table.column_index(str(node.attributes["name"]))]
+    if kind == "BiExpr":
+        return _binary(node, table, row)
+    if kind == "UnaryExpr":
+        value = _scalar(node.children[0], table, row)
+        return None if value is None else -value
+    if kind == "AndExpr":
+        return all(_truthy(_scalar(c, table, row)) for c in node.children)
+    if kind == "OrExpr":
+        return any(_truthy(_scalar(c, table, row)) for c in node.children)
+    if kind == "NotExpr":
+        return not _truthy(_scalar(node.children[0], table, row))
+    if kind == "BetweenExpr":
+        value = _scalar(node.children[0], table, row)
+        low = _scalar(node.children[1], table, row)
+        high = _scalar(node.children[2], table, row)
+        if value is None:
+            return False
+        return low <= value <= high
+    if kind == "InExpr":
+        value = _scalar(node.children[0], table, row)
+        rhs = node.children[1]
+        if rhs.node_type != "InList":
+            raise CompileError("IN over subqueries is not supported by the toy runtime")
+        return any(value == _scalar(c, table, row) for c in rhs.children)
+    if kind == "IsNullExpr":
+        value = _scalar(node.children[0], table, row)
+        is_null = value is None
+        return not is_null if node.attributes.get("negated") else is_null
+    if kind == "CaseExpr":
+        return _case(node, table, row)
+    if kind == "CastExpr":
+        value = _scalar(node.children[0], table, row)
+        if len(node.children) > 1:
+            target = str(node.children[1].attributes["name"]).lower()
+            if value is None:
+                return None
+            if target.startswith(("int", "bigint", "smallint")):
+                return int(float(value))
+            if target.startswith(("float", "real", "double", "decimal", "numeric")):
+                return float(value)
+            return str(value)
+        return value
+    if kind == "FuncExpr":
+        return _scalar_function(node, table, row)
+    raise CompileError(f"cannot evaluate expression {kind}")
+
+
+def _truthy(value) -> bool:
+    return bool(value)
+
+
+def _binary(node: Node, table: Table, row: tuple):
+    op = str(node.attributes["op"])
+    left = _scalar(node.children[0], table, row)
+    right = _scalar(node.children[1], table, row)
+    if op == "LIKE":
+        if left is None or right is None:
+            return False
+        return _like_match(str(left), str(right))
+    if left is None or right is None:
+        return None if op in "+-*/%" else False
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right if right else None
+    if op == "%":
+        return left % right if right else None
+    if op == "||":
+        return str(left) + str(right)
+    raise CompileError(f"unknown operator {op}")
+
+
+def _case(node: Node, table: Table, row: tuple):
+    operand = None
+    has_operand = False
+    for child in node.children:
+        if child.node_type == "CaseInput":
+            operand = _scalar(child.children[0], table, row)
+            has_operand = True
+    for child in node.children:
+        if child.node_type != "WhenClause":
+            continue
+        condition = _scalar(child.children[0], table, row)
+        matched = (condition == operand) if has_operand else _truthy(condition)
+        if matched:
+            return _scalar(child.children[1], table, row)
+    for child in node.children:
+        if child.node_type == "ElseClause":
+            return _scalar(child.children[0], table, row)
+    return None
+
+
+def _scalar_function(node: Node, table: Table, row: tuple):
+    name = str(node.children[0].attributes["name"]).lower()
+    args = [_scalar(c, table, row) for c in node.children[1:]]
+    if name == "floor":
+        return math.floor(args[0]) if args[0] is not None else None
+    if name in ("ceil", "ceiling"):
+        return math.ceil(args[0]) if args[0] is not None else None
+    if name == "abs":
+        return abs(args[0]) if args[0] is not None else None
+    if name == "round":
+        if args[0] is None:
+            return None
+        return round(args[0], int(args[1]) if len(args) > 1 else 0)
+    if name == "upper":
+        return str(args[0]).upper() if args[0] is not None else None
+    if name == "lower":
+        return str(args[0]).lower() if args[0] is not None else None
+    raise CompileError(f"unknown scalar function {name}")
+
+
+# ----------------------------------------------------------------------
+# aggregate detection & evaluation
+# ----------------------------------------------------------------------
+def _is_aggregate(node: Node) -> bool:
+    if node.node_type == "FuncExpr":
+        name = str(node.children[0].attributes["name"]).lower()
+        if name in _AGGREGATES:
+            return True
+    return any(_is_aggregate(c) for c in node.children)
+
+
+def _aggregate(node: Node, table: Table, rows: list[tuple]):
+    """Evaluate an expression containing aggregates over a row group."""
+    if node.node_type == "FuncExpr":
+        name = str(node.children[0].attributes["name"]).lower()
+        if name in _AGGREGATES:
+            args = [c for c in node.children[1:] if c.node_type != "Distinct"]
+            distinct = any(c.node_type == "Distinct" for c in node.children[1:])
+            if name == "count" and (not args or args[0].node_type == "StarExpr"):
+                return len(rows)
+            values = [_scalar(args[0], table, row) for row in rows]
+            values = [v for v in values if v is not None]
+            if distinct:
+                values = list(dict.fromkeys(values))
+            if name == "count":
+                return len(values)
+            if not values:
+                return None
+            if name == "sum":
+                return sum(values)
+            if name == "avg":
+                return sum(values) / len(values)
+            if name == "min":
+                return min(values)
+            return max(values)
+    if not node.children:
+        if rows:
+            return _scalar(node, table, rows[0])
+        return None
+    evaluated = [_aggregate(c, table, rows) for c in node.children]
+    # rebuild a constant-expression node and evaluate it on a dummy row
+    substituted = Node(
+        node.node_type,
+        node.attributes,
+        [_constant(v, c) for v, c in zip(evaluated, node.children)],
+    )
+    return _scalar(substituted, table, ())
+
+
+def _constant(value, original: Node) -> Node:
+    if original.node_type == "FuncName":
+        return original
+    if value is None:
+        return Node("NullExpr")
+    if isinstance(value, bool):
+        return Node("BoolExpr", {"value": "TRUE" if value else "FALSE"})
+    if isinstance(value, (int, float)):
+        return Node("NumExpr", {"value": value})
+    return Node("StrExpr", {"value": str(value)})
+
+
+# ----------------------------------------------------------------------
+# SELECT evaluation
+# ----------------------------------------------------------------------
+def execute(query: Node, database: Database) -> Table:
+    """Execute a SELECT AST against the database.
+
+    Raises:
+        CompileError: for constructs outside the runtime's subset.
+        SchemaError: for unknown tables/columns.
+    """
+    if query.node_type == "SetOpStmt":
+        raise CompileError("set operations are not supported by the toy runtime")
+    if query.node_type != "SelectStmt":
+        raise CompileError(f"cannot execute {query.node_type}")
+
+    clauses = {c.node_type: c for c in query.children}
+    source = _resolve_from(clauses.get("From"), database)
+
+    rows = source.rows
+    where = clauses.get("Where")
+    if where is not None:
+        rows = [r for r in rows if _truthy(_scalar(where.children[0], source, r))]
+
+    project = clauses["Project"]
+    proj_exprs = [c.children[0] for c in project.children]
+    labels = [
+        (
+            str(c.children[1].attributes["name"])
+            if len(c.children) > 1 and c.children[1].node_type == "AliasName"
+            else _label(c.children[0])
+        )
+        for c in project.children
+    ]
+
+    group_by = clauses.get("GroupBy")
+    has_aggregates = any(_is_aggregate(e) for e in proj_exprs)
+    having = clauses.get("Having")
+
+    if group_by is not None or has_aggregates or having is not None:
+        out_rows = _grouped(
+            rows, source, proj_exprs, group_by, having
+        )
+    else:
+        out_rows = [
+            tuple(_project_star(e, source, r) for e in proj_exprs)
+            for r in rows
+        ]
+        out_rows = [
+            tuple(v for cell in row for v in (cell if isinstance(cell, _Star) else (cell,)))
+            for row in out_rows
+        ]
+        labels = _expand_star_labels(proj_exprs, labels, source)
+
+    order_by = clauses.get("OrderBy")
+    if order_by is not None:
+        out_rows = _ordered(out_rows, order_by, proj_exprs, labels, source)
+
+    if "Distinct" in clauses:
+        out_rows = list(dict.fromkeys(out_rows))
+
+    limit = None
+    if "Top" in clauses:
+        limit = int(clauses["Top"].children[0].attributes["value"])
+    elif "Limit" in clauses:
+        limit = int(clauses["Limit"].children[0].attributes["value"])
+    if limit is not None:
+        out_rows = out_rows[:limit]
+
+    return Table(name="result", columns=labels, rows=out_rows)
+
+
+class _Star(tuple):
+    """Marker wrapper for a star-expanded row segment."""
+
+
+def _project_star(expr: Node, table: Table, row: tuple):
+    if expr.node_type == "StarExpr":
+        return _Star(row)
+    return _scalar(expr, table, row)
+
+
+def _expand_star_labels(
+    proj_exprs: list[Node], labels: list[str], table: Table
+) -> list[str]:
+    out: list[str] = []
+    for expr, label in zip(proj_exprs, labels):
+        if expr.node_type == "StarExpr":
+            out.extend(table.columns)
+        else:
+            out.append(label)
+    return out
+
+
+def _resolve_from(from_clause: Node | None, database: Database) -> Table:
+    if from_clause is None:
+        return Table(name="dual", columns=["dummy"], rows=[(0,)])
+    if len(from_clause.children) != 1:
+        raise CompileError("joins are not supported by the toy runtime")
+    item = from_clause.children[0]
+    if item.node_type == "TableRef":
+        return database.get(str(item.attributes["name"]))
+    if item.node_type == "SubqueryRef":
+        return execute(item.children[0], database)
+    raise CompileError(f"unsupported FROM item {item.node_type}")
+
+
+def _grouped(
+    rows: list[tuple],
+    table: Table,
+    proj_exprs: list[Node],
+    group_by: Node | None,
+    having: Node | None,
+) -> list[tuple]:
+    if group_by is not None:
+        key_exprs = [c.children[0] for c in group_by.children]
+        groups: dict[tuple, list[tuple]] = {}
+        for row in rows:
+            key = tuple(_scalar(e, table, row) for e in key_exprs)
+            groups.setdefault(key, []).append(row)
+        buckets = list(groups.values())
+    else:
+        buckets = [rows]
+
+    out = []
+    for bucket in buckets:
+        if having is not None:
+            if not _truthy(_aggregate(having.children[0], table, bucket)):
+                continue
+        out.append(tuple(_aggregate(e, table, bucket) for e in proj_exprs))
+    return out
+
+
+def _ordered(
+    rows: list[tuple],
+    order_by: Node,
+    proj_exprs: list[Node],
+    labels: list[str],
+    table: Table,
+) -> list[tuple]:
+    specs = []
+    for clause in order_by.children:
+        expr = clause.children[0]
+        descending = (
+            len(clause.children) > 1
+            and clause.children[1].attributes.get("value") == "DESC"
+        )
+        # order by output column when the expression matches a projection
+        position = None
+        for index, proj in enumerate(proj_exprs):
+            if proj.equals(expr):
+                position = index
+                break
+        if position is None and expr.node_type == "ColExpr":
+            name = str(expr.attributes["name"]).rsplit(".", 1)[-1].lower()
+            for index, label in enumerate(labels):
+                if label.lower() == name:
+                    position = index
+                    break
+        specs.append((position, expr, descending))
+
+    def key(row: tuple):
+        parts = []
+        for position, expr, descending in specs:
+            value = row[position] if position is not None else None
+            parts.append(_SortKey(value, descending))
+        return tuple(parts)
+
+    return sorted(rows, key=key)
+
+
+class _SortKey:
+    """None-safe, direction-aware comparison wrapper."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value, descending: bool):
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a is None:
+            return not self.descending
+        if b is None:
+            return self.descending
+        if self.descending:
+            return b < a
+        return a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+def _label(expr: Node) -> str:
+    if expr.node_type == "ColExpr":
+        return str(expr.attributes["name"]).rsplit(".", 1)[-1]
+    if expr.node_type == "FuncExpr":
+        return str(expr.children[0].attributes["name"]).lower()
+    return "expr"
+
+
+def render_text(table: Table, max_rows: int = 20) -> str:
+    """The default ``render()``: an aligned text table."""
+    header = list(table.columns)
+    body = [
+        ["" if v is None else str(v) for v in row] for row in table.rows[:max_rows]
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if len(table.rows) > max_rows:
+        lines.append(f"... ({len(table.rows)} rows total)")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Core contribution: interaction mapper, interface model, pipeline."""
+
+from repro.core.closure import apply_widget_choice, enumerate_closure, expresses
+from repro.core.interface import Interface
+from repro.core.mapper import (
+    MapperStats,
+    initialize,
+    map_interactions,
+    merge_widgets,
+    pick_widget,
+)
+from repro.core.options import PipelineOptions
+from repro.core.pipeline import PipelineRun, PrecisionInterfaces
+
+__all__ = [
+    "Interface",
+    "PrecisionInterfaces",
+    "PipelineOptions",
+    "PipelineRun",
+    "MapperStats",
+    "pick_widget",
+    "initialize",
+    "merge_widgets",
+    "map_interactions",
+    "expresses",
+    "enumerate_closure",
+    "apply_widget_choice",
+]

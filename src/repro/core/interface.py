@@ -1,0 +1,89 @@
+"""The interface model (Section 4.4).
+
+An interface ``I = (W_I, q0_I)`` is a set of widgets plus an initial query.
+Its *cost* is the sum of its widgets' costs; its *expressiveness* with
+respect to a query log is the fraction of the log inside its closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.closure import enumerate_closure, expresses
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
+from repro.sqlparser.render import render_sql
+from repro.widgets.base import Widget
+
+__all__ = ["Interface"]
+
+
+@dataclass
+class Interface:
+    """A generated precision interface.
+
+    Attributes:
+        widgets: the interactive widget set ``W_I``.
+        initial_query: the initial query ``q0_I`` (we use the earliest query
+            in the log, as the paper does).
+        annotations: grammar annotations used for closure reasoning.
+        metadata: free-form provenance (mining stats, log name, ...).
+    """
+
+    widgets: list[Widget]
+    initial_query: Node
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # §4.4 metrics
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """``C_I = sum of widget costs``."""
+        return sum(widget.cost for widget in self.widgets)
+
+    @property
+    def n_widgets(self) -> int:
+        return len(self.widgets)
+
+    def expresses(self, query: Node) -> bool:
+        """Closure membership for one query."""
+        return expresses(self.widgets, self.initial_query, query, self.annotations)
+
+    def expressiveness(self, queries: list[Node]) -> float:
+        """``|closure ∩ Q| / |Q|`` over the given log (a.k.a. recall when
+        the log is a hold-out set)."""
+        if not queries:
+            return 1.0
+        hits = sum(1 for query in queries if self.expresses(query))
+        return hits / len(queries)
+
+    def closure(self, limit: int = 100_000, slider_samples: int = 3) -> Iterator[Node]:
+        """Enumerate the closure (used by the precision experiment)."""
+        return enumerate_closure(
+            self.widgets, self.initial_query, limit=limit, slider_samples=slider_samples
+        )
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line, human-readable summary of the interface."""
+        lines = [
+            f"Interface: {self.n_widgets} widgets, cost {self.cost:.0f}",
+            f"initial query: {render_sql(self.initial_query)}",
+        ]
+        for widget in sorted(self.widgets, key=lambda w: (w.path.depth, w.path)):
+            lines.append(f"  - {widget.widget_type.name}@{widget.path} "
+                         f"|domain|={widget.domain.size} cost={widget.cost:.0f}")
+        return "\n".join(lines)
+
+    def widget_summary(self) -> list[tuple[str, str, int]]:
+        """``(widget type, path, domain size)`` triples, sorted by path —
+        the representation the figure benches print."""
+        return [
+            (w.widget_type.name, str(w.path), w.domain.size)
+            for w in sorted(self.widgets, key=lambda w: (w.path.depth, w.path))
+        ]

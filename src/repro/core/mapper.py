@@ -1,0 +1,308 @@
+"""The interaction mapper (Section 5, Algorithms 1–3).
+
+The interface generation problem — pick a minimum-cost widget set whose
+closure covers the log — is NP-hard (reduction from vertex cover, §4.5), so
+the mapper runs the paper's two-phase graph-contraction heuristic:
+
+* **Initialize** (Algorithm 1): partition the diffs table by path and
+  instantiate, per partition, the cheapest widget type whose rule accepts
+  the partition's domain (``pickWidget``, Algorithm 2).  This yields an
+  interface that expresses every edge, but with redundant widgets.
+* **Merge** (Algorithm 3): repeatedly compare an *ancestor* widget with the
+  set of its *descendant* widgets (prefix paths), compute the overlapping
+  diffs — those whose incident queries are expressed by both sides — and
+  remove the overlap from whichever side yields the larger cost reduction.
+  Iterate to a fixed point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.paths import Path
+from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
+from repro.treediff.diff import Diff
+from repro.widgets.base import Widget, WidgetType
+from repro.widgets.domain import WidgetDomain
+from repro.widgets.library import default_library
+
+__all__ = ["MapperStats", "pick_widget", "initialize", "merge_widgets", "map_interactions"]
+
+
+@dataclass
+class MapperStats:
+    """Instrumentation for the mapping phase (used by Appendix B benches)."""
+
+    mapping_seconds: float = 0.0
+    n_partitions: int = 0
+    n_initial_widgets: int = 0
+    n_merge_rounds: int = 0
+    n_final_widgets: int = 0
+    initial_cost: float = 0.0
+    final_cost: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+def pick_widget(
+    diffs: list[Diff],
+    library: list[WidgetType],
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+) -> Widget | None:
+    """Algorithm 2: instantiate the lowest-cost widget type for a partition.
+
+    Args:
+        diffs: diff records sharing one path (the partition ``W_p``).
+        library: candidate widget types ``L``.
+        annotations: grammar annotations for typing the domain.
+
+    Returns:
+        The cheapest valid widget, or ``None`` for an empty partition.
+
+    Raises:
+        MappingError: when no widget type accepts the domain.
+    """
+    if not diffs:
+        return None
+    path = diffs[0].path
+    entries = []
+    for diff in diffs:
+        entries.append(diff.t1)
+        entries.append(diff.t2)
+    domain = WidgetDomain(entries, annotations)
+    valid = [wt for wt in library if wt.accepts(domain)]
+    if not valid:
+        raise MappingError(
+            f"no widget type in the library accepts the domain at path {path} "
+            f"(size={domain.size}, none={domain.includes_none})"
+        )
+    best = min(valid, key=lambda wt: (wt.cost_for(domain), wt.name))
+    return Widget(widget_type=best, path=path, domain=domain, D=list(diffs))
+
+
+def initialize(
+    diffs: list[Diff],
+    library: list[WidgetType],
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+) -> list[Widget]:
+    """Algorithm 1: path-partition the diffs table and pick one widget per
+    partition.
+
+    Partitions that no widget type accepts — in practice, tree-valued
+    domains beyond the enumeration-size cap, such as the root partition of
+    a highly heterogeneous log — are skipped: a several-dozen-option
+    query selector is the "one button per query" interface Section 4.4
+    rejects, and the leaf partitions still express the log's structural
+    changes.
+    """
+    partitions: dict[Path, list[Diff]] = {}
+    for diff in diffs:
+        partitions.setdefault(diff.path, []).append(diff)
+    widgets = []
+    for path in sorted(partitions):
+        try:
+            widget = pick_widget(partitions[path], library, annotations)
+        except MappingError:
+            continue
+        if widget is not None:
+            widgets.append(widget)
+    return widgets
+
+
+def _incident_queries(diffs: list[Diff]) -> set[int]:
+    """Vertices incident to the edges a set of diffs participates in."""
+    out: set[int] = set()
+    for diff in diffs:
+        out.add(diff.q1)
+        out.add(diff.q2)
+    return out
+
+
+def _merge_step(
+    ancestor: Widget,
+    descendants: list[Widget],
+    library: list[WidgetType],
+    annotations: GrammarAnnotations,
+    leaf_diffs: list[Diff],
+) -> tuple[Widget | None, list[Widget | None], float] | None:
+    """Algorithm 3 for one (ancestor, descendant-set) pair.
+
+    The overlap sets carry an *edge-coverage guard* on top of the paper's
+    vertex-intersection: a diff is only removable from one side when the
+    other side still fully expresses its edge.  Without the guard,
+    successive rounds can strip an edge's leaf diffs from the descendants
+    and then its replacement diff from the ancestor, silently losing log
+    expressiveness.
+
+    Returns:
+        ``(new_ancestor, new_descendants, savings)`` where a ``None`` widget
+        means "removed", or ``None`` when there is no overlap to resolve.
+    """
+    vertices_a = _incident_queries(ancestor.D)
+    vertices_d: set[int] = set()
+    for widget in descendants:
+        vertices_d |= _incident_queries(widget.D)
+    shared = vertices_a & vertices_d
+    if not shared:
+        return None
+
+    descendant_diff_ids = {id(d) for w in descendants for d in w.D}
+    ancestor_pairs = {(d.q1, d.q2) for d in ancestor.D}
+
+    def descendants_cover(pair: tuple[int, int]) -> bool:
+        """Do the descendants still hold every leaf diff of this edge that
+        lies under the ancestor's path?"""
+        required = [
+            d
+            for d in leaf_diffs
+            if (d.q1, d.q2) == pair
+            and ancestor.path.is_strict_prefix_of(d.path)
+        ]
+        if not required:
+            return False
+        return all(id(d) in descendant_diff_ids for d in required)
+
+    overlap_a = [
+        d
+        for d in ancestor.D
+        if d.q1 in shared and d.q2 in shared and descendants_cover((d.q1, d.q2))
+    ]
+    overlaps_d = [
+        [
+            d
+            for d in w.D
+            if d.q1 in shared
+            and d.q2 in shared
+            and (d.q1, d.q2) in ancestor_pairs
+        ]
+        for w in descendants
+    ]
+    if not overlap_a and not any(overlaps_d):
+        return None
+
+    def rebuilt(widget: Widget, removed: list[Diff]) -> Widget | None:
+        if not removed:
+            return widget
+        removed_ids = {id(d) for d in removed}
+        kept = [d for d in widget.D if id(d) not in removed_ids]
+        return pick_widget(kept, library, annotations)
+
+    def cost_of(widget: Widget | None) -> float:
+        return 0.0 if widget is None else widget.cost
+
+    # savings if the overlap is removed from the descendants
+    new_descendants = [
+        rebuilt(w, overlap) for w, overlap in zip(descendants, overlaps_d)
+    ]
+    savings_d = sum(
+        cost_of(w) - cost_of(nw) for w, nw in zip(descendants, new_descendants)
+    )
+    # savings if the overlap is removed from the ancestor
+    new_ancestor = rebuilt(ancestor, overlap_a)
+    savings_a = ancestor.cost - cost_of(new_ancestor)
+
+    if savings_a > savings_d:
+        if savings_a <= 0:
+            return None
+        return new_ancestor, list(descendants), savings_a
+    if savings_d <= 0:
+        return None
+    return ancestor, new_descendants, savings_d
+
+
+def merge_widgets(
+    widgets: list[Widget],
+    library: list[WidgetType],
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+    stats: MapperStats | None = None,
+    leaf_diffs: list[Diff] | None = None,
+) -> list[Widget]:
+    """Iterate Algorithm 3 to a fixed point.
+
+    Each round scans ancestor widgets shallow-to-deep; a round that reduces
+    total cost triggers another round.
+    """
+    if leaf_diffs is None:
+        leaf_diffs = [d for w in widgets for d in w.D if d.is_leaf]
+    current = list(widgets)
+    rounds = 0
+    while True:
+        rounds += 1
+        changed = False
+        current.sort(key=lambda w: (w.path.depth, w.path))
+        for index, ancestor in enumerate(list(current)):
+            if ancestor not in current:
+                continue
+            descendants = [
+                w for w in current if ancestor.path.is_strict_prefix_of(w.path)
+            ]
+            if not descendants:
+                continue
+            result = _merge_step(
+                ancestor, descendants, library, annotations, leaf_diffs
+            )
+            if result is None:
+                continue
+            new_ancestor, new_descendants, savings = result
+            if savings <= 0:
+                continue
+            changed = True
+            replacement: list[Widget] = []
+            descendant_ids = {id(w) for w in descendants}
+            new_by_old = dict(zip((id(w) for w in descendants), new_descendants))
+            for widget in current:
+                if widget is ancestor:
+                    if new_ancestor is not None:
+                        replacement.append(new_ancestor)
+                elif id(widget) in descendant_ids:
+                    new_widget = new_by_old[id(widget)]
+                    if new_widget is not None:
+                        replacement.append(new_widget)
+                else:
+                    replacement.append(widget)
+            current = replacement
+        if not changed:
+            break
+    if stats is not None:
+        stats.n_merge_rounds = rounds
+    return current
+
+
+def map_interactions(
+    diffs: list[Diff],
+    library: list[WidgetType] | None = None,
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+    merge: bool = True,
+    stats: MapperStats | None = None,
+) -> list[Widget]:
+    """End-to-end mapping: Initialize then Merge.
+
+    Args:
+        diffs: the mined diffs table ``W``.
+        library: widget type library ``L`` (defaults to the 9-type library).
+        annotations: grammar annotations.
+        merge: run the merging phase (disable for the ablation bench).
+        stats: optional instrumentation sink.
+
+    Returns:
+        The final widget set (may be empty for a log of identical queries).
+    """
+    library = library if library is not None else default_library()
+    started = time.perf_counter()
+    widgets = initialize(diffs, library, annotations)
+    n_initial = len(widgets)
+    initial_cost = sum(w.cost for w in widgets)
+    if merge:
+        leaf_diffs = [d for d in diffs if d.is_leaf]
+        widgets = merge_widgets(
+            widgets, library, annotations, stats=stats, leaf_diffs=leaf_diffs
+        )
+    if stats is not None:
+        stats.mapping_seconds += time.perf_counter() - started
+        stats.n_partitions = len({d.path for d in diffs})
+        stats.n_initial_widgets = n_initial
+        stats.initial_cost = initial_cost
+        stats.n_final_widgets = len(widgets)
+        stats.final_cost = sum(w.cost for w in widgets)
+    return widgets

@@ -1,0 +1,46 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError
+from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
+from repro.widgets.base import WidgetType
+from repro.widgets.library import default_library
+
+__all__ = ["PipelineOptions"]
+
+
+@dataclass
+class PipelineOptions:
+    """Knobs for the end-to-end pipeline.
+
+    Attributes:
+        window: sliding-window size (Section 6.1).  ``None`` compares all
+            pairs of queries (the unoptimised baseline); the paper's
+            recommended configuration is 2 (adjacent pairs), which their
+            experiments show leaves the output interface unchanged.
+        lca_pruning: prune non-LCA ancestor diffs (Section 6.2).
+        merge: run the widget merging phase (Algorithm 3); disabling it is
+            only useful for ablations.
+        coverage: the threshold ``g``; the paper fixes g = 1 so the whole
+            log must be expressible.
+        library: widget type library (defaults to the 9 built-in types).
+        annotations: grammar annotations for the query language.
+    """
+
+    window: int | None = 2
+    lca_pruning: bool = True
+    merge: bool = True
+    coverage: float = 1.0
+    library: list[WidgetType] = field(default_factory=default_library)
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coverage <= 1.0:
+            raise MappingError(f"coverage must be in (0, 1], got {self.coverage}")
+        if self.window is not None and self.window < 2:
+            raise MappingError(f"window must be >= 2, got {self.window}")
+        if not self.library:
+            raise MappingError("widget library must not be empty")

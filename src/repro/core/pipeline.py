@@ -1,0 +1,124 @@
+"""End-to-end pipeline: query log → precision interface (Figure 2a).
+
+    parse → mine interaction graph → map interactions to widgets
+
+Usage::
+
+    from repro import PrecisionInterfaces
+    pi = PrecisionInterfaces()
+    interface = pi.generate_from_sql([
+        "SELECT * FROM t WHERE a = 1",
+        "SELECT * FROM t WHERE a = 2",
+    ])
+    interface.expresses(parse_sql("SELECT * FROM t WHERE a = 1"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interface import Interface
+from repro.core.mapper import MapperStats, map_interactions
+from repro.core.options import PipelineOptions
+from repro.errors import LogError
+from repro.graph.build import BuildStats, build_interaction_graph
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.parser import parse_sql
+
+__all__ = ["PrecisionInterfaces", "PipelineRun"]
+
+
+@dataclass
+class PipelineRun:
+    """Record of one generation run (timings and graph sizes), used by the
+    runtime experiments of Appendix B."""
+
+    n_queries: int = 0
+    n_edges: int = 0
+    n_diffs: int = 0
+    n_pairs_compared: int = 0
+    mining_seconds: float = 0.0
+    mapping_seconds: float = 0.0
+    n_widgets: int = 0
+    interface_cost: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.mining_seconds + self.mapping_seconds
+
+
+class PrecisionInterfaces:
+    """The system facade.
+
+    Args:
+        options: pipeline configuration; defaults match the paper's
+            recommended configuration (window 2, LCA pruning, merging,
+            full widget library, g = 1).
+    """
+
+    def __init__(self, options: PipelineOptions | None = None):
+        self.options = options or PipelineOptions()
+        self.last_run: PipelineRun | None = None
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def generate_from_sql(self, statements: list[str]) -> Interface:
+        """Parse raw SQL strings and generate an interface.
+
+        Raises:
+            LogError: for an empty log.
+            SQLSyntaxError: if any statement fails to parse.
+        """
+        if not statements:
+            raise LogError("cannot generate an interface from an empty log")
+        return self.generate([parse_sql(sql) for sql in statements])
+
+    def generate(self, queries: list[Node]) -> Interface:
+        """Generate an interface from parsed ASTs (log order preserved).
+
+        Raises:
+            LogError: for an empty log.
+        """
+        if not queries:
+            raise LogError("cannot generate an interface from an empty log")
+        options = self.options
+        build_stats = BuildStats()
+        graph = build_interaction_graph(
+            queries,
+            window=options.window,
+            prune=options.lca_pruning,
+            annotations=options.annotations,
+            stats=build_stats,
+        )
+        mapper_stats = MapperStats()
+        widgets = map_interactions(
+            graph.diffs,
+            library=options.library,
+            annotations=options.annotations,
+            merge=options.merge,
+            stats=mapper_stats,
+        )
+        interface = Interface(
+            widgets=widgets,
+            initial_query=queries[0],
+            annotations=options.annotations,
+            metadata={
+                "n_queries": len(queries),
+                "n_edges": graph.n_edges,
+                "n_diffs": graph.n_diffs,
+                "window": options.window,
+                "lca_pruning": options.lca_pruning,
+            },
+        )
+        self.last_run = PipelineRun(
+            n_queries=len(queries),
+            n_edges=graph.n_edges,
+            n_diffs=graph.n_diffs,
+            n_pairs_compared=build_stats.n_pairs_compared,
+            mining_seconds=build_stats.mining_seconds,
+            mapping_seconds=mapper_stats.mapping_seconds,
+            n_widgets=len(widgets),
+            interface_cost=interface.cost,
+        )
+        return interface

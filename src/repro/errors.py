@@ -1,0 +1,68 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from mapping errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised when the SQL lexer or parser rejects an input query.
+
+    Attributes:
+        sql: the offending query text (may be abbreviated).
+        position: character offset of the failure, when known.
+    """
+
+    def __init__(self, message: str, sql: str = "", position: int | None = None):
+        super().__init__(message)
+        self.sql = sql
+        self.position = position
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.position is not None:
+            return f"{base} (at offset {self.position})"
+        return base
+
+
+class GrammarError(ReproError):
+    """Raised when grammar annotations are inconsistent (e.g. a node type
+    registered both as a literal and as a collection)."""
+
+
+class PathError(ReproError):
+    """Raised for malformed AST paths or paths that do not resolve."""
+
+
+class DiffError(ReproError):
+    """Raised when diff extraction is asked to compare incompatible trees."""
+
+
+class WidgetError(ReproError):
+    """Raised when a widget is instantiated with a domain that violates its
+    widget type's rule."""
+
+
+class MappingError(ReproError):
+    """Raised when the interaction mapper cannot produce an interface that
+    satisfies the coverage threshold."""
+
+
+class SchemaError(ReproError):
+    """Raised by the schema catalog for unknown tables/columns or
+    inconsistent registrations."""
+
+
+class LogError(ReproError):
+    """Raised when a query log cannot be read, generated, or partitioned."""
+
+
+class CompileError(ReproError):
+    """Raised when interface compilation to HTML fails."""

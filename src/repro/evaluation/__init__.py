@@ -1,0 +1,33 @@
+"""Evaluation harnesses: recall/generalisability, runtime, reporting."""
+
+from repro.evaluation.recall import (
+    RecallCurve,
+    RecallPoint,
+    cross_client_matrix,
+    multi_client_recall,
+    recall_curve,
+    recall_histogram,
+)
+from repro.evaluation.report import format_series, format_table, sparkline
+from repro.evaluation.runtime import (
+    RuntimeMeasurement,
+    measure_pipeline,
+    scalability_sweep,
+    window_lca_sweep,
+)
+
+__all__ = [
+    "RecallCurve",
+    "RecallPoint",
+    "recall_curve",
+    "multi_client_recall",
+    "cross_client_matrix",
+    "recall_histogram",
+    "RuntimeMeasurement",
+    "measure_pipeline",
+    "window_lca_sweep",
+    "scalability_sweep",
+    "format_table",
+    "format_series",
+    "sparkline",
+]

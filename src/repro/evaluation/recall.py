@@ -1,0 +1,193 @@
+"""Recall (generalisability) harness — Section 7.2.
+
+"For an input log of size n, we split it into hold-out queries and training
+queries.  We run Precision Interfaces over a subset of the training
+queries, and compute the fraction of the hold-outs that the generated
+interface can express.  This is called recall."
+
+The experiments:
+
+* :func:`recall_curve` — single-log recall vs training size, averaged over
+  200-query windows (Figures 6a, 6c);
+* :func:`multi_client_recall` — recall on interleaved heterogeneous logs,
+  training budget counted either in total or per client (Figures 7a, 7b);
+* :func:`cross_client_matrix` — train on client i, evaluate on client j
+  (Figures 7c, 9, 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.options import PipelineOptions
+from repro.core.pipeline import PrecisionInterfaces
+from repro.errors import LogError
+from repro.logs.model import QueryLog
+from repro.sqlparser.astnodes import Node
+
+__all__ = [
+    "RecallPoint",
+    "RecallCurve",
+    "recall_curve",
+    "multi_client_recall",
+    "cross_client_matrix",
+    "recall_histogram",
+]
+
+
+@dataclass(frozen=True)
+class RecallPoint:
+    """Recall measured at one training size."""
+
+    n_training: int
+    recall: float
+
+
+@dataclass
+class RecallCurve:
+    """A labelled recall-vs-training-size series."""
+
+    label: str
+    points: list[RecallPoint] = field(default_factory=list)
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        return [(p.n_training, p.recall) for p in self.points]
+
+    def final_recall(self) -> float:
+        return self.points[-1].recall if self.points else 0.0
+
+    def first_full_recall(self) -> int | None:
+        """Smallest training size reaching recall 1.0, if any."""
+        for point in self.points:
+            if point.recall >= 1.0:
+                return point.n_training
+        return None
+
+
+def _recall_of(
+    training: list[Node],
+    holdout: list[Node],
+    options: PipelineOptions | None,
+) -> float:
+    interface = PrecisionInterfaces(options).generate(training)
+    return interface.expressiveness(holdout)
+
+
+def recall_curve(
+    log: QueryLog,
+    training_sizes: list[int],
+    holdout_size: int = 100,
+    window_size: int = 200,
+    options: PipelineOptions | None = None,
+    label: str | None = None,
+) -> RecallCurve:
+    """Single-log recall vs training size, averaged over windows.
+
+    Mirrors Section 7.2.1: the log is cut into ``window_size``-query
+    windows; in each window the first ``n`` queries train an interface and
+    the last ``holdout_size`` are the hold-out.
+
+    Raises:
+        LogError: when the log is shorter than one window.
+    """
+    windows = log.windows(window_size)
+    if not windows:
+        raise LogError(
+            f"log {log.name} has {len(log)} queries; need >= {window_size}"
+        )
+    parsed_windows = [w.asts() for w in windows]
+    curve = RecallCurve(label=label or log.name)
+    for n_training in training_sizes:
+        if n_training + holdout_size > window_size:
+            raise LogError(
+                f"training {n_training} + holdout {holdout_size} exceeds "
+                f"window {window_size}"
+            )
+        total = 0.0
+        for asts in parsed_windows:
+            training = asts[:n_training]
+            holdout = asts[window_size - holdout_size:]
+            total += _recall_of(training, holdout, options)
+        curve.points.append(
+            RecallPoint(n_training=n_training, recall=total / len(parsed_windows))
+        )
+    return curve
+
+
+def multi_client_recall(
+    client_logs: list[QueryLog],
+    training_sizes: list[int],
+    holdout_size: int = 50,
+    per_client: bool = False,
+    options: PipelineOptions | None = None,
+    label: str | None = None,
+) -> RecallCurve:
+    """Heterogeneous-log recall (Section 7.2.3).
+
+    The client logs are interleaved; the hold-out is the last
+    ``holdout_size`` queries of the interleaved log.  With
+    ``per_client=False`` each training size is the *total* number of
+    training queries (Figure 7a); with ``per_client=True`` it is the count
+    *per client*, so the total is ``n * len(client_logs)`` (Figure 7b).
+    """
+    mixed = QueryLog.interleave(client_logs)
+    asts = mixed.asts()
+    if holdout_size >= len(asts):
+        raise LogError("holdout larger than the interleaved log")
+    holdout = asts[-holdout_size:]
+    available = len(asts) - holdout_size
+    curve = RecallCurve(label=label or f"mixed-{len(client_logs)}")
+    for size in training_sizes:
+        n_training = size * len(client_logs) if per_client else size
+        n_training = min(n_training, available)
+        training = asts[:n_training]
+        curve.points.append(
+            RecallPoint(n_training=size, recall=_recall_of(training, holdout, options))
+        )
+    return curve
+
+
+def cross_client_matrix(
+    client_logs: dict[str, QueryLog],
+    n_queries: int = 100,
+    options: PipelineOptions | None = None,
+) -> dict[str, dict[str, float]]:
+    """Pairwise recall matrix (Appendix A, Figure 9).
+
+    Trains an interface on each client's first ``n_queries`` queries and
+    evaluates it on every *other* client's ``n_queries`` queries.
+
+    Returns:
+        ``matrix[train_client][holdout_client] = recall``.
+    """
+    parsed = {
+        client: log.truncate(n_queries).asts() for client, log in client_logs.items()
+    }
+    interfaces = {
+        client: PrecisionInterfaces(options).generate(asts)
+        for client, asts in parsed.items()
+    }
+    matrix: dict[str, dict[str, float]] = {}
+    for train_client, interface in interfaces.items():
+        row: dict[str, float] = {}
+        for holdout_client, asts in parsed.items():
+            if holdout_client == train_client:
+                continue
+            row[holdout_client] = interface.expressiveness(asts)
+        matrix[train_client] = row
+    return matrix
+
+
+def recall_histogram(
+    matrix: dict[str, dict[str, float]], bins: int = 10
+) -> list[tuple[float, int]]:
+    """Histogram of off-diagonal recalls (Figure 10).
+
+    Returns ``(bin_left_edge, count)`` pairs over [0, 1].
+    """
+    counts = [0] * bins
+    for row in matrix.values():
+        for recall in row.values():
+            index = min(bins - 1, int(recall * bins))
+            counts[index] += 1
+    return [(i / bins, counts[i]) for i in range(bins)]

@@ -1,0 +1,60 @@
+"""Plain-text report formatting for the benchmark harness.
+
+The benches print each figure/table as an aligned ASCII table so the
+series the paper plots can be eyeballed (and diffed) in CI output.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series", "sparkline"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(label: str, xs: list[object], ys: list[float]) -> str:
+    """One labelled series with a sparkline, e.g. for recall curves."""
+    pairs = " ".join(f"{x}:{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{label:<24} {sparkline(ys)}  {pairs}"
+
+
+def sparkline(values: list[float]) -> str:
+    """Unicode sparkline of a series (empty string for no data)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = (high - low) or 1.0
+    return "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, int((v - low) / span * (len(_BLOCKS) - 1)))]
+        for v in values
+    )

@@ -1,0 +1,89 @@
+"""Runtime harness — Section 7.3 and Appendix B.
+
+Measures end-to-end latency (interaction mining time + interface mapping
+time) and interaction-graph size while sweeping:
+
+* sliding-window size × LCA pruning (Figure 11), and
+* total log size at the recommended configuration (Figure 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.options import PipelineOptions
+from repro.core.pipeline import PrecisionInterfaces
+from repro.sqlparser.astnodes import Node
+
+__all__ = ["RuntimeMeasurement", "measure_pipeline", "window_lca_sweep", "scalability_sweep"]
+
+
+@dataclass(frozen=True)
+class RuntimeMeasurement:
+    """One timed pipeline run."""
+
+    n_queries: int
+    window: int | None
+    lca_pruning: bool
+    n_edges: int
+    n_diffs: int
+    mining_seconds: float
+    mapping_seconds: float
+    n_widgets: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.mining_seconds + self.mapping_seconds
+
+
+def measure_pipeline(
+    queries: list[Node],
+    window: int | None = 2,
+    lca_pruning: bool = True,
+) -> RuntimeMeasurement:
+    """Run the pipeline once and report timings and graph sizes."""
+    options = PipelineOptions(window=window, lca_pruning=lca_pruning)
+    system = PrecisionInterfaces(options)
+    system.generate(queries)
+    run = system.last_run
+    assert run is not None  # generate() always records a run
+    return RuntimeMeasurement(
+        n_queries=run.n_queries,
+        window=window,
+        lca_pruning=lca_pruning,
+        n_edges=run.n_edges,
+        n_diffs=run.n_diffs,
+        mining_seconds=run.mining_seconds,
+        mapping_seconds=run.mapping_seconds,
+        n_widgets=run.n_widgets,
+    )
+
+
+def window_lca_sweep(
+    queries: list[Node],
+    windows: list[int],
+    include_full_window: bool = False,
+) -> list[RuntimeMeasurement]:
+    """Figure 11: vary window size, with and without LCA pruning."""
+    out = []
+    sweep: list[int | None] = list(windows)
+    if include_full_window:
+        sweep.append(None)
+    for window in sweep:
+        for lca in (True, False):
+            out.append(measure_pipeline(queries, window=window, lca_pruning=lca))
+    return out
+
+
+def scalability_sweep(
+    logs_by_size: dict[int, list[Node]],
+    window: int = 2,
+    lca_pruning: bool = True,
+) -> list[RuntimeMeasurement]:
+    """Figure 12: vary total log size at the recommended configuration."""
+    out = []
+    for size in sorted(logs_by_size):
+        out.append(
+            measure_pipeline(logs_by_size[size], window=window, lca_pruning=lca_pruning)
+        )
+    return out

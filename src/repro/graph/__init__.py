@@ -1,0 +1,6 @@
+"""Interaction graph: vertices are queries, edges are mined interactions."""
+
+from repro.graph.build import BuildStats, build_interaction_graph
+from repro.graph.interaction import Edge, InteractionGraph
+
+__all__ = ["Edge", "InteractionGraph", "build_interaction_graph", "BuildStats"]

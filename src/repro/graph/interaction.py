@@ -1,0 +1,91 @@
+"""Interaction graph model (Section 4.2).
+
+The interaction graph ``G = (V, E)`` has one vertex per query in the input
+log, and a directed labelled edge ``e = (q_i, q_j, t_k)`` for each pair of
+compared queries, where the label ``t_k`` — an *interaction* — is the set of
+leaf diff records sufficient to transform ``q_i`` into ``q_j``
+(``q_j = t_k(q_i)``).
+
+Alongside the edges, the graph keeps the full logical ``diffs`` table
+(leaf diffs plus ancestor diffs, subject to LCA pruning), which is the input
+``W`` of the interaction mapper's Initialize step (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlparser.astnodes import Node
+from repro.treediff.diff import Diff
+
+__all__ = ["Edge", "InteractionGraph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One labelled edge of the interaction graph.
+
+    Attributes:
+        q1: source query index.
+        q2: target query index.
+        interaction: the leaf diffs whose composition maps q1 to q2.
+    """
+
+    q1: int
+    q2: int
+    interaction: tuple[Diff, ...]
+
+    def __len__(self) -> int:
+        return len(self.interaction)
+
+
+@dataclass
+class InteractionGraph:
+    """Queries, labelled edges, and the diffs table they induce.
+
+    Attributes:
+        queries: the parsed log, indexed by query id.
+        edges: labelled edges between compared query pairs.
+        diffs: all diff records (leaf and ancestor) across all edges; this
+            is the mapper's ``W``.
+    """
+
+    queries: list[Node] = field(default_factory=list)
+    edges: list[Edge] = field(default_factory=list)
+    diffs: list[Diff] = field(default_factory=list)
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.queries)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def n_diffs(self) -> int:
+        return len(self.diffs)
+
+    def out_edges(self, query_index: int) -> list[Edge]:
+        """Edges whose source is ``query_index``."""
+        return [e for e in self.edges if e.q1 == query_index]
+
+    def neighbours(self, query_index: int) -> set[int]:
+        """Vertices adjacent (either direction) to ``query_index``."""
+        out: set[int] = set()
+        for e in self.edges:
+            if e.q1 == query_index:
+                out.add(e.q2)
+            elif e.q2 == query_index:
+                out.add(e.q1)
+        return out
+
+    def summary(self) -> dict[str, int]:
+        """Size statistics used by the runtime experiments (Appendix B)."""
+        return {
+            "vertices": self.n_vertices,
+            "edges": self.n_edges,
+            "diffs": self.n_diffs,
+            "leaf_diffs": sum(1 for d in self.diffs if d.is_leaf),
+            "ancestor_diffs": sum(1 for d in self.diffs if not d.is_leaf),
+        }

@@ -1,0 +1,44 @@
+"""Query log substrate: model, IO, and the three synthetic log generators."""
+
+from repro.logs.adhoc import AdhocLogGenerator
+from repro.logs.io import load_jsonl, load_text, save_jsonl, save_text
+from repro.logs.listings import (
+    LISTING_1,
+    LISTING_2,
+    LISTING_3,
+    LISTING_5_LEFT,
+    LISTING_5_RIGHT,
+    LISTING_6,
+    LISTING_7,
+    listing_4_log,
+    listing_5_large,
+    listing_5_small,
+)
+from repro.logs.model import LogEntry, QueryLog
+from repro.logs.olap import OLAP_AGGREGATES, OLAP_DIMENSIONS, OLAPLogGenerator
+from repro.logs.sdss import PROFILE_NAMES, SDSSLogGenerator
+
+__all__ = [
+    "LogEntry",
+    "QueryLog",
+    "save_text",
+    "load_text",
+    "save_jsonl",
+    "load_jsonl",
+    "SDSSLogGenerator",
+    "PROFILE_NAMES",
+    "OLAPLogGenerator",
+    "OLAP_DIMENSIONS",
+    "OLAP_AGGREGATES",
+    "AdhocLogGenerator",
+    "LISTING_1",
+    "LISTING_2",
+    "LISTING_3",
+    "LISTING_5_LEFT",
+    "LISTING_5_RIGHT",
+    "LISTING_6",
+    "LISTING_7",
+    "listing_4_log",
+    "listing_5_small",
+    "listing_5_large",
+]

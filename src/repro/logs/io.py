@@ -1,0 +1,92 @@
+"""Query log serialisation.
+
+Two formats:
+
+* plain text — one statement per line (comments with ``--``), the format
+  the paper's IOT-startup use case describes ("a text file containing past
+  customer queries");
+* JSON lines — one ``{"sql", "client", "sequence", "timestamp"}`` object
+  per line, preserving metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path as FilePath
+
+from repro.errors import LogError
+from repro.logs.model import LogEntry, QueryLog
+
+__all__ = ["save_text", "load_text", "save_jsonl", "load_jsonl"]
+
+
+def save_text(log: QueryLog, path: str | FilePath) -> None:
+    """Write one statement per line."""
+    lines = [entry.sql.replace("\n", " ").strip() for entry in log.entries]
+    FilePath(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_text(path: str | FilePath, client: str = "c0", name: str | None = None) -> QueryLog:
+    """Read a one-statement-per-line file, skipping blanks and ``--`` lines.
+
+    Raises:
+        LogError: when the file holds no statements.
+    """
+    file_path = FilePath(path)
+    statements = []
+    for line in file_path.read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("--"):
+            statements.append(stripped)
+    if not statements:
+        raise LogError(f"no statements found in {file_path}")
+    return QueryLog.from_statements(
+        statements, client=client, name=name or file_path.stem
+    )
+
+
+def save_jsonl(log: QueryLog, path: str | FilePath) -> None:
+    """Write entries as JSON lines with full metadata."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for entry in log.entries:
+            handle.write(
+                json.dumps(
+                    {
+                        "sql": entry.sql,
+                        "client": entry.client,
+                        "sequence": entry.sequence,
+                        "timestamp": entry.timestamp,
+                    }
+                )
+                + "\n"
+            )
+
+
+def load_jsonl(path: str | FilePath, name: str | None = None) -> QueryLog:
+    """Read a JSON-lines log.
+
+    Raises:
+        LogError: on malformed rows or an empty file.
+    """
+    file_path = FilePath(path)
+    entries: list[LogEntry] = []
+    for line_number, line in enumerate(
+        file_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+            entries.append(
+                LogEntry(
+                    sql=row["sql"],
+                    client=row.get("client", "c0"),
+                    sequence=int(row.get("sequence", line_number - 1)),
+                    timestamp=float(row.get("timestamp", line_number - 1)),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise LogError(f"bad log row at {file_path}:{line_number}") from exc
+    if not entries:
+        raise LogError(f"no entries found in {file_path}")
+    return QueryLog(entries=entries, name=name or file_path.stem)

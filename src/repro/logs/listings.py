@@ -1,0 +1,125 @@
+"""The paper's in-text example query logs (Listings 1–7).
+
+These tiny logs drive the interface-mapping trade-off showcases of
+Section 7.1 / Figure 5 and are used verbatim by tests and benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.logs.model import QueryLog
+
+__all__ = [
+    "LISTING_1",
+    "LISTING_2",
+    "LISTING_3",
+    "LISTING_5_LEFT",
+    "LISTING_5_RIGHT",
+    "LISTING_6",
+    "LISTING_7",
+    "listing_4_log",
+    "listing_5_small",
+    "listing_5_large",
+]
+
+#: Listing 1 — sample of SDSS queries from one client.
+LISTING_1 = [
+    "SELECT * FROM SpecLineIndex WHERE specObjId = 0x400",
+    "SELECT * FROM XCRedshift WHERE specObjId = 0x199",
+    "SELECT * FROM SpecLineIndex WHERE specObjId = 0x3",
+]
+
+#: Listing 2 — synthetic OLAP queries.
+LISTING_2 = [
+    "SELECT COUNT(Delay), DestState FROM ontime "
+    "WHERE Month = 9 AND Day = 3 GROUP BY DestState",
+    "SELECT DestState FROM ontime WHERE Month = 9 AND Day = 3 GROUP BY DestState",
+    "SELECT DestState FROM ontime WHERE Month = 8 AND Day = 3 GROUP BY DestState",
+]
+
+#: Listing 3 — sample of ad-hoc student queries.
+LISTING_3 = [
+    "SELECT CAST(uniquecarrier) AS uniquecarrier FROM ontime",
+    "SELECT SUM(flights) FROM ontime WHERE canceled = 1 "
+    "HAVING SUM(flights) > 149 AND SUM(flights) < 1354",
+    "SELECT (CASE carrier WHEN 'AA' THEN 'AA' ELSE 'Other' END) AS carrier, "
+    "FLOOR(distance / 5) AS distance FROM ontime",
+]
+
+#: Listing 5 (left) — three queries varying a function call.
+LISTING_5_LEFT = [
+    "SELECT avg(a)",
+    "SELECT count(b)",
+    "SELECT count(c)",
+]
+
+#: Listing 5 (right) — the ten additional queries.
+LISTING_5_RIGHT = [
+    "SELECT avg(b)",
+    "SELECT count(a)",
+    "SELECT avg(c)",
+    "SELECT avg(d)",
+    "SELECT avg(e)",
+    "SELECT count(d)",
+    "SELECT count(e)",
+    "SELECT count(b)",
+    "SELECT count(c)",
+    "SELECT avg(a)",
+]
+
+#: Listing 6 — TOP clause added, then modified.
+LISTING_6 = [
+    "SELECT g.objID FROM Galaxy AS g, "
+    "dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID",
+    "SELECT TOP 1 g.objID FROM Galaxy AS g, "
+    "dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID",
+    "SELECT TOP 10 g.objID FROM Galaxy AS g, "
+    "dbo.fGetNearbyObjEq(5.848, 0.352, 2.0616) AS d WHERE d.objID = g.objID",
+]
+
+#: Listing 7 — subquery added to FROM, then modified.
+LISTING_7 = [
+    "SELECT * FROM T",
+    "SELECT * FROM (SELECT a FROM T WHERE b > 10)",
+    "SELECT * FROM (SELECT a FROM T WHERE b > 20)",
+    "SELECT * FROM (SELECT b FROM T WHERE b > 20)",
+]
+
+_LISTING_4_TEMPLATE = (
+    "SELECT spec_ts, sum(price) FROM ("
+    "SELECT action, sum(customer) FROM t "
+    "WHERE spec_ts > now AND spec_ts < now + {offset}) "
+    "WHERE cust = '{customer}' AND country = 'China' GROUP BY spec_ts"
+)
+
+_CUSTOMERS = ["Alice", "Bob", "Carol", "Dave"]
+
+
+def listing_4_log(n: int = 20, seed: int = 4) -> QueryLog:
+    """Simple parameter changes to a complex query (Listing 4): the literal
+    offset in the subquery predicate and the customer name vary."""
+    rng = random.Random(seed)
+    statements = [
+        _LISTING_4_TEMPLATE.format(offset=3, customer="Alice"),
+        _LISTING_4_TEMPLATE.format(offset=9, customer="Bob"),
+    ]
+    while len(statements) < n:
+        statements.append(
+            _LISTING_4_TEMPLATE.format(
+                offset=rng.randrange(1, 10), customer=rng.choice(_CUSTOMERS)
+            )
+        )
+    return QueryLog.from_statements(statements[:n], name="listing4")
+
+
+def listing_5_small() -> QueryLog:
+    """The three-query log behind Figure 5b."""
+    return QueryLog.from_statements(list(LISTING_5_LEFT), name="listing5-small")
+
+
+def listing_5_large() -> QueryLog:
+    """The thirteen-query log behind Figure 5c."""
+    return QueryLog.from_statements(
+        list(LISTING_5_LEFT) + list(LISTING_5_RIGHT), name="listing5-large"
+    )

@@ -1,0 +1,154 @@
+"""Query log model.
+
+A :class:`QueryLog` is an ordered list of :class:`LogEntry` records — query
+text plus the metadata real DBMS logs carry (client id, sequence number,
+timestamp).  The SDSS experiments partition the log by client ("we
+partition the queries by client, and assume each client represents one
+analysis session"), interleave clients for the heterogeneous-log
+experiments, and slice windows for the recall experiments; this module
+provides those operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import LogError
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.parser import parse_sql
+
+__all__ = ["LogEntry", "QueryLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged query.
+
+    Attributes:
+        sql: the raw statement text.
+        client: client identifier (the SDSS log uses client IPs).
+        sequence: position within the client's session.
+        timestamp: seconds since session start (synthetic logs use uniform
+            spacing).
+    """
+
+    sql: str
+    client: str = "c0"
+    sequence: int = 0
+    timestamp: float = 0.0
+
+
+@dataclass
+class QueryLog:
+    """An ordered query log with client metadata."""
+
+    entries: list[LogEntry] = field(default_factory=list)
+    name: str = "log"
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_statements(
+        cls, statements: list[str], client: str = "c0", name: str = "log"
+    ) -> "QueryLog":
+        """Wrap raw SQL strings as a single-client log."""
+        entries = [
+            LogEntry(sql=sql, client=client, sequence=i, timestamp=float(i))
+            for i, sql in enumerate(statements)
+        ]
+        return cls(entries=entries, name=name)
+
+    # ------------------------------------------------------------------
+    # basic access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self.entries)
+
+    def statements(self) -> list[str]:
+        """The raw SQL strings, in order."""
+        return [entry.sql for entry in self.entries]
+
+    def asts(self) -> list[Node]:
+        """Parse every entry (raises SQLSyntaxError on a bad statement)."""
+        return [parse_sql(entry.sql) for entry in self.entries]
+
+    @property
+    def clients(self) -> list[str]:
+        """Distinct client ids in first-appearance order."""
+        seen: dict[str, None] = {}
+        for entry in self.entries:
+            seen.setdefault(entry.client, None)
+        return list(seen)
+
+    # ------------------------------------------------------------------
+    # slicing / recomposition
+    # ------------------------------------------------------------------
+    def by_client(self) -> dict[str, "QueryLog"]:
+        """Partition into per-client logs (the SDSS per-client sessions)."""
+        buckets: dict[str, list[LogEntry]] = {}
+        for entry in self.entries:
+            buckets.setdefault(entry.client, []).append(entry)
+        return {
+            client: QueryLog(entries=rows, name=f"{self.name}/{client}")
+            for client, rows in buckets.items()
+        }
+
+    def truncate(self, n: int) -> "QueryLog":
+        """The first ``n`` entries."""
+        return QueryLog(entries=self.entries[:n], name=self.name)
+
+    def slice(self, start: int, stop: int) -> "QueryLog":
+        """Entries in ``[start, stop)``."""
+        return QueryLog(entries=self.entries[start:stop], name=self.name)
+
+    def windows(self, size: int) -> list["QueryLog"]:
+        """Consecutive non-overlapping windows of ``size`` entries; a final
+        partial window is dropped (matching the 200-query windows of
+        Section 7.2.1).
+
+        Raises:
+            LogError: for a non-positive size.
+        """
+        if size <= 0:
+            raise LogError(f"window size must be positive, got {size}")
+        out = []
+        for start in range(0, len(self.entries) - size + 1, size):
+            out.append(self.slice(start, start + size))
+        return out
+
+    @staticmethod
+    def interleave(
+        logs: list["QueryLog"], name: str = "interleaved", chunk: int = 8
+    ) -> "QueryLog":
+        """Interleave several logs at ``chunk`` granularity (the
+        multi-client heterogeneous logs of Section 7.2.3).
+
+        Real DBMS logs interleave clients at *burst* granularity — a client
+        issues a run of queries, then another client takes over — so the
+        default mixes runs of 8 queries.  ``chunk=1`` gives strict
+        round-robin, where every adjacent pair crosses clients.
+
+        Raises:
+            LogError: when no logs are given or chunk is not positive.
+        """
+        if not logs:
+            raise LogError("nothing to interleave")
+        if chunk <= 0:
+            raise LogError(f"chunk must be positive, got {chunk}")
+        entries: list[LogEntry] = []
+        longest = max(len(log) for log in logs)
+        for start in range(0, longest, chunk):
+            for log in logs:
+                entries.extend(log.entries[start:start + chunk])
+        renumbered = [
+            LogEntry(
+                sql=e.sql, client=e.client, sequence=i, timestamp=float(i)
+            )
+            for i, e in enumerate(entries)
+        ]
+        return QueryLog(entries=renumbered, name=name)

@@ -1,0 +1,344 @@
+"""Synthetic SDSS SkyServer query log generator.
+
+The paper's SDSS sample (127,461 queries, 286 clients, 11/2004) is not
+redistributable offline, so this generator synthesises per-client sessions
+with the *structural change statistics* the paper reports and relies on:
+
+* "the queries for each user are considerably different, but the changes
+  between a given user's queries are very similar and highly structured"
+  (Listing 1) — each client follows one analysis *profile*: a query
+  template plus a random walk that mutates one aspect per step (literal
+  values most often, table/attribute/structure switches occasionally);
+* client C1 looks up objects by id across spectral-line / redshift tables
+  (Listing 1 verbatim shape);
+* one "C5-like" profile draws string literals from a large pool revealed
+  slowly, reproducing the one slow recall curve of Figure 6a;
+* the TOP-clause add/modify analysis of Listing 6 appears as a profile;
+* several clients share a profile, so cross-client recall (Figure 7c/9/10)
+  is bimodal: same profile → expressible, different profile → not.
+
+All queries are consistent with :data:`repro.schema.catalog.SDSS_CATALOG`
+per profile; mixing *different* profiles (the multi-client experiment)
+produces the schema-invalid widget combinations Appendix D measures.
+
+Numeric literals per profile live in fixed ranges, and each session opens
+with the profile's documentation example queries — which touch the range
+endpoints, the way SkyServer users start from the manual's samples.  This
+gives sliders their full extrapolation range within a few training queries.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.errors import LogError
+from repro.logs.model import LogEntry, QueryLog
+
+__all__ = ["SDSSLogGenerator", "PROFILE_NAMES"]
+
+
+# ----------------------------------------------------------------------
+# profile implementations
+# ----------------------------------------------------------------------
+def _hex_id(rng: random.Random, low: int = 0x10, high: int = 0x4FF0) -> str:
+    return hex(rng.randrange(low, high))
+
+
+def _profile_object_lookup(rng: random.Random, n: int) -> list[str]:
+    """Listing 1: object lookups across spectral tables (client C1)."""
+    tables = ["SpecLineIndex", "XCRedshift"]
+    fields = ["specObjId"]
+    state = {"table": tables[0], "field": fields[0], "value": "0x10"}
+    out = [
+        # manual examples: one aspect changes at a time, covering the id
+        # range endpoints and both tables
+        "SELECT * FROM SpecLineIndex WHERE specObjId = 0x10",
+        "SELECT * FROM SpecLineIndex WHERE specObjId = 0x4fef",
+        "SELECT * FROM XCRedshift WHERE specObjId = 0x4fef",
+    ]
+    while len(out) < n:
+        roll = rng.random()
+        if roll < 0.72:
+            state["value"] = _hex_id(rng)
+        elif roll < 0.95:
+            state["table"] = rng.choice(tables)
+        else:
+            state["field"] = rng.choice(fields)
+        out.append(
+            f"SELECT * FROM {state['table']} WHERE {state['field']} = {state['value']}"
+        )
+    return out[:n]
+
+
+def _profile_top_nearby(rng: random.Random, n: int) -> list[str]:
+    """Listing 6: add a TOP clause to a UDF join, then tune the limit and
+    the search coordinates."""
+    state = {"top": None, "ra": 5.848, "dec": 0.352, "radius": 2.0616}
+    out = []
+
+    def render() -> str:
+        top = f"TOP {state['top']} " if state["top"] is not None else ""
+        return (
+            f"SELECT {top}g.objID FROM Galaxy AS g, "
+            f"dbo.fGetNearbyObjEq({state['ra']}, {state['dec']}, {state['radius']}) AS d "
+            f"WHERE d.objID = g.objID"
+        )
+
+    # manual examples: one knob per step, covering every numeric endpoint
+    out.append(render())
+    for key, value in (
+        ("top", 1), ("top", 500), ("ra", 0.0), ("ra", 359.9),
+        ("dec", -10.0), ("dec", 10.0), ("radius", 0.5), ("radius", 30.0),
+    ):
+        state[key] = value
+        out.append(render())
+    while len(out) < n:
+        roll = rng.random()
+        if roll < 0.30:
+            state["top"] = None if state["top"] is not None and rng.random() < 0.3 \
+                else rng.randrange(1, 500)
+        elif roll < 0.55:
+            state["ra"] = round(rng.uniform(0.0, 359.9), 3)
+        elif roll < 0.80:
+            state["dec"] = round(rng.uniform(-10.0, 10.0), 3)
+        else:
+            state["radius"] = round(rng.uniform(0.5, 30.0), 3)
+        out.append(render())
+    return out[:n]
+
+
+def _profile_rect_photometry(rng: random.Random, n: int) -> list[str]:
+    """Rectangular area search over PhotoObj (BETWEEN bounds walk)."""
+    state = {"ra_lo": 0.0, "ra_hi": 360.0, "dec_lo": -5.0, "dec_hi": 5.0}
+    out = []
+
+    def render() -> str:
+        return (
+            "SELECT objID, ra, dec FROM PhotoObj "
+            f"WHERE ra BETWEEN {state['ra_lo']} AND {state['ra_hi']} "
+            f"AND dec BETWEEN {state['dec_lo']} AND {state['dec_hi']}"
+        )
+
+    out.append(render())
+    while len(out) < n:
+        roll = rng.random()
+        if roll < 0.5:
+            lo = round(rng.uniform(0.0, 300.0), 2)
+            state["ra_lo"], state["ra_hi"] = lo, round(lo + rng.uniform(1, 60), 2)
+        else:
+            lo = round(rng.uniform(-5.0, 4.0), 2)
+            state["dec_lo"], state["dec_hi"] = lo, round(lo + rng.uniform(0.1, 1.0), 2)
+        out.append(render())
+    return out[:n]
+
+
+def _profile_color_cut(rng: random.Random, n: int) -> list[str]:
+    """Colour-cut selection over Star with a TOP limit."""
+    state = {"top": 10, "ug": 0.0, "gr": 0.0}
+    out = []
+
+    def render() -> str:
+        return (
+            f"SELECT TOP {state['top']} objID, u, g, r FROM Star "
+            f"WHERE u - g > {state['ug']} AND g - r < {state['gr']}"
+        )
+
+    # manual examples: one knob per step, covering every endpoint
+    out.append(render())
+    for key, value in (("top", 1000), ("ug", 2.5), ("gr", 1.5)):
+        state[key] = value
+        out.append(render())
+    while len(out) < n:
+        roll = rng.random()
+        if roll < 0.34:
+            state["top"] = rng.choice([10, 50, 100, 500, 1000])
+        elif roll < 0.67:
+            state["ug"] = round(rng.uniform(0.0, 2.5), 2)
+        else:
+            state["gr"] = round(rng.uniform(0.0, 1.5), 2)
+        out.append(render())
+    return out[:n]
+
+
+#: Pool of 38 object class names for the slow-literal profile (C5).
+_CLASS_POOL = [f"CLASS_{index:02d}" for index in range(38)]
+
+
+def _profile_slow_pool(rng: random.Random, n: int) -> list[str]:
+    """C5-like: the changed literal is a string from a large pool that the
+    session reveals gradually — the user scans the class catalogue mostly
+    in order with occasional revisits.  Recall climbs slowly with training
+    size (unseen classes are inexpressible by the mined drop-down) until
+    the revealed domain is large enough that the mapper switches to a
+    textbox, which expresses everything (the Figure 6a C5 curve)."""
+    order = list(_CLASS_POOL)
+    rng.shuffle(order)
+    cursor = 0
+    state = {"type": order[0], "flags": 0}
+    out = []
+
+    def render() -> str:
+        return (
+            "SELECT objID, ra, dec FROM PhotoObj "
+            f"WHERE type = '{state['type']}' AND flags = {state['flags']}"
+        )
+
+    out.append(render())
+    while len(out) < n:
+        roll = rng.random()
+        if roll < 0.7:
+            cursor = min(cursor + 1, len(order) - 1)
+            state["type"] = order[cursor] if cursor < len(order) else rng.choice(order)
+            if cursor == len(order) - 1:
+                state["type"] = rng.choice(order)
+        elif roll < 0.9:
+            state["type"] = rng.choice(order[: cursor + 1])  # revisit
+        else:
+            state["flags"] = rng.randrange(0, 64)
+        out.append(render())
+    return out[:n]
+
+
+def _profile_redshift_range(rng: random.Random, n: int) -> list[str]:
+    """Red-shift band selection over SpecObj."""
+    state = {"z_lo": 0.0, "z_hi": 7.0}
+    out = []
+
+    def render() -> str:
+        return (
+            "SELECT specObjId, z FROM SpecObj "
+            f"WHERE z > {state['z_lo']} AND z < {state['z_hi']}"
+        )
+
+    # manual examples: one bound per step, covering each walk endpoint
+    out.append(render())
+    for key, value in (("z_lo", 3.0), ("z_lo", 0.0), ("z_hi", 3.0), ("z_hi", 7.0)):
+        state[key] = value
+        out.append(render())
+    while len(out) < n:
+        if rng.random() < 0.5:
+            state["z_lo"] = round(rng.uniform(0.0, 3.0), 3)
+        else:
+            state["z_hi"] = round(rng.uniform(3.0, 7.0), 3)
+        out.append(render())
+    return out[:n]
+
+
+def _profile_spectro_lines(rng: random.Random, n: int) -> list[str]:
+    """Spectral-line retrieval by object id with an optional TOP."""
+    state = {"id": "0x10", "top": None}
+    out = [
+        "SELECT wave, height FROM SpecLine WHERE specObjId = 0x10 ORDER BY wave",
+        "SELECT wave, height FROM SpecLine WHERE specObjId = 0x4fef ORDER BY wave",
+    ]
+    while len(out) < n:
+        roll = rng.random()
+        if roll < 0.75:
+            state["id"] = _hex_id(rng)
+        else:
+            state["top"] = rng.choice([None, 5, 10, 50])
+        top = f"TOP {state['top']} " if state["top"] is not None else ""
+        out.append(
+            f"SELECT {top}wave, height FROM SpecLine "
+            f"WHERE specObjId = {state['id']} ORDER BY wave"
+        )
+    return out[:n]
+
+
+def _profile_neighbours(rng: random.Random, n: int) -> list[str]:
+    """Neighbourhood search by object id and distance threshold."""
+    state = {"id": "0x10", "distance": 30.0}
+    out = [
+        "SELECT neighborObjID, distance FROM Neighbors "
+        "WHERE objID = 0x10 AND distance < 0.05",
+        "SELECT neighborObjID, distance FROM Neighbors "
+        "WHERE objID = 0x4fef AND distance < 30.0",
+    ]
+    while len(out) < n:
+        if rng.random() < 0.7:
+            state["id"] = _hex_id(rng)
+        else:
+            state["distance"] = round(rng.uniform(0.05, 30.0), 3)
+        out.append(
+            "SELECT neighborObjID, distance FROM Neighbors "
+            f"WHERE objID = {state['id']} AND distance < {state['distance']}"
+        )
+    return out[:n]
+
+
+_PROFILES: dict[str, Callable[[random.Random, int], list[str]]] = {
+    "object_lookup": _profile_object_lookup,
+    "top_nearby": _profile_top_nearby,
+    "rect_photometry": _profile_rect_photometry,
+    "color_cut": _profile_color_cut,
+    "slow_pool": _profile_slow_pool,
+    "redshift_range": _profile_redshift_range,
+    "spectro_lines": _profile_spectro_lines,
+    "neighbours": _profile_neighbours,
+}
+
+PROFILE_NAMES = tuple(_PROFILES)
+
+
+class SDSSLogGenerator:
+    """Deterministic synthetic SDSS log factory.
+
+    Args:
+        seed: base RNG seed; client ``k`` uses ``seed + k`` so individual
+            client logs are reproducible in isolation.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+
+    def client_log(
+        self, client: str = "C1", profile: str = "object_lookup", n: int = 200
+    ) -> QueryLog:
+        """Generate one client's session.
+
+        Raises:
+            LogError: for an unknown profile or non-positive length.
+        """
+        if profile not in _PROFILES:
+            raise LogError(f"unknown SDSS profile {profile!r}; "
+                           f"choose from {sorted(_PROFILES)}")
+        if n <= 0:
+            raise LogError(f"log length must be positive, got {n}")
+        rng = random.Random(f"{self._seed}/{client}/{profile}")
+        statements = _PROFILES[profile](rng, n)
+        entries = [
+            LogEntry(sql=sql, client=client, sequence=i, timestamp=float(i))
+            for i, sql in enumerate(statements)
+        ]
+        return QueryLog(entries=entries, name=f"sdss/{client}")
+
+    def clients(
+        self, n_clients: int, n_queries: int = 200, profiles: list[str] | None = None
+    ) -> dict[str, QueryLog]:
+        """Generate several clients, cycling through profiles so that some
+        clients share an analysis (needed for the bimodal cross-client
+        recall of Figure 7c)."""
+        chosen = profiles or list(PROFILE_NAMES)
+        out: dict[str, QueryLog] = {}
+        for index in range(n_clients):
+            client = f"C{index + 1}"
+            profile = chosen[index % len(chosen)]
+            out[client] = self.client_log(client=client, profile=profile, n=n_queries)
+        return out
+
+    def interleaved(
+        self, n_clients: int, n_queries: int = 200, profiles: list[str] | None = None
+    ) -> QueryLog:
+        """Round-robin interleaving of several clients (Section 7.2.3's
+        heterogeneous logs)."""
+        logs = list(self.clients(n_clients, n_queries, profiles).values())
+        return QueryLog.interleave(logs, name=f"sdss/mixed{n_clients}")
+
+    def full_log(self, n_queries: int, n_clients: int = 24) -> QueryLog:
+        """A large interleaved log for the scalability experiment
+        (Figure 12): ``n_queries`` total across ``n_clients`` clients."""
+        per_client = max(1, -(-n_queries // n_clients))  # ceiling division
+        logs = list(self.clients(n_clients, per_client).values())
+        mixed = QueryLog.interleave(logs, name="sdss/full")
+        return mixed.truncate(n_queries)

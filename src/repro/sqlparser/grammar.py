@@ -1,0 +1,163 @@
+"""Grammar annotations.
+
+Section 4.1 of the paper assumes two pieces of per-language metadata on top
+of the raw grammar:
+
+1. a mapping from *terminal node types* to primitive data types (``StrExpr``
+   is a string literal, ``NumExpr`` an integer/float, ...), because widgets
+   such as sliders are typed; and
+2. the set of node types that represent *collections* of sub-expressions
+   (``Project`` is a list of ``ProjClause`` nodes), because widgets such as
+   checkbox lists model collections.
+
+This module holds those annotations for our SQL dialects.  The annotations
+are a plain data object so a different language (SPARQL, a pandas-call AST,
+...) could register its own without touching the mining code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GrammarError
+from repro.sqlparser.astnodes import Node
+
+__all__ = [
+    "ValueKind",
+    "GrammarAnnotations",
+    "SQL_ANNOTATIONS",
+    "subtree_kind",
+]
+
+#: The three value kinds the paper's widget rules distinguish (Section 4.3):
+#: numbers cast to strings, and anything casts to a tree.
+ValueKind = str  # one of "num", "str", "tree"
+
+NUM = "num"
+STR = "str"
+TREE = "tree"
+
+
+@dataclass(frozen=True)
+class GrammarAnnotations:
+    """Per-language grammar metadata.
+
+    Attributes:
+        literal_types: node type -> primitive kind ("num" or "str") for
+            terminal node types whose *value attribute* carries the literal.
+        value_attributes: node type -> name of the attribute holding the
+            literal value (defaults to ``"value"``).
+        collection_types: node types whose children form an ordered
+            collection of homogeneous sub-expressions.
+        statement_types: node types that are complete, executable statements.
+    """
+
+    literal_types: dict[str, ValueKind] = field(default_factory=dict)
+    value_attributes: dict[str, str] = field(default_factory=dict)
+    collection_types: frozenset[str] = frozenset()
+    statement_types: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        overlap = set(self.literal_types) & set(self.collection_types)
+        if overlap:
+            raise GrammarError(
+                f"node types registered as both literal and collection: {overlap}"
+            )
+        for node_type, kind in self.literal_types.items():
+            if kind not in (NUM, STR):
+                raise GrammarError(
+                    f"literal type for {node_type} must be 'num' or 'str', got {kind!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def kind_of(self, node: Node) -> ValueKind:
+        """Classify a subtree as ``"num"``, ``"str"`` or ``"tree"``.
+
+        A subtree is a literal only when its *root* is a literal node type
+        and it has no children (a bare terminal).
+        """
+        if not node.children:
+            kind = self.literal_types.get(node.node_type)
+            if kind is not None:
+                return kind
+        return TREE
+
+    def is_literal(self, node: Node) -> bool:
+        return self.kind_of(node) != TREE
+
+    def is_collection(self, node_type: str) -> bool:
+        return node_type in self.collection_types
+
+    def is_statement(self, node_type: str) -> bool:
+        return node_type in self.statement_types
+
+    def literal_value(self, node: Node) -> object:
+        """Extract the literal value carried by a terminal node.
+
+        Raises:
+            GrammarError: when the node type is not a registered literal.
+        """
+        if node.node_type not in self.literal_types:
+            raise GrammarError(f"{node.node_type} is not a literal node type")
+        attr = self.value_attributes.get(node.node_type, "value")
+        if attr not in node.attributes:
+            raise GrammarError(
+                f"literal node {node.node_type} lacks value attribute {attr!r}"
+            )
+        return node.attributes[attr]
+
+    def numeric_value(self, node: Node) -> float:
+        """Extract a numeric literal's value as a float.
+
+        Raises:
+            GrammarError: when the node is not a numeric literal.
+        """
+        if self.kind_of(node) != NUM:
+            raise GrammarError(f"{node.label()} is not a numeric literal")
+        value = self.literal_value(node)
+        if isinstance(value, (int, float)):
+            return float(value)
+        return float(str(value))
+
+
+#: Annotations for the SQL dialect produced by :mod:`repro.sqlparser.parser`.
+SQL_ANNOTATIONS = GrammarAnnotations(
+    literal_types={
+        # numeric terminals
+        "NumExpr": NUM,
+        "HexExpr": NUM,
+        # string-ish terminals.  Following Table 1 in the paper, a column
+        # reference change (ColExpr(sales) -> ColExpr(costs)) is typed "str".
+        "StrExpr": STR,
+        "ColExpr": STR,
+        "FuncName": STR,
+        "TableRef": STR,
+        "AliasName": STR,
+        "TypeName": STR,
+        "BoolExpr": STR,
+        "SortDir": STR,
+    },
+    value_attributes={
+        "NumExpr": "value",
+        "HexExpr": "value",
+        "StrExpr": "value",
+        "ColExpr": "name",
+        "FuncName": "name",
+        "TableRef": "name",
+        "AliasName": "name",
+        "TypeName": "name",
+        "BoolExpr": "value",
+        "SortDir": "value",
+    },
+    collection_types=frozenset(
+        {"Project", "From", "GroupBy", "OrderBy", "AndExpr", "OrExpr", "InList"}
+    ),
+    statement_types=frozenset({"SelectStmt", "SetOpStmt"}),
+)
+
+
+def subtree_kind(node: Node) -> ValueKind:
+    """Convenience wrapper over the default SQL annotations."""
+    return SQL_ANNOTATIONS.kind_of(node)

@@ -1,0 +1,604 @@
+"""Recursive-descent SQL parser.
+
+Produces the AST node vocabulary documented in :mod:`repro.sqlparser.grammar`.
+The dialect is a pragmatic union of the constructs found in the paper's
+three query logs:
+
+* SDSS SkyServer (T-SQL flavoured): ``SELECT TOP n``, hex literals,
+  schema-qualified UDF table functions (``dbo.fGetNearbyObjEq(...)``),
+  multi-table FROM with aliases;
+* synthetic OLAP queries: aggregates, ``GROUP BY``, conjunctive filters;
+* Tableau-style ad-hoc queries: ``CASE WHEN``, ``CAST``, arithmetic,
+  ``HAVING`` without ``GROUP BY``, ``FLOOR(distance/5)``.
+
+Conjunctions and disjunctions are *flattened*: ``a AND b AND c`` parses to a
+single ``AndExpr`` collection node with three children.  This matches the
+paper's treatment of clause bodies as collections and makes add/remove
+predicate transformations show up as clean insert/delete diffs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.tokens import Token, TokenKind, tokenize
+
+__all__ = ["Parser", "parse_sql", "parse_many"]
+
+# Comparison operators that become BiExpr nodes.
+_COMPARISON_OPS = {"=", "<>", "!=", "<", ">", "<=", ">="}
+_ADDITIVE_OPS = {"+", "-", "||"}
+_MULTIPLICATIVE_OPS = {"*", "/", "%"}
+_JOIN_KEYWORDS = ("JOIN", "INNER", "LEFT", "RIGHT", "FULL", "CROSS")
+
+
+def _num_node(text: str) -> Node:
+    """Build a NumExpr from numeric literal text, normalising the value."""
+    if any(ch in text for ch in ".eE"):
+        value: object = float(text)
+    else:
+        value = int(text)
+    return Node("NumExpr", {"value": value})
+
+
+def _hex_node(text: str) -> Node:
+    return Node("HexExpr", {"value": int(text, 16), "text": text.lower()})
+
+
+class Parser:
+    """One-shot parser over a token list.
+
+    Use :func:`parse_sql` for the common case::
+
+        ast = parse_sql("SELECT a FROM t WHERE b > 10")
+    """
+
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token-stream helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, *words: str) -> Token | None:
+        if self._peek().is_keyword(*words):
+            return self._advance()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise SQLSyntaxError(
+                f"expected {word}, found {token.value!r}", self._sql, token.position
+            )
+        return self._advance()
+
+    def _accept(self, kind: TokenKind, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind is kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            found = self._peek()
+            want = value if value is not None else kind.name
+            raise SQLSyntaxError(
+                f"expected {want}, found {found.value!r}", self._sql, found.position
+            )
+        return token
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Node:
+        """Parse a full statement (SELECT, possibly a UNION chain)."""
+        stmt = self._parse_set_expression()
+        self._accept(TokenKind.SEMICOLON)
+        trailing = self._peek()
+        if trailing.kind is not TokenKind.EOF:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {trailing.value!r}",
+                self._sql,
+                trailing.position,
+            )
+        return stmt
+
+    def _parse_set_expression(self) -> Node:
+        left = self._parse_select()
+        while True:
+            if self._accept_keyword("UNION"):
+                op = "UNION ALL" if self._accept_keyword("ALL") else "UNION"
+            elif self._accept_keyword("EXCEPT"):
+                op = "EXCEPT"
+            elif self._accept_keyword("INTERSECT"):
+                op = "INTERSECT"
+            else:
+                return left
+            right = self._parse_select()
+            left = Node("SetOpStmt", {"op": op}, [left, right])
+
+    # ------------------------------------------------------------------
+    # SELECT statement
+    # ------------------------------------------------------------------
+    def _parse_select(self) -> Node:
+        """Parse one SELECT core with its clauses.
+
+        Children are the *present* clauses in canonical order:
+        ``Project, From?, Where?, GroupBy?, Having?, OrderBy?, Limit?,
+        Top?, Distinct?``.
+
+        The optional row-limit and distinct markers come *last* so that
+        toggling them (the Listing 6 "add a TOP clause" analysis) does not
+        shift the paths of the other clauses — path stability is what lets
+        one widget express the same transformation across the whole log.
+        """
+        self._expect_keyword("SELECT")
+        top: Node | None = None
+        distinct: Node | None = None
+
+        if self._accept_keyword("TOP"):
+            top = Node("Top", {}, [self._parse_limit_number()])
+        if self._accept_keyword("DISTINCT"):
+            distinct = Node("Distinct")
+        else:
+            self._accept_keyword("ALL")
+
+        clauses: list[Node] = [self._parse_project()]
+
+        if self._accept_keyword("FROM"):
+            clauses.append(self._parse_from())
+        if self._accept_keyword("WHERE"):
+            clauses.append(Node("Where", {}, [self._parse_condition()]))
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            clauses.append(self._parse_group_by())
+        if self._accept_keyword("HAVING"):
+            clauses.append(Node("Having", {}, [self._parse_condition()]))
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            clauses.append(self._parse_order_by())
+        if self._accept_keyword("LIMIT"):
+            limit_children = [self._parse_limit_number()]
+            if self._accept_keyword("OFFSET"):
+                limit_children.append(self._parse_limit_number())
+            clauses.append(Node("Limit", {}, limit_children))
+        if top is not None:
+            clauses.append(top)
+        if distinct is not None:
+            clauses.append(distinct)
+
+        return Node("SelectStmt", {}, clauses)
+
+    def _parse_condition(self) -> Node:
+        """Parse a WHERE/HAVING body, normalising the top level to an
+        ``AndExpr`` collection.
+
+        A single predicate becomes a one-child ``AndExpr`` so that adding a
+        second conjunct later is an *insertion* into a stable collection
+        rather than a replacement of the whole clause body.
+        """
+        expr = self._parse_expr()
+        if expr.node_type == "AndExpr":
+            return expr
+        return Node("AndExpr", {}, [expr])
+
+    def _parse_limit_number(self) -> Node:
+        token = self._peek()
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return _num_node(token.value)
+        if token.kind is TokenKind.HEXNUMBER:
+            self._advance()
+            return _hex_node(token.value)
+        raise SQLSyntaxError(
+            f"expected a number, found {token.value!r}", self._sql, token.position
+        )
+
+    # ------------------------------------------------------------------
+    # projection
+    # ------------------------------------------------------------------
+    def _parse_project(self) -> Node:
+        items = [self._parse_proj_clause()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_proj_clause())
+        return Node("Project", {}, items)
+
+    def _parse_proj_clause(self) -> Node:
+        expr = self._parse_expr()
+        children = [expr]
+        alias = self._parse_optional_alias()
+        if alias is not None:
+            children.append(Node("AliasName", {"name": alias}))
+        return Node("ProjClause", {}, children)
+
+    def _parse_optional_alias(self) -> str | None:
+        if self._accept_keyword("AS"):
+            token = self._peek()
+            if token.kind is TokenKind.IDENT:
+                self._advance()
+                return token.value
+            raise SQLSyntaxError(
+                f"expected alias after AS, found {token.value!r}",
+                self._sql,
+                token.position,
+            )
+        token = self._peek()
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return token.value
+        return None
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+    def _parse_from(self) -> Node:
+        items = [self._parse_join_chain()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_join_chain())
+        return Node("From", {}, items)
+
+    def _parse_join_chain(self) -> Node:
+        left = self._parse_from_item()
+        while self._peek().is_keyword(*_JOIN_KEYWORDS):
+            join_type = self._parse_join_type()
+            right = self._parse_from_item()
+            children = [left, right]
+            if self._accept_keyword("ON"):
+                children.append(Node("OnClause", {}, [self._parse_expr()]))
+            left = Node("JoinRef", {"join_type": join_type}, children)
+        return left
+
+    def _parse_join_type(self) -> str:
+        token = self._advance()
+        kind = token.value
+        if kind == "JOIN":
+            return "INNER"
+        if kind in ("LEFT", "RIGHT", "FULL"):
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return kind
+        if kind in ("INNER", "CROSS"):
+            self._expect_keyword("JOIN")
+            return kind
+        raise SQLSyntaxError(  # pragma: no cover - guarded by caller
+            f"bad join keyword {kind!r}", self._sql, token.position
+        )
+
+    def _parse_from_item(self) -> Node:
+        if self._accept(TokenKind.LPAREN):
+            inner = self._parse_set_expression()
+            self._expect(TokenKind.RPAREN)
+            alias = self._parse_optional_alias()
+            attrs = {"alias": alias} if alias else {}
+            return Node("SubqueryRef", attrs, [inner])
+
+        name = self._parse_qualified_name()
+        if self._peek().kind is TokenKind.LPAREN:
+            # UDF table function, e.g. dbo.fGetNearbyObjEq(5.8, 0.3, 2.0)
+            args = self._parse_call_args()
+            alias = self._parse_optional_alias()
+            attrs = {"alias": alias} if alias else {}
+            children = [Node("FuncName", {"name": name})] + args
+            return Node("FuncTableRef", attrs, children)
+        alias = self._parse_optional_alias()
+        attrs: dict[str, object] = {"name": name}
+        if alias:
+            attrs["alias"] = alias
+        return Node("TableRef", attrs)
+
+    def _parse_qualified_name(self) -> str:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise SQLSyntaxError(
+                f"expected name, found {token.value!r}", self._sql, token.position
+            )
+        self._advance()
+        parts = [token.value]
+        while self._peek().kind is TokenKind.DOT:
+            self._advance()
+            nxt = self._peek()
+            if nxt.kind is TokenKind.IDENT:
+                self._advance()
+                parts.append(nxt.value)
+            elif nxt.kind is TokenKind.STAR:
+                self._advance()
+                parts.append("*")
+            else:
+                raise SQLSyntaxError(
+                    f"expected name after '.', found {nxt.value!r}",
+                    self._sql,
+                    nxt.position,
+                )
+        return ".".join(parts)
+
+    # ------------------------------------------------------------------
+    # GROUP BY / ORDER BY
+    # ------------------------------------------------------------------
+    def _parse_group_by(self) -> Node:
+        items = [Node("GroupClause", {}, [self._parse_expr()])]
+        while self._accept(TokenKind.COMMA):
+            items.append(Node("GroupClause", {}, [self._parse_expr()]))
+        return Node("GroupBy", {}, items)
+
+    def _parse_order_by(self) -> Node:
+        items = [self._parse_order_clause()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_order_clause())
+        return Node("OrderBy", {}, items)
+
+    def _parse_order_clause(self) -> Node:
+        expr = self._parse_expr()
+        children = [expr]
+        if self._accept_keyword("ASC"):
+            children.append(Node("SortDir", {"value": "ASC"}))
+        elif self._accept_keyword("DESC"):
+            children.append(Node("SortDir", {"value": "DESC"}))
+        return Node("OrderClause", {}, children)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> Node:
+        return self._parse_or()
+
+    def _parse_or(self) -> Node:
+        terms = [self._parse_and()]
+        while self._accept_keyword("OR"):
+            terms.append(self._parse_and())
+        if len(terms) == 1:
+            return terms[0]
+        return Node("OrExpr", {}, terms)
+
+    def _parse_and(self) -> Node:
+        terms = [self._parse_not()]
+        while self._accept_keyword("AND"):
+            terms.append(self._parse_not())
+        if len(terms) == 1:
+            return terms[0]
+        return Node("AndExpr", {}, terms)
+
+    def _parse_not(self) -> Node:
+        if self._accept_keyword("NOT"):
+            return Node("NotExpr", {}, [self._parse_not()])
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Node:
+        left = self._parse_additive()
+        token = self._peek()
+
+        if token.kind is TokenKind.OPERATOR and token.value in _COMPARISON_OPS:
+            self._advance()
+            op = "<>" if token.value == "!=" else token.value
+            right = self._parse_additive()
+            return Node("BiExpr", {"op": op}, [left, right])
+
+        if token.is_keyword("BETWEEN"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return Node("BetweenExpr", {}, [left, low, high])
+
+        if token.is_keyword("LIKE"):
+            self._advance()
+            right = self._parse_additive()
+            return Node("BiExpr", {"op": "LIKE"}, [left, right])
+
+        if token.is_keyword("IN"):
+            self._advance()
+            return self._parse_in_rhs(left)
+
+        if token.is_keyword("NOT"):
+            # NOT as an infix: `x NOT IN (...)`, `x NOT LIKE y`, `x NOT BETWEEN`
+            nxt = self._peek(1)
+            if nxt.is_keyword("IN", "LIKE", "BETWEEN"):
+                self._advance()
+                inner = self._parse_negatable_rhs(left)
+                return Node("NotExpr", {}, [inner])
+
+        if token.is_keyword("IS"):
+            self._advance()
+            negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return Node("IsNullExpr", {"negated": negated}, [left])
+
+        return left
+
+    def _parse_negatable_rhs(self, left: Node) -> Node:
+        token = self._advance()
+        if token.value == "IN":
+            return self._parse_in_rhs(left)
+        if token.value == "LIKE":
+            right = self._parse_additive()
+            return Node("BiExpr", {"op": "LIKE"}, [left, right])
+        low = self._parse_additive()
+        self._expect_keyword("AND")
+        high = self._parse_additive()
+        return Node("BetweenExpr", {}, [left, low, high])
+
+    def _parse_in_rhs(self, left: Node) -> Node:
+        self._expect(TokenKind.LPAREN)
+        if self._peek().is_keyword("SELECT"):
+            inner = self._parse_set_expression()
+            self._expect(TokenKind.RPAREN)
+            return Node("InExpr", {}, [left, inner])
+        items = [self._parse_expr()]
+        while self._accept(TokenKind.COMMA):
+            items.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN)
+        return Node("InExpr", {}, [left, Node("InList", {}, items)])
+
+    def _parse_additive(self) -> Node:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind is TokenKind.OPERATOR and token.value in _ADDITIVE_OPS:
+                self._advance()
+                right = self._parse_multiplicative()
+                left = Node("BiExpr", {"op": token.value}, [left, right])
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Node:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            is_mul = (
+                token.kind is TokenKind.OPERATOR and token.value in _MULTIPLICATIVE_OPS
+            ) or token.kind is TokenKind.STAR
+            if is_mul:
+                op = "*" if token.kind is TokenKind.STAR else token.value
+                self._advance()
+                right = self._parse_unary()
+                left = Node("BiExpr", {"op": op}, [left, right])
+            else:
+                return left
+
+    def _parse_unary(self) -> Node:
+        token = self._peek()
+        if token.kind is TokenKind.OPERATOR and token.value in ("-", "+"):
+            self._advance()
+            operand = self._parse_unary()
+            if token.value == "+":
+                return operand
+            if operand.node_type == "NumExpr" and not operand.children:
+                value = operand.attributes["value"]
+                return Node("NumExpr", {"value": -value})  # type: ignore[operator]
+            return Node("UnaryExpr", {"op": "-"}, [operand])
+        return self._parse_primary()
+
+    # ------------------------------------------------------------------
+    # primary expressions
+    # ------------------------------------------------------------------
+    def _parse_primary(self) -> Node:
+        token = self._peek()
+
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return _num_node(token.value)
+        if token.kind is TokenKind.HEXNUMBER:
+            self._advance()
+            return _hex_node(token.value)
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Node("StrExpr", {"value": token.value})
+        if token.kind is TokenKind.STAR:
+            self._advance()
+            return Node("StarExpr")
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Node("NullExpr")
+        if token.is_keyword("TRUE", "FALSE"):
+            self._advance()
+            return Node("BoolExpr", {"value": token.value})
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("CAST"):
+            return self._parse_cast()
+        if token.is_keyword("EXISTS"):
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            inner = self._parse_set_expression()
+            self._expect(TokenKind.RPAREN)
+            return Node("ExistsExpr", {}, [inner])
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            if self._peek().is_keyword("SELECT"):
+                inner = self._parse_set_expression()
+                self._expect(TokenKind.RPAREN)
+                return Node("ScalarSubquery", {}, [inner])
+            inner = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            name = self._parse_qualified_name()
+            if self._peek().kind is TokenKind.LPAREN:
+                args = self._parse_call_args()
+                children = [Node("FuncName", {"name": name})] + args
+                return Node("FuncExpr", {}, children)
+            return Node("ColExpr", {"name": name})
+
+        raise SQLSyntaxError(
+            f"unexpected token {token.value!r}", self._sql, token.position
+        )
+
+    def _parse_call_args(self) -> list[Node]:
+        """Parse a parenthesised argument list (already positioned at '(')."""
+        self._expect(TokenKind.LPAREN)
+        if self._accept(TokenKind.RPAREN):
+            return []
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        args = [self._parse_expr()]
+        while self._accept(TokenKind.COMMA):
+            args.append(self._parse_expr())
+        self._expect(TokenKind.RPAREN)
+        if distinct:
+            return [Node("Distinct")] + args
+        return args
+
+    def _parse_case(self) -> Node:
+        self._expect_keyword("CASE")
+        children: list[Node] = []
+        if not self._peek().is_keyword("WHEN"):
+            children.append(Node("CaseInput", {}, [self._parse_expr()]))
+        while self._accept_keyword("WHEN"):
+            cond = self._parse_expr()
+            self._expect_keyword("THEN")
+            result = self._parse_expr()
+            children.append(Node("WhenClause", {}, [cond, result]))
+        if self._accept_keyword("ELSE"):
+            children.append(Node("ElseClause", {}, [self._parse_expr()]))
+        self._expect_keyword("END")
+        return Node("CaseExpr", {}, children)
+
+    def _parse_cast(self) -> Node:
+        self._expect_keyword("CAST")
+        self._expect(TokenKind.LPAREN)
+        expr = self._parse_expr()
+        children = [expr]
+        if self._accept_keyword("AS"):
+            token = self._peek()
+            if token.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                raise SQLSyntaxError(
+                    f"expected type name, found {token.value!r}",
+                    self._sql,
+                    token.position,
+                )
+            self._advance()
+            type_name = token.value
+            # parametrised types, e.g. VARCHAR(32)
+            if self._peek().kind is TokenKind.LPAREN:
+                self._advance()
+                size = self._expect(TokenKind.NUMBER)
+                self._expect(TokenKind.RPAREN)
+                type_name = f"{type_name}({size.value})"
+            children.append(Node("TypeName", {"name": type_name}))
+        self._expect(TokenKind.RPAREN)
+        return Node("CastExpr", {}, children)
+
+
+def parse_sql(sql: str) -> Node:
+    """Parse one SQL statement into an AST.
+
+    Raises:
+        SQLSyntaxError: when the statement cannot be parsed.
+    """
+    return Parser(sql).parse_statement()
+
+
+def parse_many(statements: list[str]) -> list[Node]:
+    """Parse a list of statements, preserving order."""
+    return [parse_sql(sql) for sql in statements]

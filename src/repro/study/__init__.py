@@ -1,0 +1,24 @@
+"""User study substrate: tasks, simulated participants, factorial ANOVA."""
+
+from repro.study.simulator import (
+    SDSS_FORM_FIELDS,
+    StudyObservation,
+    StudyResults,
+    UserStudySimulator,
+)
+from repro.study.stats import AnovaRow, anova
+from repro.study.tasks import TASKS, Task, study_interfaces, user_study_log, widgets_for_task
+
+__all__ = [
+    "Task",
+    "TASKS",
+    "user_study_log",
+    "study_interfaces",
+    "widgets_for_task",
+    "UserStudySimulator",
+    "StudyObservation",
+    "StudyResults",
+    "SDSS_FORM_FIELDS",
+    "anova",
+    "AnovaRow",
+]

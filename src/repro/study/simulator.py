@@ -1,0 +1,191 @@
+"""Simulated user study (Section 7.4, Appendix C).
+
+The paper recruited 40 software engineers, assigned each the SDSS search
+form or the generated precision interface, and timed the four tasks in
+random order with a 60-second cap.  Offline we simulate the participants:
+
+* a task's base time is the sum of the fitted widget interaction costs for
+  the widgets the task needs on the assigned interface (the same cost
+  model Section 4.3 fits from timing traces), plus a fixed
+  read-the-interface overhead;
+* when the interface has no widgets for the task (Task 1 on the SDSS
+  form), the participant falls back to writing SQL — a large, noisy time
+  that usually hits the 60 s cap and often produces a wrong first
+  submission;
+* participants learn: the k-th task they perform carries a decaying
+  familiarisation overhead (the ordering effect of Figure 13) — except
+  that writing SQL does not get easier within one session;
+* lognormal noise on every trial.
+
+The SDSS search form condition is modelled as a fixed widget inventory:
+textbox pairs for the area / colour / red-shift fields (it has dedicated
+widgets for Tasks 2–4) and *no* widget for objectId lookup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.interface import Interface
+from repro.study.tasks import TASKS, Task, widgets_for_task
+from repro.widgets.cost import DEFAULT_COEFFICIENTS
+
+__all__ = ["StudyObservation", "StudyResults", "UserStudySimulator", "SDSS_FORM_FIELDS"]
+
+#: Fields the (re-styled) SDSS search form offers per task; ``None`` means
+#: the form has no widgets for the task and SQL must be written by hand.
+SDSS_FORM_FIELDS: dict[int, int | None] = {1: None, 2: 4, 3: 2, 4: 2}
+
+_TEXTBOX_MS = DEFAULT_COEFFICIENTS["textbox"].a0
+_READ_OVERHEAD_S = 2.0
+_SQL_FALLBACK_MEAN_S = 70.0
+_LEARNING_BOOST = 0.9       # extra fraction of base time on the first task
+_LEARNING_DECAY = 0.45      # per-position decay of the familiarisation cost
+_TIME_CAP_S = 60.0
+
+
+@dataclass(frozen=True)
+class StudyObservation:
+    """One (participant, task) trial."""
+
+    user: int
+    interface: str        # "precision" | "sdss"
+    task: int             # 1..4
+    order: int            # 1..4: position in the participant's sequence
+    time_s: float
+    accurate: bool
+
+
+@dataclass
+class StudyResults:
+    """All trials of one simulated study."""
+
+    observations: list[StudyObservation] = field(default_factory=list)
+
+    def filter(self, **criteria) -> list[StudyObservation]:
+        out = self.observations
+        for key, value in criteria.items():
+            out = [o for o in out if getattr(o, key) == value]
+        return out
+
+    def mean_time(self, **criteria) -> float:
+        rows = self.filter(**criteria)
+        return sum(o.time_s for o in rows) / len(rows) if rows else float("nan")
+
+    def accuracy(self, **criteria) -> float:
+        rows = self.filter(**criteria)
+        return sum(o.accurate for o in rows) / len(rows) if rows else float("nan")
+
+    def confidence_95(self, **criteria) -> float:
+        """Half-width of the normal-approximation 95% CI of mean time."""
+        rows = self.filter(**criteria)
+        if len(rows) < 2:
+            return float("nan")
+        times = [o.time_s for o in rows]
+        mean = sum(times) / len(times)
+        variance = sum((t - mean) ** 2 for t in times) / (len(times) - 1)
+        return 1.96 * (variance / len(times)) ** 0.5
+
+    def as_columns(self) -> tuple[list[float], dict[str, list]]:
+        """``(response, factors)`` for :func:`repro.study.stats.anova`."""
+        response = [o.time_s for o in self.observations]
+        factors = {
+            "task": [o.task for o in self.observations],
+            "interface": [o.interface for o in self.observations],
+            "order": [o.order for o in self.observations],
+        }
+        return response, factors
+
+
+class UserStudySimulator:
+    """Simulates the 40-participant, 4-task, 2-condition study.
+
+    Args:
+        generated_interface: the interface mined from the study log.
+        n_users: number of participants (half per condition).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        generated_interfaces: Interface | dict[int, Interface],
+        n_users: int = 40,
+        seed: int = 7,
+    ):
+        self._n_users = n_users
+        self._rng = random.Random(seed)
+        if isinstance(generated_interfaces, dict):
+            self._task_widgets: dict[int, list | None] = {
+                task.number: widgets_for_task(
+                    generated_interfaces[task.number], task
+                )
+                if task.number in generated_interfaces
+                else None
+                for task in TASKS
+            }
+        else:
+            self._task_widgets = {
+                task.number: widgets_for_task(generated_interfaces, task)
+                for task in TASKS
+            }
+
+    # ------------------------------------------------------------------
+    # per-trial time model
+    # ------------------------------------------------------------------
+    def _base_time_precision(self, task: Task) -> float | None:
+        widgets = self._task_widgets[task.number]
+        if widgets is None:
+            return None
+        interaction_ms = sum(w.cost for w in widgets)
+        return _READ_OVERHEAD_S + interaction_ms / 1000.0
+
+    @staticmethod
+    def _base_time_sdss(task: Task) -> float | None:
+        fields = SDSS_FORM_FIELDS[task.number]
+        if fields is None:
+            return None
+        return _READ_OVERHEAD_S + fields * _TEXTBOX_MS / 1000.0
+
+    def _trial(self, interface: str, task: Task, order: int) -> tuple[float, bool]:
+        base = (
+            self._base_time_precision(task)
+            if interface == "precision"
+            else self._base_time_sdss(task)
+        )
+        noise = self._rng.lognormvariate(0.0, 0.22)
+        if base is None:
+            # write-SQL fallback: slow and error-prone, no learning effect
+            time_s = min(_TIME_CAP_S, _SQL_FALLBACK_MEAN_S * noise)
+            accurate = self._rng.random() < 0.55
+            return time_s, accurate
+        learning = 1.0 + _LEARNING_BOOST * (_LEARNING_DECAY ** (order - 1))
+        time_s = min(_TIME_CAP_S, base * learning * noise)
+        accurate = self._rng.random() < 0.97
+        return time_s, accurate
+
+    # ------------------------------------------------------------------
+    # the study
+    # ------------------------------------------------------------------
+    def run(self) -> StudyResults:
+        """Run the full study: each participant is randomly assigned one
+        interface and completes all four tasks in random order."""
+        results = StudyResults()
+        conditions = ["precision", "sdss"] * (self._n_users // 2 + 1)
+        for user in range(self._n_users):
+            interface = conditions[user]
+            order = list(TASKS)
+            self._rng.shuffle(order)
+            for position, task in enumerate(order, start=1):
+                time_s, accurate = self._trial(interface, task, position)
+                results.observations.append(
+                    StudyObservation(
+                        user=user,
+                        interface=interface,
+                        task=task.number,
+                        order=position,
+                        time_s=time_s,
+                        accurate=accurate,
+                    )
+                )
+        return results

@@ -1,0 +1,121 @@
+"""Factorial ANOVA for the user study (Section 7.4).
+
+The paper runs a three-factor ANOVA — task, interface, and task order as
+independent variables, completion time as the dependent variable — plus the
+task × interface interaction, and reports all of them significant.
+
+scipy has one-way ANOVA only, so this module implements sequential
+(type-I) multi-factor ANOVA from scratch: factors are dummy-coded, terms
+are added to the design matrix one at a time, and each term's F statistic
+is its incremental explained sum of squares over the residual mean square
+of the full model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+__all__ = ["AnovaRow", "anova"]
+
+
+@dataclass(frozen=True)
+class AnovaRow:
+    """One ANOVA table row."""
+
+    term: str
+    df: int
+    sum_sq: float
+    f_value: float
+    p_value: float
+
+
+def _dummy_code(values: list) -> np.ndarray:
+    """Dummy-code a categorical factor (first level is the reference),
+    returning an (n, k-1) matrix."""
+    levels = sorted(set(values), key=str)
+    columns = []
+    for level in levels[1:]:
+        columns.append(np.asarray([1.0 if v == level else 0.0 for v in values]))
+    if not columns:
+        return np.zeros((len(values), 0))
+    return np.column_stack(columns)
+
+
+def _interaction(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All pairwise products of the two coded factors' columns."""
+    if a.shape[1] == 0 or b.shape[1] == 0:
+        return np.zeros((a.shape[0], 0))
+    blocks = [a[:, i: i + 1] * b for i in range(a.shape[1])]
+    return np.hstack(blocks)
+
+
+def _rss(design: np.ndarray, response: np.ndarray) -> float:
+    """Residual sum of squares of the least-squares fit."""
+    coefficients, _, _, _ = np.linalg.lstsq(design, response, rcond=None)
+    residual = response - design @ coefficients
+    return float(residual @ residual)
+
+
+def anova(
+    response: list[float],
+    factors: dict[str, list],
+    interactions: list[tuple[str, str]] | None = None,
+) -> list[AnovaRow]:
+    """Sequential (type-I) factorial ANOVA.
+
+    Args:
+        response: the dependent variable (one value per observation).
+        factors: factor name -> per-observation level (categorical).
+        interactions: pairs of factor names whose interaction terms are
+            added after all main effects.
+
+    Returns:
+        One :class:`AnovaRow` per term plus a ``Residual`` row.
+
+    Raises:
+        ValueError: on length mismatches or an empty study.
+    """
+    y = np.asarray(response, dtype=float)
+    n = len(y)
+    if n == 0:
+        raise ValueError("no observations")
+    for name, values in factors.items():
+        if len(values) != n:
+            raise ValueError(f"factor {name} has {len(values)} values, need {n}")
+
+    coded = {name: _dummy_code(values) for name, values in factors.items()}
+    terms: list[tuple[str, np.ndarray]] = list(coded.items())
+    for left, right in interactions or []:
+        terms.append((f"{left}:{right}", _interaction(coded[left], coded[right])))
+
+    design = np.ones((n, 1))
+    rss_prev = _rss(design, y)
+    rows: list[tuple[str, int, float]] = []
+    for name, block in terms:
+        if block.shape[1] == 0:
+            rows.append((name, 0, 0.0))
+            continue
+        design = np.hstack([design, block])
+        rss_now = _rss(design, y)
+        rows.append((name, block.shape[1], rss_prev - rss_now))
+        rss_prev = rss_now
+
+    df_model = design.shape[1] - 1
+    df_resid = n - design.shape[1]
+    if df_resid <= 0:
+        raise ValueError("not enough observations for the model")
+    ms_resid = rss_prev / df_resid
+
+    out: list[AnovaRow] = []
+    for name, df, sum_sq in rows:
+        if df == 0 or ms_resid == 0:
+            out.append(AnovaRow(name, df, sum_sq, float("nan"), float("nan")))
+            continue
+        f_value = (sum_sq / df) / ms_resid
+        p_value = float(scipy_stats.f.sf(f_value, df, df_resid))
+        out.append(AnovaRow(name, df, sum_sq, f_value, p_value))
+    out.append(AnovaRow("Residual", df_resid, rss_prev, float("nan"), float("nan")))
+    return out

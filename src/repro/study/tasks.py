@@ -1,0 +1,210 @@
+"""The four SDSS user-study tasks (Section 7.4).
+
+Task 1 finds objects by objectId; Task 2 finds objects in an area; Task 3
+finds objects within a colour range; Task 4 finds objects within a red-shift
+range.  Each task is represented by a target query the participant must
+express with the assigned interface.
+
+:func:`user_study_log` synthesises the "tiny SDSS query log sample" the
+paper mined (1000 queries that "primarily perform 4 simple analysis tasks
+described in the SDSS manual"), and :func:`widgets_for_task` computes which
+of an interface's widgets a participant must operate to express a task —
+``None`` when the interface cannot express it at all (the "write SQL"
+fallback that Task 1 forces in the SDSS form interface).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.interface import Interface
+from repro.logs.model import LogEntry, QueryLog
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.parser import parse_sql
+from repro.treediff.diff import extract_diffs
+from repro.widgets.base import Widget
+
+__all__ = ["Task", "TASKS", "user_study_log", "widgets_for_task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One study task.
+
+    Attributes:
+        number: 1-based task id.
+        description: what the participant is asked to find.
+        target_sql: a concrete query expressing one instance of the task.
+        n_fields: number of entry fields the task takes on a plain search
+            form (drives the cost of the SDSS-form condition).
+    """
+
+    number: int
+    description: str
+    target_sql: str
+    n_fields: int
+
+    def target(self) -> Node:
+        return parse_sql(self.target_sql)
+
+
+TASKS: tuple[Task, ...] = (
+    Task(
+        number=1,
+        description="find the object with a given objectId",
+        target_sql="SELECT * FROM PhotoObj WHERE objID = 0x2ef3",
+        n_fields=1,
+    ),
+    Task(
+        number=2,
+        description="find objects within an ra/dec area",
+        target_sql=(
+            "SELECT objID, ra, dec FROM PhotoObj "
+            "WHERE ra BETWEEN 120.0 AND 130.0 AND dec BETWEEN 1.0 AND 2.0"
+        ),
+        n_fields=4,
+    ),
+    Task(
+        number=3,
+        description="find objects within a colour range",
+        target_sql=(
+            "SELECT objID, u, g, r FROM PhotoObj "
+            "WHERE u - g > 1.0 AND g - r < 0.5"
+        ),
+        n_fields=2,
+    ),
+    Task(
+        number=4,
+        description="find objects within a red-shift range",
+        target_sql="SELECT specObjId, z FROM SpecObj WHERE z > 1.0 AND z < 4.5",
+        n_fields=2,
+    ),
+)
+
+
+def user_study_log(n: int = 1000, seed: int = 42) -> QueryLog:
+    """The synthetic stand-in for the paper's tiny SDSS log sample: ``n``
+    queries that primarily perform the four study tasks, with one knob
+    changing at a time within each task burst."""
+    rng = random.Random(seed)
+    statements: list[str] = [
+        # opening manual examples, one per task, endpoints first
+        "SELECT * FROM PhotoObj WHERE objID = 0x10",
+        "SELECT * FROM PhotoObj WHERE objID = 0x4fef",
+        "SELECT objID, ra, dec FROM PhotoObj "
+        "WHERE ra BETWEEN 0.0 AND 360.0 AND dec BETWEEN -10.0 AND 10.0",
+        "SELECT objID, u, g, r FROM PhotoObj WHERE u - g > 0.0 AND g - r < 0.0",
+        "SELECT objID, u, g, r FROM PhotoObj WHERE u - g > 2.5 AND g - r < 1.5",
+        "SELECT specObjId, z FROM SpecObj WHERE z > 0.0 AND z < 7.0",
+        "SELECT specObjId, z FROM SpecObj WHERE z > 3.0 AND z < 7.0",
+        "SELECT specObjId, z FROM SpecObj WHERE z > 0.0 AND z < 3.0",
+    ]
+    state = {
+        "id": "0x10",
+        "ra_lo": 0.0, "ra_hi": 360.0, "dec_lo": -10.0, "dec_hi": 10.0,
+        "ug": 0.0, "gr": 0.0,
+        "z_lo": 0.0, "z_hi": 7.0,
+    }
+    renderers = {
+        1: lambda: f"SELECT * FROM PhotoObj WHERE objID = {state['id']}",
+        2: lambda: (
+            "SELECT objID, ra, dec FROM PhotoObj "
+            f"WHERE ra BETWEEN {state['ra_lo']} AND {state['ra_hi']} "
+            f"AND dec BETWEEN {state['dec_lo']} AND {state['dec_hi']}"
+        ),
+        3: lambda: (
+            "SELECT objID, u, g, r FROM PhotoObj "
+            f"WHERE u - g > {state['ug']} AND g - r < {state['gr']}"
+        ),
+        4: lambda: (
+            "SELECT specObjId, z FROM SpecObj "
+            f"WHERE z > {state['z_lo']} AND z < {state['z_hi']}"
+        ),
+    }
+    tasks_of: list[int] = [1, 1, 2, 3, 3, 4, 4, 4]  # tasks of the examples
+    while len(statements) < n:
+        task = rng.choice([1, 2, 3, 4])
+        burst = rng.randrange(2, 8)
+        for _ in range(burst):
+            if len(statements) >= n:
+                break
+            if task == 1:
+                state["id"] = hex(rng.randrange(0x10, 0x4FF0))
+            elif task == 2:
+                if rng.random() < 0.5:
+                    lo = round(rng.uniform(0.0, 300.0), 2)
+                    state["ra_lo"], state["ra_hi"] = lo, round(lo + rng.uniform(1, 60), 2)
+                else:
+                    lo = round(rng.uniform(-10.0, 9.0), 2)
+                    state["dec_lo"], state["dec_hi"] = lo, round(lo + rng.uniform(0.1, 1.0), 2)
+            elif task == 3:
+                if rng.random() < 0.5:
+                    state["ug"] = round(rng.uniform(0.0, 2.5), 2)
+                else:
+                    state["gr"] = round(rng.uniform(0.0, 1.5), 2)
+            else:
+                if rng.random() < 0.5:
+                    state["z_lo"] = round(rng.uniform(0.0, 3.0), 2)
+                else:
+                    state["z_hi"] = round(rng.uniform(3.0, 7.0), 2)
+            statements.append(renderers[task]())
+            tasks_of.append(task)
+    entries = [
+        LogEntry(sql=sql, client=f"task{task}", sequence=i, timestamp=float(i))
+        for i, (sql, task) in enumerate(zip(statements[:n], tasks_of[:n]))
+    ]
+    return QueryLog(entries=entries, name="sdss/study")
+
+
+def study_interfaces(log: QueryLog, options=None) -> dict[int, Interface]:
+    """Mine one interface per study task.
+
+    The study log tags each query with its task (DBMS logs carry session
+    ids — Section 3.3 recommends exactly this preprocessing), so each task
+    is a separate analysis and gets its own widget group, which is how the
+    paper's Figure 8b interface presents per-task controls.
+    """
+    from repro.core.pipeline import PrecisionInterfaces  # local: avoid cycle
+
+    out: dict[int, Interface] = {}
+    for client, sublog in log.by_client().items():
+        number = int(client.removeprefix("task"))
+        out[number] = PrecisionInterfaces(options).generate(sublog.asts())
+    return out
+
+
+def widgets_for_task(interface: Interface, task: Task) -> list[Widget] | None:
+    """The widgets a participant must operate to express ``task`` starting
+    from the interface's initial query.
+
+    Returns ``None`` when the interface cannot express the task at all
+    (forcing the write-SQL fallback); an empty list when the initial query
+    already answers it.
+    """
+    target = task.target()
+    if not interface.expresses(target):
+        return None
+    needed: list[Widget] = []
+    by_path = {w.path: w for w in interface.widgets}
+    diffs = [
+        d
+        for d in extract_diffs(interface.initial_query, target)
+        if d.is_leaf
+    ]
+    seen_paths = set()
+    for diff in diffs:
+        widget = by_path.get(diff.path)
+        if widget is None:
+            # covered through an ancestor widget: charge the deepest
+            # ancestor on the diff's path
+            ancestors = [
+                w for p, w in by_path.items() if p.is_prefix_of(diff.path)
+            ]
+            if not ancestors:
+                continue
+            widget = max(ancestors, key=lambda w: w.path.depth)
+        if widget.path not in seen_paths:
+            seen_paths.add(widget.path)
+            needed.append(widget)
+    return needed

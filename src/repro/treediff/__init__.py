@@ -1,0 +1,17 @@
+"""Tree differencing substrate: paths, ordered matching, diff extraction."""
+
+from repro.treediff.diff import Diff, classify_change, diff_signature, extract_diffs
+from repro.treediff.matching import AlignedPair, align_children, match_trees, tree_distance
+from repro.treediff.paths import Path
+
+__all__ = [
+    "Path",
+    "Diff",
+    "extract_diffs",
+    "classify_change",
+    "diff_signature",
+    "AlignedPair",
+    "align_children",
+    "match_trees",
+    "tree_distance",
+]

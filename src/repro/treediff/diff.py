@@ -1,0 +1,250 @@
+"""Subtree-difference extraction — the ``diffs`` table of Section 4.2.
+
+A :class:`Diff` record ``d = (q1, q2, p, t1, t2)`` states that replacing the
+subtree rooted at path ``p`` (subtree ``t1``) with ``t2`` transforms query
+``q1`` toward query ``q2``.  Additions and deletions are represented with
+``t1 = None`` / ``t2 = None`` respectively, exactly as in the paper.
+
+:func:`extract_diffs` walks two ASTs with the ordered matcher and emits
+
+* **leaf-diffs** — the minimally-sized changed subtrees, plus
+* **ancestor diffs** — every matched ancestor of a leaf-diff up to the root
+  (``prune=False``), or only ancestors that are the least common ancestor
+  of two or more leaf-diff branches (``prune=True``, the LCA pruning of
+  Section 6.2).
+
+Each diff can be *applied*: ``d.apply(q)`` performs the subtree replacement
+(or insert/delete) on an arbitrary query whose AST has a compatible path,
+and ``d.invert()`` swaps the direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.errors import DiffError
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
+from repro.treediff.matching import align_children
+from repro.paths import Path
+
+__all__ = ["Diff", "extract_diffs", "classify_change", "diff_signature"]
+
+
+def classify_change(
+    t1: Node | None,
+    t2: Node | None,
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+) -> str:
+    """Type a transformation as ``"num"``, ``"str"`` or ``"tree"``.
+
+    Following Section 4.3: numerics can be cast to strings and any type can
+    be cast to a tree; a presence toggle (either side ``None``) is a tree
+    change.
+    """
+    if t1 is None or t2 is None:
+        return "tree"
+    kind1 = annotations.kind_of(t1)
+    kind2 = annotations.kind_of(t2)
+    if kind1 == kind2:
+        return kind1
+    if {kind1, kind2} == {"num", "str"}:
+        return "str"
+    return "tree"
+
+
+@dataclass(frozen=True)
+class Diff:
+    """One subtree transformation between two queries in the log.
+
+    Attributes:
+        q1: index of the source query in the log.
+        q2: index of the target query in the log.
+        path: path to the root of the changed subtree.  For insertions the
+            path is the inserted node's position in the *target* tree; for
+            deletions, its position in the *source* tree.
+        t1: subtree in the source query (``None`` for an insertion).
+        t2: subtree in the target query (``None`` for a deletion).
+        kind: ``"num" | "str" | "tree"`` (see :func:`classify_change`).
+        is_leaf: True for a minimal changed subtree, False for an ancestor
+            transformation.
+        source_path: the changed subtree's path in *source-tree*
+            coordinates.  It differs from ``path`` only when structural
+            insertions/deletions elsewhere in the pair shifted sibling
+            indices; ``apply`` uses it so that replacements and deletions
+            resolve on the source-shaped tree.
+    """
+
+    q1: int
+    q2: int
+    path: Path
+    t1: Node | None
+    t2: Node | None
+    kind: str
+    is_leaf: bool
+    source_path: Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.t1 is None and self.t2 is None:
+            raise DiffError("a diff needs at least one non-null subtree")
+        if self.source_path is None:
+            object.__setattr__(self, "source_path", self.path)
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    @property
+    def is_insertion(self) -> bool:
+        return self.t1 is None
+
+    @property
+    def is_deletion(self) -> bool:
+        return self.t2 is None
+
+    @property
+    def is_replacement(self) -> bool:
+        return self.t1 is not None and self.t2 is not None
+
+    def invert(self) -> "Diff":
+        """The inverse transformation d⁻¹ (swaps source and target)."""
+        return dc_replace(
+            self,
+            q1=self.q2,
+            q2=self.q1,
+            t1=self.t2,
+            t2=self.t1,
+            path=self.source_path,
+            source_path=self.path,
+        )
+
+    def apply(self, query: Node) -> Node:
+        """Apply this transformation to a source-shaped ``query``
+        (interpreting ``d`` as the function ``d(q) = q'`` of Section 4.2).
+
+        To compose the leaf diffs of a pair into the full transformation,
+        apply replacements first, then deletions in descending
+        ``source_path`` order, then insertions in ascending ``path`` order
+        (each stage's coordinates are then valid).
+
+        Raises:
+            DiffError: when the path does not resolve in ``query``.
+        """
+        if self.is_insertion:
+            parent = self.path.parent() if not self.path.is_root() else None
+            if parent is None:
+                raise DiffError("cannot insert at the root")
+            index = self.path.steps[-1]
+            if not query.has_path(parent):
+                raise DiffError(f"insertion parent {parent} missing")
+            index = min(index, len(query.get(parent).children))
+            return query.insert_at(parent, index, self.t2)
+        location = self.source_path
+        assert location is not None
+        if self.is_deletion:
+            if not query.has_path(location):
+                raise DiffError(f"deletion path {location} missing")
+            return query.delete_at(location)
+        if not query.has_path(location):
+            raise DiffError(f"replacement path {location} missing")
+        return query.replace_at(location, self.t2)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        left = self.t1.label() if self.t1 is not None else "∅"
+        right = self.t2.label() if self.t2 is not None else "∅"
+        return f"d(q{self.q1}->q{self.q2} @{self.path}: {left} -> {right} [{self.kind}])"
+
+
+def diff_signature(diff: Diff) -> tuple:
+    """Deduplication key: two diffs with the same signature express the same
+    transformation regardless of which query pair produced them."""
+    return (
+        diff.path,
+        diff.t1.fingerprint if diff.t1 is not None else None,
+        diff.t2.fingerprint if diff.t2 is not None else None,
+    )
+
+
+def extract_diffs(
+    a: Node,
+    b: Node,
+    q1: int = 0,
+    q2: int = 1,
+    prune: bool = True,
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+) -> list[Diff]:
+    """Compute the diff records between two ASTs.
+
+    Args:
+        a: source query AST.
+        b: target query AST.
+        q1: log index of ``a``.
+        q2: log index of ``b``.
+        prune: apply LCA pruning (Section 6.2).  When False, every matched
+            ancestor of a leaf-diff (up to and including the root) is also
+            emitted, which is the unoptimised semantics of Section 4.2.
+        annotations: grammar annotations used to type the changes.
+
+    Returns:
+        The list of :class:`Diff` records (empty when the trees are equal).
+    """
+    out: list[Diff] = []
+
+    def emit(
+        path: Path,
+        source_path: Path,
+        t1: Node | None,
+        t2: Node | None,
+        is_leaf: bool,
+    ) -> None:
+        out.append(
+            Diff(
+                q1=q1,
+                q2=q2,
+                path=path,
+                t1=t1,
+                t2=t2,
+                kind=classify_change(t1, t2, annotations),
+                is_leaf=is_leaf,
+                source_path=source_path,
+            )
+        )
+
+    def walk(node_a: Node, node_b: Node, path_a: Path, path_b: Path) -> int:
+        """Recurse over a matched pair; returns the number of leaf-diffs
+        found strictly within this pair (including itself)."""
+        if node_a.fingerprint == node_b.fingerprint and node_a.equals(node_b):
+            return 0
+        if node_a.node_type != node_b.node_type or node_a.attributes != node_b.attributes:
+            emit(path_b, path_a, node_a, node_b, is_leaf=True)
+            return 1
+
+        leaf_count = 0
+        branches = 0
+        for pair in align_children(node_a.children, node_b.children):
+            if pair.is_match:
+                child_count = walk(
+                    node_a.children[pair.a_index],
+                    node_b.children[pair.b_index],
+                    path_a.child(pair.a_index),
+                    path_b.child(pair.b_index),
+                )
+                if child_count:
+                    branches += 1
+                    leaf_count += child_count
+            elif pair.is_deletion:
+                deleted = path_a.child(pair.a_index)
+                emit(deleted, deleted, node_a.children[pair.a_index], None, True)
+                branches += 1
+                leaf_count += 1
+            else:
+                inserted = path_b.child(pair.b_index)
+                emit(inserted, inserted, None, node_b.children[pair.b_index], True)
+                branches += 1
+                leaf_count += 1
+
+        if leaf_count and (not prune or branches >= 2):
+            emit(path_b, path_a, node_a, node_b, is_leaf=False)
+        return leaf_count
+
+    walk(a, b, Path.root(), Path.root())
+    return out

@@ -1,0 +1,9 @@
+"""Re-export of :class:`repro.paths.Path` for backwards-compatible imports.
+
+``Path`` lives in :mod:`repro.paths` (a leaf module) so that the AST node
+model can use it without importing the treediff package.
+"""
+
+from repro.paths import Path
+
+__all__ = ["Path"]

@@ -1,0 +1,42 @@
+"""Widget substrate: domains, widget types, cost model, trace fitting."""
+
+from repro.widgets.base import Widget, WidgetType
+from repro.widgets.cost import DEFAULT_COEFFICIENTS, QuadraticCost, fit_cost_model
+from repro.widgets.domain import WidgetDomain
+from repro.widgets.library import (
+    CHECKBOX,
+    CHECKBOX_LIST,
+    DRAG_AND_DROP,
+    DROPDOWN,
+    RADIO_BUTTON,
+    RANGE_SLIDER,
+    SLIDER,
+    TEXTBOX,
+    TOGGLE_BUTTON,
+    default_library,
+    make_widget_type,
+)
+from repro.widgets.traces import TimingTrace, TraceSimulator, simulate_and_fit
+
+__all__ = [
+    "Widget",
+    "WidgetType",
+    "WidgetDomain",
+    "QuadraticCost",
+    "DEFAULT_COEFFICIENTS",
+    "fit_cost_model",
+    "default_library",
+    "make_widget_type",
+    "TEXTBOX",
+    "TOGGLE_BUTTON",
+    "CHECKBOX",
+    "RADIO_BUTTON",
+    "DROPDOWN",
+    "SLIDER",
+    "RANGE_SLIDER",
+    "CHECKBOX_LIST",
+    "DRAG_AND_DROP",
+    "TraceSimulator",
+    "TimingTrace",
+    "simulate_and_fit",
+]

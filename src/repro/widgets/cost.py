@@ -1,0 +1,92 @@
+"""Widget cost model.
+
+Section 4.3: each widget type has a cost function of the form
+
+    c(w.d) = a0 + a1 * |w.d| + a2 * |w.d|^2,   a_i >= 0
+
+estimating the time (milliseconds) for a user to express a choice with the
+widget, as a function of the domain size.  The paper fits these from human
+timing traces; Example 4.4 reports the fitted drop-down and textbox models::
+
+    c_dropdown(n) = 276 + 125 n + 0.07 n^2
+    c_textbox(n)  = 4790
+
+We ship those constants as defaults (plus plausible constants for the other
+seven widget types, ordered so that cheap/precise widgets win for the
+domains they suit) and provide :func:`fit_cost_model` to re-derive
+coefficients from (possibly simulated) timing traces via non-negative
+least squares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import nnls
+
+__all__ = ["QuadraticCost", "DEFAULT_COEFFICIENTS", "fit_cost_model"]
+
+
+@dataclass(frozen=True)
+class QuadraticCost:
+    """A monotone quadratic cost ``a0 + a1*n + a2*n^2`` with ``a_i >= 0``."""
+
+    a0: float
+    a1: float = 0.0
+    a2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a0 < 0 or self.a1 < 0 or self.a2 < 0:
+            raise ValueError("cost coefficients must be non-negative")
+
+    def __call__(self, domain_size: int) -> float:
+        n = float(domain_size)
+        return self.a0 + self.a1 * n + self.a2 * n * n
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.a0, self.a1, self.a2)
+
+
+#: Default per-widget-type coefficients (milliseconds).  The drop-down and
+#: textbox rows are the paper's fitted values (Example 4.4); the others were
+#: chosen to respect the orderings the paper's examples imply:
+#:   * a slider beats a drop-down on numeric domains of any size (§7.1.1);
+#:   * a toggle is the cheapest two-option widget (Figure 5d);
+#:   * a radio button beats splitting into several drop-downs only for a
+#:     handful of options (Figure 5b vs 5c);
+#:   * a textbox's flat cost wins for very large domains.
+DEFAULT_COEFFICIENTS: dict[str, QuadraticCost] = {
+    "textbox": QuadraticCost(4790.0, 0.0, 0.0),
+    "toggle_button": QuadraticCost(230.0, 40.0, 0.0),
+    "checkbox": QuadraticCost(230.0, 35.0, 0.0),
+    "radio_button": QuadraticCost(290.0, 110.0, 10.0),
+    "dropdown": QuadraticCost(276.0, 125.0, 0.07),
+    "slider": QuadraticCost(280.0, 10.0, 0.0),
+    "range_slider": QuadraticCost(520.0, 15.0, 0.0),
+    "checkbox_list": QuadraticCost(310.0, 140.0, 0.25),
+    "drag_and_drop": QuadraticCost(900.0, 260.0, 0.90),
+}
+
+
+def fit_cost_model(domain_sizes: list[int], times_ms: list[float]) -> QuadraticCost:
+    """Fit ``a0 + a1*n + a2*n^2`` to timing traces with non-negative
+    coefficients (Section 4.3's procedure).
+
+    Args:
+        domain_sizes: the |w.d| of each interaction trial.
+        times_ms: measured interaction times in milliseconds.
+
+    Returns:
+        The fitted :class:`QuadraticCost`.
+
+    Raises:
+        ValueError: on empty or mismatched inputs.
+    """
+    if not domain_sizes or len(domain_sizes) != len(times_ms):
+        raise ValueError("need equal-length, non-empty trace vectors")
+    n = np.asarray(domain_sizes, dtype=float)
+    design = np.column_stack([np.ones_like(n), n, n * n])
+    target = np.asarray(times_ms, dtype=float)
+    coefficients, _residual = nnls(design, target)
+    return QuadraticCost(*[float(c) for c in coefficients])

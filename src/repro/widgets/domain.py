@@ -1,0 +1,197 @@
+"""Widget domains.
+
+A widget's domain ``w.d`` is the set of subtrees the widget can swap into
+the query at its path (Section 4.3).  Domains are initialised from a subset
+``w.D`` of the diffs table; some widget types *extrapolate* beyond the
+initialising subtrees — the paper's example is a slider initialised with
+``{1, 5, 100}`` whose domain becomes the range ``[1, 100]``.
+
+A domain may also contain ``None``, meaning "the element is absent": this
+is how presence toggles (Figure 5d's *Toggle TOP* button) are modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
+
+__all__ = ["WidgetDomain"]
+
+
+class WidgetDomain:
+    """A deduplicated set of optional subtrees, with numeric metadata.
+
+    Args:
+        entries: subtrees (and/or ``None``) that initialise the domain.
+        annotations: grammar annotations used to classify entries.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[Node | None],
+        annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+    ):
+        self._annotations = annotations
+        self._by_print: dict[int | None, Node | None] = {}
+        for entry in entries:
+            key = None if entry is None else entry.fingerprint
+            if key not in self._by_print:
+                self._by_print[key] = entry
+        self._numeric_values = self._collect_numeric()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _collect_numeric(self) -> list[float] | None:
+        """Numeric values of all non-null entries, or None when any entry is
+        not a numeric literal."""
+        values: list[float] = []
+        for entry in self.subtrees():
+            if self._annotations.kind_of(entry) != "num":
+                return None
+            values.append(self._annotations.numeric_value(entry))
+        return sorted(values)
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|w.d|`` — the number of distinct entries (None counts as one)."""
+        return len(self._by_print)
+
+    @property
+    def includes_none(self) -> bool:
+        """True when "absent" is one of the choices."""
+        return None in self._by_print
+
+    def subtrees(self) -> Iterator[Node]:
+        """Iterate the non-null entries."""
+        for entry in self._by_print.values():
+            if entry is not None:
+                yield entry
+
+    def entries(self) -> Iterator[Node | None]:
+        """Iterate all entries, including None when present."""
+        return iter(self._by_print.values())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Node | None]:
+        return self.entries()
+
+    # ------------------------------------------------------------------
+    # kinds
+    # ------------------------------------------------------------------
+    @property
+    def is_numeric(self) -> bool:
+        """All non-null entries are numeric literals."""
+        return self._numeric_values is not None and bool(self._numeric_values)
+
+    @property
+    def is_literal(self) -> bool:
+        """All non-null entries are literals (numeric or string)."""
+        return all(
+            self._annotations.kind_of(entry) != "tree" for entry in self.subtrees()
+        )
+
+    @property
+    def node_types(self) -> frozenset[str]:
+        """Node types present among the non-null entries."""
+        return frozenset(entry.node_type for entry in self.subtrees())
+
+    @property
+    def numeric_range(self) -> tuple[float, float] | None:
+        """``(min, max)`` of the numeric values, or None for non-numeric
+        domains."""
+        if not self.is_numeric:
+            return None
+        return self._numeric_values[0], self._numeric_values[-1]
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def contains(self, subtree: Node | None, extrapolate: bool = False) -> bool:
+        """Is ``subtree`` one of this domain's choices?
+
+        Args:
+            subtree: candidate subtree, or ``None`` for "absent".
+            extrapolate: when True and the domain is numeric, any value
+                within ``[min, max]`` counts (the slider semantics of
+                Example 4.3).
+        """
+        if subtree is None:
+            return self.includes_none
+        if subtree.fingerprint in self._by_print:
+            stored = self._by_print[subtree.fingerprint]
+            if stored is not None and stored.equals(subtree):
+                return True
+        if extrapolate and self.is_numeric:
+            if self._annotations.kind_of(subtree) == "num":
+                low, high = self.numeric_range  # type: ignore[misc]
+                return low <= self._annotations.numeric_value(subtree) <= high
+        return False
+
+    def between_range(self) -> tuple[Node, float, float] | None:
+        """Range-slider metadata: when every non-null entry is a
+        ``BetweenExpr`` over the same target expression with numeric
+        bounds, return ``(target_expr, overall_min, overall_max)`` — the
+        track the two slider handles move on.  Otherwise ``None``."""
+        subtrees = list(self.subtrees())
+        if not subtrees or self.includes_none:
+            return None
+        reference: Node | None = None
+        low = float("inf")
+        high = float("-inf")
+        for node in subtrees:
+            if node.node_type != "BetweenExpr" or len(node.children) != 3:
+                return None
+            target, low_node, high_node = node.children
+            if reference is None:
+                reference = target
+            elif not reference.equals(target):
+                return None
+            if self._annotations.kind_of(low_node) != "num":
+                return None
+            if self._annotations.kind_of(high_node) != "num":
+                return None
+            low = min(low, self._annotations.numeric_value(low_node))
+            high = max(high, self._annotations.numeric_value(high_node))
+        assert reference is not None
+        return reference, low, high
+
+    def contains_between(self, subtree: Node) -> bool:
+        """Is ``subtree`` a BETWEEN expression the extrapolated range
+        slider can produce (same target, both bounds on the track)?"""
+        metadata = self.between_range()
+        if metadata is None:
+            return False
+        reference, low, high = metadata
+        if subtree.node_type != "BetweenExpr" or len(subtree.children) != 3:
+            return False
+        target, low_node, high_node = subtree.children
+        if not reference.equals(target):
+            return False
+        if self._annotations.kind_of(low_node) != "num":
+            return False
+        if self._annotations.kind_of(high_node) != "num":
+            return False
+        low_value = self._annotations.numeric_value(low_node)
+        high_value = self._annotations.numeric_value(high_node)
+        return low <= low_value <= high and low <= high_value <= high
+
+    def merged_with(self, other: "WidgetDomain") -> "WidgetDomain":
+        """Union of two domains (used when widgets are combined)."""
+        return WidgetDomain(
+            list(self.entries()) + list(other.entries()), self._annotations
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = []
+        for entry in list(self.entries())[:4]:
+            labels.append("∅" if entry is None else entry.label())
+        suffix = ", ..." if self.size > 4 else ""
+        return f"WidgetDomain({', '.join(labels)}{suffix})"

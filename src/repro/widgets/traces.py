@@ -1,0 +1,117 @@
+"""Synthetic human timing traces for cost-function fitting.
+
+The paper collected real interaction timing traces ("we collected timing
+traces (in milliseconds) by interacting with different widget types
+instantiated with different domain sizes, and fit the cost function to the
+traces").  We have no humans available offline, so this module simulates
+traces with standard HCI latency models and lognormal noise:
+
+* selection widgets (drop-down, radio, checkbox list) follow a
+  Hick–Hyman-flavoured cost that grows with the number of options, plus a
+  linear visual-scan term and a small quadratic term for scrolling long
+  lists;
+* pointing widgets (slider, range slider) pay a Fitts-style acquisition
+  cost that is nearly independent of the domain size;
+* the textbox pays a large flat typing cost;
+* toggles and single checkboxes are a single click.
+
+Fitting the paper's quadratic form to these traces (see
+:func:`repro.widgets.cost.fit_cost_model`) recovers coefficients with the
+same ordering — and for the drop-down/textbox pair, the same order of
+magnitude — as Example 4.4, which is all the interaction mapper consumes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.widgets.cost import QuadraticCost, fit_cost_model
+
+__all__ = ["TraceSimulator", "TimingTrace", "simulate_and_fit"]
+
+#: Baseline per-widget latency parameters, milliseconds.
+#: (base click/acquire cost, per-option scan cost, quadratic scroll cost)
+_LATENCY_PROFILES: dict[str, tuple[float, float, float]] = {
+    "textbox": (4800.0, 0.0, 0.0),
+    "toggle_button": (240.0, 35.0, 0.0),
+    "checkbox": (260.0, 40.0, 0.0),
+    "radio_button": (300.0, 105.0, 0.3),
+    "dropdown": (280.0, 124.0, 0.07),
+    "slider": (470.0, 15.0, 0.0),
+    "range_slider": (830.0, 22.0, 0.0),
+    "checkbox_list": (320.0, 135.0, 0.25),
+    "drag_and_drop": (920.0, 250.0, 0.9),
+}
+
+
+@dataclass
+class TimingTrace:
+    """Raw simulated trials for one widget type."""
+
+    widget_name: str
+    domain_sizes: list[int] = field(default_factory=list)
+    times_ms: list[float] = field(default_factory=list)
+
+    def append(self, domain_size: int, time_ms: float) -> None:
+        self.domain_sizes.append(domain_size)
+        self.times_ms.append(time_ms)
+
+    def __len__(self) -> int:
+        return len(self.domain_sizes)
+
+
+class TraceSimulator:
+    """Generates interaction timing traces for each widget type.
+
+    Args:
+        seed: RNG seed, for reproducible fits.
+        noise_sigma: sigma of the multiplicative lognormal noise.
+    """
+
+    def __init__(self, seed: int = 7, noise_sigma: float = 0.08):
+        self._rng = random.Random(seed)
+        self._noise_sigma = noise_sigma
+
+    def trial(self, widget_name: str, domain_size: int) -> float:
+        """One simulated interaction, in milliseconds.
+
+        Raises:
+            KeyError: for an unknown widget type name.
+        """
+        base, linear, quadratic = _LATENCY_PROFILES[widget_name]
+        n = float(max(1, domain_size))
+        mean = base + linear * n + quadratic * n * n
+        # Hick's law flavour: decision time also grows with log2(n + 1).
+        mean += 40.0 * math.log2(n + 1.0)
+        noise = self._rng.lognormvariate(0.0, self._noise_sigma)
+        return mean * noise
+
+    def trace(
+        self,
+        widget_name: str,
+        domain_sizes: list[int] | None = None,
+        trials_per_size: int = 20,
+    ) -> TimingTrace:
+        """Simulate a full trace for one widget type."""
+        sizes = domain_sizes or [1, 2, 3, 5, 8, 12, 20, 35, 60, 100]
+        trace = TimingTrace(widget_name=widget_name)
+        for size in sizes:
+            for _ in range(trials_per_size):
+                trace.append(size, self.trial(widget_name, size))
+        return trace
+
+
+def simulate_and_fit(seed: int = 7) -> dict[str, QuadraticCost]:
+    """Simulate traces for all widget types and fit cost functions.
+
+    Returns:
+        widget type name -> fitted :class:`QuadraticCost`.
+    """
+    simulator = TraceSimulator(seed=seed)
+    fitted: dict[str, QuadraticCost] = {}
+    for name in _LATENCY_PROFILES:
+        trace = simulator.trace(name)
+        fitted[name] = fit_cost_model(trace.domain_sizes, trace.times_ms)
+    return fitted

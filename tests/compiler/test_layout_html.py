@@ -1,0 +1,97 @@
+"""Layout and HTML compiler tests."""
+
+import pytest
+
+from repro import PrecisionInterfaces, parse_sql
+from repro.compiler import Database, Table, compile_html, describe_layout, grid_layout
+from repro.errors import CompileError
+from repro.logs import LISTING_6
+
+
+@pytest.fixture
+def interface():
+    return PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+
+
+class TestLayout:
+    def test_grid_positions(self, interface):
+        plan = grid_layout(interface, columns=2)
+        assert [(c.row, c.column) for c in plan.cells] == [(0, 0), (0, 1)]
+
+    def test_shallow_paths_first(self, interface):
+        plan = grid_layout(interface)
+        depths = [c.widget.path.depth for c in plan.cells]
+        assert depths == sorted(depths)
+
+    def test_default_labels(self, interface):
+        plan = grid_layout(interface)
+        labels = [c.label for c in plan.cells]
+        assert any("TOP" in label for label in labels)
+
+    def test_relabel(self, interface):
+        plan = grid_layout(interface)
+        widget = plan.cells[0].widget
+        plan.relabel(widget, "Row limit")
+        assert plan.cells[0].label == "Row limit"
+        assert widget.label == "Row limit"
+
+    def test_move(self, interface):
+        plan = grid_layout(interface)
+        widget = plan.cells[0].widget
+        plan.move(widget, 3, 1)
+        assert (plan.cells[0].row, plan.cells[0].column) == (3, 1)
+
+    def test_move_out_of_grid_raises(self, interface):
+        plan = grid_layout(interface)
+        with pytest.raises(CompileError):
+            plan.move(plan.cells[0].widget, 0, 9)
+
+    def test_bad_columns_raises(self, interface):
+        with pytest.raises(CompileError):
+            grid_layout(interface, columns=0)
+
+    def test_describe_layout(self, interface):
+        text = describe_layout(interface)
+        assert "initial:" in text
+
+
+class TestHtmlCompiler:
+    def test_page_is_selfcontained(self, interface):
+        page = compile_html(interface, title="Listing 6")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Listing 6" in page
+        assert "CLOSURE" in page
+        assert page.count('<div class="widget">') == interface.n_widgets
+
+    def test_initial_query_in_closure(self, interface):
+        from repro.sqlparser.render import render_sql
+
+        page = compile_html(interface)
+        assert render_sql(interface.initial_query) in page
+
+    def test_results_embedded_with_database(self):
+        db = Database()
+        db.add(Table("t", ["a", "b"], [(1, 10), (2, 20)]))
+        iface = PrecisionInterfaces().generate_from_sql(
+            ["SELECT a FROM t WHERE b = 10", "SELECT a FROM t WHERE b = 20"]
+        )
+        page = compile_html(iface, database=db, limit=64)
+        assert "result" in page
+
+    def test_limit_caps_closure(self, interface):
+        small = compile_html(interface, limit=2)
+        big = compile_html(interface, limit=1000)
+        assert len(small) < len(big)
+
+    def test_empty_interface_rejected(self):
+        iface = PrecisionInterfaces().generate_from_sql(["SELECT a"] * 2)
+        with pytest.raises(CompileError):
+            compile_html(iface)
+
+    def test_html_escaping(self):
+        iface = PrecisionInterfaces().generate_from_sql(
+            ["SELECT a FROM t WHERE c = '<x>'", "SELECT a FROM t WHERE c = '<y>'"]
+        )
+        page = compile_html(iface, title="<script>")
+        assert "<script>alert" not in page
+        assert "&lt;script&gt;" in page

@@ -1,0 +1,189 @@
+"""In-memory executor tests."""
+
+import pytest
+
+from repro import parse_sql
+from repro.compiler import Database, Table, execute, render_text
+from repro.errors import CompileError, SchemaError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add(
+        Table(
+            "ontime",
+            ["Month", "Day", "Delay", "DestState", "flights", "canceled", "distance", "carrier"],
+            [
+                (9, 3, 10, "CA", 1, 0, 100, "AA"),
+                (9, 3, 20, "NY", 1, 1, 200, "UA"),
+                (9, 4, 5, "CA", 1, 0, 150, "AA"),
+                (8, 3, None, "TX", 1, 0, 300, "DL"),
+            ],
+        )
+    )
+    return database
+
+
+def run(sql, db):
+    return execute(parse_sql(sql), db)
+
+
+class TestProjection:
+    def test_column_projection(self, db):
+        result = run("SELECT DestState FROM ontime", db)
+        assert result.columns == ["DestState"]
+        assert len(result) == 4
+
+    def test_star(self, db):
+        result = run("SELECT * FROM ontime", db)
+        assert result.columns == db.get("ontime").columns
+
+    def test_alias(self, db):
+        result = run("SELECT Delay AS d FROM ontime", db)
+        assert result.columns == ["d"]
+
+    def test_arithmetic(self, db):
+        result = run("SELECT distance / 100 FROM ontime WHERE Month = 8", db)
+        assert result.rows == [(3.0,)]
+
+    def test_case(self, db):
+        result = run(
+            "SELECT CASE carrier WHEN 'AA' THEN 'AA' ELSE 'Other' END FROM ontime",
+            db,
+        )
+        assert [r[0] for r in result.rows] == ["AA", "Other", "AA", "Other"]
+
+    def test_floor(self, db):
+        result = run("SELECT FLOOR(distance / 90) FROM ontime", db)
+        assert [r[0] for r in result.rows] == [1, 2, 1, 3]
+
+    def test_cast(self, db):
+        result = run("SELECT CAST(distance AS FLOAT) FROM ontime WHERE Day = 4", db)
+        assert result.rows == [(150.0,)]
+
+
+class TestFiltering:
+    def test_equality(self, db):
+        assert len(run("SELECT * FROM ontime WHERE Month = 9", db)) == 3
+
+    def test_conjunction(self, db):
+        assert len(run("SELECT * FROM ontime WHERE Month = 9 AND Day = 3", db)) == 2
+
+    def test_disjunction(self, db):
+        assert len(run("SELECT * FROM ontime WHERE Month = 8 OR Day = 4", db)) == 2
+
+    def test_between(self, db):
+        assert len(run("SELECT * FROM ontime WHERE distance BETWEEN 120 AND 250", db)) == 2
+
+    def test_in_list(self, db):
+        assert len(run("SELECT * FROM ontime WHERE DestState IN ('CA', 'TX')", db)) == 3
+
+    def test_like(self, db):
+        assert len(run("SELECT * FROM ontime WHERE carrier LIKE 'A%'", db)) == 2
+
+    def test_is_null(self, db):
+        assert len(run("SELECT * FROM ontime WHERE Delay IS NULL", db)) == 1
+        assert len(run("SELECT * FROM ontime WHERE Delay IS NOT NULL", db)) == 3
+
+    def test_not(self, db):
+        assert len(run("SELECT * FROM ontime WHERE NOT Month = 9", db)) == 1
+
+    def test_null_comparison_excludes_row(self, db):
+        assert len(run("SELECT * FROM ontime WHERE Delay > 0", db)) == 3
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert run("SELECT COUNT(*) FROM ontime", db).rows == [(4,)]
+
+    def test_count_ignores_nulls(self, db):
+        assert run("SELECT COUNT(Delay) FROM ontime", db).rows == [(3,)]
+
+    def test_sum_avg_min_max(self, db):
+        row = run("SELECT SUM(Delay), AVG(Delay), MIN(Delay), MAX(Delay) FROM ontime", db).rows[0]
+        assert row == (35, pytest.approx(35 / 3), 5, 20)
+
+    def test_group_by(self, db):
+        result = run(
+            "SELECT DestState, COUNT(Delay) FROM ontime GROUP BY DestState", db
+        )
+        assert dict(result.rows)["CA"] == 2
+
+    def test_having(self, db):
+        result = run(
+            "SELECT DestState, SUM(flights) FROM ontime "
+            "GROUP BY DestState HAVING SUM(flights) > 1",
+            db,
+        )
+        assert result.rows == [("CA", 2)]
+
+    def test_having_without_group(self, db):
+        """Listing 3 has HAVING without GROUP BY."""
+        result = run(
+            "SELECT SUM(flights) FROM ontime WHERE canceled = 0 "
+            "HAVING SUM(flights) > 1",
+            db,
+        )
+        assert result.rows == [(3,)]
+
+    def test_count_distinct(self, db):
+        assert run("SELECT COUNT(DISTINCT carrier) FROM ontime", db).rows == [(3,)]
+
+
+class TestOrderingAndLimits:
+    def test_order_by_desc(self, db):
+        result = run("SELECT Delay FROM ontime WHERE Delay IS NOT NULL ORDER BY Delay DESC", db)
+        assert [r[0] for r in result.rows] == [20, 10, 5]
+
+    def test_top(self, db):
+        assert len(run("SELECT TOP 2 * FROM ontime", db)) == 2
+
+    def test_limit(self, db):
+        assert len(run("SELECT * FROM ontime LIMIT 3", db)) == 3
+
+    def test_distinct(self, db):
+        assert len(run("SELECT DISTINCT carrier FROM ontime", db)) == 3
+
+    def test_order_with_nulls(self, db):
+        result = run("SELECT Delay FROM ontime ORDER BY Delay", db)
+        assert result.rows[0] == (None,)
+
+
+class TestSubqueriesAndErrors:
+    def test_from_subquery(self, db):
+        result = run(
+            "SELECT * FROM (SELECT DestState FROM ontime WHERE Month = 9)", db
+        )
+        assert len(result) == 3
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(SchemaError):
+            run("SELECT * FROM missing", db)
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(SchemaError):
+            run("SELECT bogus FROM ontime", db)
+
+    def test_join_unsupported(self, db):
+        with pytest.raises(CompileError):
+            run("SELECT * FROM ontime, ontime", db)
+
+    def test_union_unsupported(self, db):
+        with pytest.raises(CompileError):
+            run("SELECT Month FROM ontime UNION SELECT Day FROM ontime", db)
+
+    def test_duplicate_column_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "A"])
+
+
+class TestRenderText:
+    def test_header_and_rows(self, db):
+        text = render_text(run("SELECT DestState FROM ontime WHERE Month = 8", db))
+        assert "DestState" in text
+        assert "TX" in text
+
+    def test_truncation_notice(self, db):
+        table = Table("t", ["x"], [(i,) for i in range(30)])
+        assert "30 rows total" in render_text(table, max_rows=5)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PrecisionInterfaces, parse_sql
+from repro.logs import LISTING_6, LISTING_7, QueryLog
+
+
+@pytest.fixture
+def simple_pair():
+    """The Figure 3 / Table 1 query pair."""
+    q1 = parse_sql("SELECT year, sales FROM T WHERE cty = 'USA' AND amount > 10")
+    q2 = parse_sql("SELECT year, costs FROM T WHERE cty = 'EUR' AND amount > 10")
+    return q1, q2
+
+
+@pytest.fixture
+def listing6_interface():
+    """Interface mined from Listing 6 (TOP toggle + limit)."""
+    return PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+
+
+@pytest.fixture
+def listing7_interface():
+    """Interface mined from Listing 7 (subquery toggle)."""
+    return PrecisionInterfaces().generate_from_sql(list(LISTING_7))
+
+
+@pytest.fixture
+def tiny_log():
+    return QueryLog.from_statements(
+        [
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 2",
+            "SELECT a FROM t WHERE x = 5",
+        ],
+        name="tiny",
+    )

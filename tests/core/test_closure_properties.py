@@ -1,0 +1,66 @@
+"""Property tests on the closure invariants.
+
+The key soundness property: everything :func:`enumerate_closure` produces
+must pass the :func:`expresses` membership test (the two views of the
+closure agree), and the initial query is always a member.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PrecisionInterfaces
+from repro.sqlparser.render import render_sql
+
+_TABLES = ["SpecLineIndex", "XCRedshift"]
+_VALUES = [1, 2, 5, 9]
+
+
+@st.composite
+def structured_logs(draw):
+    """Small logs in the Listing 1 shape with varying tables/values."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    statements = []
+    for _ in range(n):
+        table = draw(st.sampled_from(_TABLES))
+        value = draw(st.sampled_from(_VALUES))
+        statements.append(f"SELECT * FROM {table} WHERE specObjId = {value}")
+    return statements
+
+
+@settings(max_examples=30, deadline=None)
+@given(structured_logs())
+def test_enumerated_closure_members_are_expressible(statements):
+    interface = PrecisionInterfaces().generate_from_sql(statements)
+    for query in interface.closure(limit=40):
+        assert interface.expresses(query), render_sql(query)
+
+
+@settings(max_examples=30, deadline=None)
+@given(structured_logs())
+def test_initial_query_always_in_closure(statements):
+    interface = PrecisionInterfaces().generate_from_sql(statements)
+    assert interface.expresses(interface.initial_query)
+
+
+@settings(max_examples=30, deadline=None)
+@given(structured_logs())
+def test_log_queries_expressible(statements):
+    """g = 1: the generated interface expresses its own log."""
+    from repro import parse_sql
+
+    interface = PrecisionInterfaces().generate_from_sql(statements)
+    for sql in statements:
+        assert interface.expresses(parse_sql(sql)), sql
+
+
+@settings(max_examples=25, deadline=None)
+@given(structured_logs(), st.integers(min_value=0, max_value=3))
+def test_expressiveness_between_zero_and_one(statements, seed):
+    interface = PrecisionInterfaces().generate_from_sql(statements)
+    from repro import parse_sql
+
+    probes = [parse_sql(s) for s in statements] + [
+        parse_sql(f"SELECT unrelated{seed} FROM other{seed}")
+    ]
+    value = interface.expressiveness(probes)
+    assert 0.0 <= value <= 1.0

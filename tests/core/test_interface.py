@@ -1,0 +1,43 @@
+"""Interface model tests (Section 4.4 metrics and presentation)."""
+
+from repro import PrecisionInterfaces, parse_sql
+from repro.logs import LISTING_6
+
+
+def make_interface():
+    return PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+
+
+class TestMetrics:
+    def test_cost_sums_widgets(self):
+        interface = make_interface()
+        assert interface.cost == sum(w.cost for w in interface.widgets)
+
+    def test_expressiveness_empty_log_is_one(self):
+        assert make_interface().expressiveness([]) == 1.0
+
+    def test_expressiveness_counts_fraction(self):
+        interface = make_interface()
+        queries = [parse_sql(LISTING_6[0]), parse_sql("SELECT zz FROM unrelated")]
+        assert interface.expressiveness(queries) == 0.5
+
+    def test_initial_query_is_earliest(self):
+        interface = make_interface()
+        assert interface.initial_query == parse_sql(LISTING_6[0])
+
+
+class TestPresentation:
+    def test_describe_mentions_every_widget(self):
+        interface = make_interface()
+        text = interface.describe()
+        for widget in interface.widgets:
+            assert widget.widget_type.name in text
+
+    def test_widget_summary_sorted_by_path(self):
+        summary = make_interface().widget_summary()
+        paths = [path for _name, path, _size in summary]
+        assert paths == sorted(paths, key=lambda p: (p.count("/"), p))
+
+    def test_describe_contains_initial_sql(self):
+        interface = make_interface()
+        assert "SELECT" in interface.describe()

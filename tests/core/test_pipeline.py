@@ -1,0 +1,126 @@
+"""End-to-end pipeline tests covering the Figure 5 scenarios."""
+
+import pytest
+
+from repro import PipelineOptions, PrecisionInterfaces, parse_sql
+from repro.errors import LogError, MappingError
+from repro.logs import (
+    LISTING_6,
+    LISTING_7,
+    listing_4_log,
+    listing_5_large,
+    listing_5_small,
+)
+
+
+def widget_names(interface):
+    return sorted(w.widget_type.name for w in interface.widgets)
+
+
+class TestFigure5Scenarios:
+    def test_fig5a_param_changes_in_complex_query(self):
+        """Listing 4: a drop-down for the customer name, a slider for the
+        numeric offset — interface complexity tracks the *changes*, not the
+        query complexity."""
+        interface = PrecisionInterfaces().generate(listing_4_log(20).asts())
+        names = widget_names(interface)
+        assert "slider" in names
+        assert "dropdown" in names
+        assert interface.n_widgets == 2
+
+    def test_fig5b_small_log_compact_widgets(self):
+        interface = PrecisionInterfaces().generate(listing_5_small().asts())
+        assert interface.n_widgets <= 2
+        assert interface.expressiveness(listing_5_small().asts()) == 1.0
+
+    def test_fig5c_larger_log_splits_widgets(self):
+        """With 13 queries, separate widgets for the function name and its
+        argument beat one big option list."""
+        interface = PrecisionInterfaces().generate(listing_5_large().asts())
+        names = widget_names(interface)
+        assert "dropdown" in names
+        assert interface.expressiveness(listing_5_large().asts()) == 1.0
+        paths = sorted(str(w.path) for w in interface.widgets)
+        assert "0/0/0/0" in paths  # function name
+        assert "0/0/0/1" in paths  # argument
+
+    def test_fig5d_top_toggle_and_slider(self, listing6_interface):
+        names = widget_names(listing6_interface)
+        assert names == ["slider", "toggle_button"]
+        toggle = next(
+            w for w in listing6_interface.widgets if w.widget_type.name == "toggle_button"
+        )
+        assert toggle.domain.includes_none  # presence toggle
+
+    def test_fig5e_subquery_toggle(self, listing7_interface):
+        names = widget_names(listing7_interface)
+        assert "toggle_button" in names
+        assert "slider" in names
+        assert listing7_interface.expressiveness(
+            [parse_sql(s) for s in LISTING_7]
+        ) == 1.0
+
+
+class TestOptions:
+    def test_window_none_baseline_same_interface_as_window2(self):
+        """Section 6/Appendix B: the optimisations do not change the output
+        interface on systematically-changing logs."""
+        log = listing_4_log(20).asts()
+        narrow = PrecisionInterfaces(PipelineOptions(window=2)).generate(log)
+        full = PrecisionInterfaces(PipelineOptions(window=None)).generate(log)
+        assert widget_names(narrow) == widget_names(full)
+        assert {str(w.path) for w in narrow.widgets} == {
+            str(w.path) for w in full.widgets
+        }
+
+    def test_lca_pruning_preserves_expressiveness(self):
+        """Pruning may steer the merge heuristic to a different widget set
+        (the greedy is order-sensitive), but both interfaces must express
+        the entire log, and pruning must not *increase* the diff count."""
+        log = [parse_sql(s) for s in LISTING_6]
+        pruned = PrecisionInterfaces(PipelineOptions(lca_pruning=True)).generate(log)
+        unpruned = PrecisionInterfaces(PipelineOptions(lca_pruning=False)).generate(log)
+        assert pruned.expressiveness(log) == 1.0
+        assert unpruned.expressiveness(log) == 1.0
+        assert pruned.metadata["n_diffs"] <= unpruned.metadata["n_diffs"]
+
+    def test_bad_options_rejected(self):
+        with pytest.raises(MappingError):
+            PipelineOptions(coverage=0.0)
+        with pytest.raises(MappingError):
+            PipelineOptions(window=1)
+        with pytest.raises(MappingError):
+            PipelineOptions(library=[])
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(LogError):
+            PrecisionInterfaces().generate([])
+        with pytest.raises(LogError):
+            PrecisionInterfaces().generate_from_sql([])
+
+
+class TestRunRecord:
+    def test_last_run_populated(self):
+        system = PrecisionInterfaces()
+        system.generate_from_sql(list(LISTING_6))
+        run = system.last_run
+        assert run.n_queries == 3
+        assert run.n_edges == 2
+        assert run.total_seconds > 0
+        assert run.n_widgets == 2
+
+    def test_metadata_on_interface(self, listing6_interface):
+        assert listing6_interface.metadata["n_queries"] == 3
+        assert listing6_interface.metadata["lca_pruning"] is True
+
+    def test_identical_log_yields_zero_widgets(self):
+        interface = PrecisionInterfaces().generate_from_sql(
+            ["SELECT a FROM t"] * 4
+        )
+        assert interface.n_widgets == 0
+        assert interface.expresses(parse_sql("SELECT a FROM t"))
+
+    def test_cost_is_sum_of_widget_costs(self, listing6_interface):
+        assert listing6_interface.cost == pytest.approx(
+            sum(w.cost for w in listing6_interface.widgets)
+        )

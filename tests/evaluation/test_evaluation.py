@@ -1,0 +1,135 @@
+"""Recall and runtime harness tests (small instances)."""
+
+import pytest
+
+from repro.errors import LogError
+from repro.evaluation import (
+    cross_client_matrix,
+    format_series,
+    format_table,
+    measure_pipeline,
+    multi_client_recall,
+    recall_curve,
+    recall_histogram,
+    scalability_sweep,
+    sparkline,
+    window_lca_sweep,
+)
+from repro.logs import QueryLog, SDSSLogGenerator
+
+
+@pytest.fixture(scope="module")
+def sdss_gen():
+    return SDSSLogGenerator(seed=0)
+
+
+class TestRecallCurve:
+    def test_monotone_ish_and_reaches_one(self, sdss_gen):
+        log = sdss_gen.client_log("C1", "object_lookup", 200)
+        curve = recall_curve(log, training_sizes=[2, 10, 50], holdout_size=50,
+                             window_size=200)
+        recalls = [p.recall for p in curve.points]
+        assert recalls[-1] == 1.0
+        assert curve.first_full_recall() is not None
+
+    def test_window_too_large_raises(self, sdss_gen):
+        log = sdss_gen.client_log("C1", "object_lookup", 100)
+        with pytest.raises(LogError):
+            recall_curve(log, [10], window_size=200)
+
+    def test_training_plus_holdout_bounded(self, sdss_gen):
+        log = sdss_gen.client_log("C1", "object_lookup", 200)
+        with pytest.raises(LogError):
+            recall_curve(log, [150], holdout_size=100, window_size=200)
+
+    def test_as_rows(self, sdss_gen):
+        log = sdss_gen.client_log("C1", "object_lookup", 200)
+        curve = recall_curve(log, [5], holdout_size=50, window_size=200)
+        assert curve.as_rows()[0][0] == 5
+
+
+class TestMultiClient:
+    def test_per_client_beats_total_budget(self, sdss_gen):
+        """Figure 7a vs 7b: the same nominal training size n gives higher
+        recall when it means n *per client*."""
+        logs = [
+            sdss_gen.client_log(f"C{i}", profile, 60)
+            for i, profile in enumerate(
+                ["object_lookup", "redshift_range", "neighbours"]
+            )
+        ]
+        total = multi_client_recall(logs, [30], holdout_size=30, per_client=False)
+        per_client = multi_client_recall(logs, [30], holdout_size=30, per_client=True)
+        assert per_client.points[0].recall >= total.points[0].recall
+
+    def test_holdout_too_large_raises(self, sdss_gen):
+        logs = [sdss_gen.client_log("C1", "object_lookup", 10)]
+        with pytest.raises(LogError):
+            multi_client_recall(logs, [5], holdout_size=100)
+
+
+class TestCrossClient:
+    def test_same_profile_clients_express_each_other(self, sdss_gen):
+        clients = {
+            "A": sdss_gen.client_log("A", "object_lookup", 60),
+            "B": sdss_gen.client_log("B", "object_lookup", 60),
+            "C": sdss_gen.client_log("C", "redshift_range", 60),
+        }
+        matrix = cross_client_matrix(clients, n_queries=60)
+        assert matrix["A"]["B"] > 0.9      # same analysis
+        assert matrix["A"]["C"] < 0.1      # different analysis
+
+    def test_histogram_bins_sum_to_cells(self, sdss_gen):
+        clients = {
+            "A": sdss_gen.client_log("A", "object_lookup", 40),
+            "B": sdss_gen.client_log("B", "neighbours", 40),
+        }
+        matrix = cross_client_matrix(clients, n_queries=40)
+        histogram = recall_histogram(matrix, bins=5)
+        assert sum(count for _edge, count in histogram) == 2
+
+
+class TestRuntime:
+    def _log(self, sdss_gen, n=30):
+        return sdss_gen.client_log("C1", "object_lookup", n).asts()
+
+    def test_measure_pipeline_fields(self, sdss_gen):
+        m = measure_pipeline(self._log(sdss_gen), window=2, lca_pruning=True)
+        assert m.n_queries == 30
+        assert m.total_seconds > 0
+
+    def test_lca_pruning_reduces_diffs(self, sdss_gen):
+        queries = self._log(sdss_gen)
+        pruned = measure_pipeline(queries, window=10, lca_pruning=True)
+        full = measure_pipeline(queries, window=10, lca_pruning=False)
+        assert pruned.n_diffs <= full.n_diffs
+
+    def test_window_sweep_shape(self, sdss_gen):
+        rows = window_lca_sweep(self._log(sdss_gen), windows=[2, 5])
+        assert len(rows) == 4  # 2 windows x {pruned, unpruned}
+
+    def test_scalability_sweep_ordering(self, sdss_gen):
+        logs = {10: self._log(sdss_gen, 10), 30: self._log(sdss_gen, 30)}
+        rows = scalability_sweep(logs)
+        assert rows[0].n_queries < rows[1].n_queries
+        assert rows[0].n_edges <= rows[1].n_edges
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.125" in text
+
+    def test_sparkline_range(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert len(line) == 3
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_format_series(self):
+        text = format_series("recall", [1, 2], [0.5, 1.0])
+        assert "recall" in text and "2:1.00" in text

@@ -1,0 +1,102 @@
+"""Interaction graph construction tests."""
+
+import pytest
+
+from repro.errors import LogError
+from repro.graph import BuildStats, build_interaction_graph
+from repro.sqlparser import parse_sql
+
+
+def asts(statements):
+    return [parse_sql(s) for s in statements]
+
+
+LOG = asts(
+    [
+        "SELECT a FROM t WHERE x = 1",
+        "SELECT a FROM t WHERE x = 2",
+        "SELECT a FROM t WHERE x = 3",
+        "SELECT a FROM t WHERE x = 4",
+    ]
+)
+
+
+class TestWindowing:
+    def test_window2_compares_adjacent_only(self):
+        stats = BuildStats()
+        graph = build_interaction_graph(LOG, window=2, stats=stats)
+        assert stats.n_pairs_compared == 3
+        assert graph.n_edges == 3
+        assert {(e.q1, e.q2) for e in graph.edges} == {(0, 1), (1, 2), (2, 3)}
+
+    def test_full_window_compares_all_pairs(self):
+        stats = BuildStats()
+        graph = build_interaction_graph(LOG, window=None, stats=stats)
+        assert stats.n_pairs_compared == 6
+        assert graph.n_edges == 6
+
+    def test_window_larger_than_log_equals_full(self):
+        full = build_interaction_graph(LOG, window=None)
+        wide = build_interaction_graph(LOG, window=100)
+        assert full.n_edges == wide.n_edges
+
+    def test_window_reduces_edges(self):
+        narrow = build_interaction_graph(LOG, window=2)
+        full = build_interaction_graph(LOG, window=None)
+        assert narrow.n_edges < full.n_edges
+
+    def test_bad_window_raises(self):
+        with pytest.raises(LogError):
+            build_interaction_graph(LOG, window=1)
+
+    def test_empty_log_raises(self):
+        with pytest.raises(LogError):
+            build_interaction_graph([])
+
+
+class TestEdges:
+    def test_identical_queries_produce_no_edge(self):
+        twice = asts(["SELECT a FROM t", "SELECT a FROM t"])
+        graph = build_interaction_graph(twice)
+        assert graph.n_edges == 0
+        assert graph.n_diffs == 0
+
+    def test_edge_interaction_holds_leaf_diffs(self):
+        graph = build_interaction_graph(LOG[:2])
+        edge = graph.edges[0]
+        assert len(edge.interaction) == 1
+        assert edge.interaction[0].is_leaf
+
+    def test_diffs_table_includes_ancestors_when_unpruned(self):
+        a = asts([
+            "SELECT x, sales FROM T WHERE c = 'A' AND n > 1",
+            "SELECT x, costs FROM T WHERE c = 'B' AND n > 1",
+        ])
+        pruned = build_interaction_graph(a, prune=True)
+        full = build_interaction_graph(a, prune=False)
+        assert full.n_diffs > pruned.n_diffs
+
+    def test_single_query_log(self):
+        graph = build_interaction_graph(LOG[:1])
+        assert graph.n_vertices == 1
+        assert graph.n_edges == 0
+
+    def test_mining_time_recorded(self):
+        stats = BuildStats()
+        build_interaction_graph(LOG, stats=stats)
+        assert stats.mining_seconds > 0
+
+
+class TestGraphQueries:
+    def test_out_edges(self):
+        graph = build_interaction_graph(LOG, window=2)
+        assert [e.q2 for e in graph.out_edges(0)] == [1]
+
+    def test_neighbours(self):
+        graph = build_interaction_graph(LOG, window=2)
+        assert graph.neighbours(1) == {0, 2}
+
+    def test_summary_keys(self):
+        summary = build_interaction_graph(LOG).summary()
+        assert summary["vertices"] == 4
+        assert summary["leaf_diffs"] + summary["ancestor_diffs"] == summary["diffs"]

@@ -1,0 +1,193 @@
+"""Query log model, IO, and generator tests."""
+
+import pytest
+
+from repro.errors import LogError
+from repro.logs import (
+    AdhocLogGenerator,
+    OLAPLogGenerator,
+    PROFILE_NAMES,
+    QueryLog,
+    SDSSLogGenerator,
+    load_jsonl,
+    load_text,
+    save_jsonl,
+    save_text,
+)
+from repro.sqlparser import parse_sql
+
+
+class TestModel:
+    def test_from_statements(self, tiny_log):
+        assert len(tiny_log) == 3
+        assert tiny_log.entries[2].sequence == 2
+
+    def test_asts_parse(self, tiny_log):
+        assert len(tiny_log.asts()) == 3
+
+    def test_by_client(self):
+        log = QueryLog.from_statements(["SELECT a"], client="c1")
+        log.entries.extend(
+            QueryLog.from_statements(["SELECT b"], client="c2").entries
+        )
+        split = log.by_client()
+        assert set(split) == {"c1", "c2"}
+
+    def test_windows(self):
+        log = QueryLog.from_statements([f"SELECT c{i}" for i in range(10)])
+        windows = log.windows(4)
+        assert len(windows) == 2
+        assert windows[1].entries[0].sql == "SELECT c4"
+
+    def test_windows_bad_size(self, tiny_log):
+        with pytest.raises(LogError):
+            tiny_log.windows(0)
+
+    def test_truncate_and_slice(self, tiny_log):
+        assert len(tiny_log.truncate(2)) == 2
+        assert len(tiny_log.slice(1, 3)) == 2
+
+    def test_interleave_round_robin(self):
+        a = QueryLog.from_statements(["SELECT a1", "SELECT a2"], client="a")
+        b = QueryLog.from_statements(["SELECT b1", "SELECT b2"], client="b")
+        mixed = QueryLog.interleave([a, b], chunk=1)
+        assert [e.client for e in mixed.entries] == ["a", "b", "a", "b"]
+        assert [e.sequence for e in mixed.entries] == [0, 1, 2, 3]
+
+    def test_interleave_chunked_bursts(self):
+        a = QueryLog.from_statements([f"SELECT a{i}" for i in range(4)], client="a")
+        b = QueryLog.from_statements([f"SELECT b{i}" for i in range(4)], client="b")
+        mixed = QueryLog.interleave([a, b], chunk=2)
+        assert [e.client for e in mixed.entries] == list("aabbaabb")
+
+    def test_interleave_empty_raises(self):
+        with pytest.raises(LogError):
+            QueryLog.interleave([])
+
+    def test_interleave_bad_chunk_raises(self):
+        a = QueryLog.from_statements(["SELECT a"])
+        with pytest.raises(LogError):
+            QueryLog.interleave([a], chunk=0)
+
+    def test_clients_in_first_appearance_order(self):
+        a = QueryLog.from_statements(["SELECT a"], client="z")
+        a.entries.extend(QueryLog.from_statements(["SELECT b"], client="a").entries)
+        assert a.clients == ["z", "a"]
+
+
+class TestIO:
+    def test_text_roundtrip(self, tiny_log, tmp_path):
+        path = tmp_path / "log.sql"
+        save_text(tiny_log, path)
+        loaded = load_text(path)
+        assert loaded.statements() == tiny_log.statements()
+
+    def test_text_skips_comments(self, tmp_path):
+        path = tmp_path / "log.sql"
+        path.write_text("-- header\nSELECT a\n\nSELECT b\n")
+        assert load_text(path).statements() == ["SELECT a", "SELECT b"]
+
+    def test_text_empty_raises(self, tmp_path):
+        path = tmp_path / "empty.sql"
+        path.write_text("-- nothing\n")
+        with pytest.raises(LogError):
+            load_text(path)
+
+    def test_jsonl_roundtrip(self, tiny_log, tmp_path):
+        path = tmp_path / "log.jsonl"
+        save_jsonl(tiny_log, path)
+        loaded = load_jsonl(path)
+        assert loaded.statements() == tiny_log.statements()
+        assert loaded.entries[1].client == tiny_log.entries[1].client
+
+    def test_jsonl_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(LogError):
+            load_jsonl(path)
+
+
+class TestSDSSGenerator:
+    def test_deterministic(self):
+        a = SDSSLogGenerator(seed=1).client_log("C1", "object_lookup", 50)
+        b = SDSSLogGenerator(seed=1).client_log("C1", "object_lookup", 50)
+        assert a.statements() == b.statements()
+
+    def test_all_profiles_parse(self):
+        gen = SDSSLogGenerator(seed=0)
+        for profile in PROFILE_NAMES:
+            log = gen.client_log("CX", profile, 30)
+            assert len(log.asts()) == 30
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(LogError):
+            SDSSLogGenerator().client_log("C1", "moon_landing", 10)
+
+    def test_bad_length_raises(self):
+        with pytest.raises(LogError):
+            SDSSLogGenerator().client_log("C1", "object_lookup", 0)
+
+    def test_clients_cycle_profiles(self):
+        clients = SDSSLogGenerator(seed=0).clients(10, n_queries=5)
+        assert len(clients) == 10
+
+    def test_interleaved_renumbers(self):
+        mixed = SDSSLogGenerator(seed=0).interleaved(3, n_queries=5)
+        assert [e.sequence for e in mixed.entries] == list(range(15))
+
+    def test_full_log_size(self):
+        log = SDSSLogGenerator(seed=0).full_log(100)
+        assert len(log) == 100
+
+    def test_object_lookup_shape(self):
+        """Listing 1 shape: SELECT * FROM <table> WHERE <field> = <hex>."""
+        log = SDSSLogGenerator(seed=0).client_log("C1", "object_lookup", 20)
+        for ast in log.asts():
+            assert ast.children[0].children[0].children[0].node_type == "StarExpr"
+            assert ast.children[1].children[0].node_type == "TableRef"
+
+
+class TestOLAPGenerator:
+    def test_walk_changes_one_aspect_per_step(self):
+        from repro.treediff import extract_diffs
+
+        log = OLAPLogGenerator(seed=5).generate(30)
+        asts = log.asts()
+        for left, right in zip(asts, asts[1:]):
+            leaf = [d for d in extract_diffs(left, right) if d.is_leaf]
+            # one state mutation touches at most a few leaf positions
+            # (a dimension change touches Project and GroupBy)
+            assert 1 <= len(leaf) <= 4
+
+    def test_every_query_has_group_by(self):
+        log = OLAPLogGenerator(seed=5).generate(30)
+        for ast in log.asts():
+            assert any(c.node_type == "GroupBy" for c in ast.children)
+
+    def test_bad_length_raises(self):
+        with pytest.raises(LogError):
+            OLAPLogGenerator().generate(0)
+
+
+class TestAdhocGenerator:
+    def test_parses(self):
+        log = AdhocLogGenerator(seed=3).student_log("S1", 60)
+        assert len(log.asts()) == 60
+
+    def test_students_distinct(self):
+        gen = AdhocLogGenerator(seed=3)
+        logs = gen.students(2, n_queries=30)
+        assert logs["S1"].statements() != logs["S2"].statements()
+
+    def test_structural_variety_exceeds_olap(self):
+        """The ad-hoc log has many more distinct query skeletons than the
+        OLAP walk — that is why its recall plateaus (Figure 6c)."""
+        def skeletons(log):
+            out = set()
+            for ast in log.asts():
+                out.add(tuple(c.node_type for c in ast.children))
+            return out
+
+        adhoc = AdhocLogGenerator(seed=3).student_log("S1", 100)
+        olap = OLAPLogGenerator(seed=3).generate(100)
+        assert len(skeletons(adhoc)) >= len(skeletons(olap))

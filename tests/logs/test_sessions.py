@@ -1,0 +1,68 @@
+"""Session segmentation tests (the Section 3.3 preprocessing)."""
+
+import pytest
+
+from repro.errors import LogError
+from repro.logs import QueryLog
+from repro.logs.sessions import cluster_analyses, segment_log, split_by_distance
+
+ANALYSIS_A = [
+    "SELECT * FROM SpecLineIndex WHERE specObjId = 0x10",
+    "SELECT * FROM SpecLineIndex WHERE specObjId = 0x20",
+    "SELECT * FROM SpecLineIndex WHERE specObjId = 0x30",
+]
+ANALYSIS_B = [
+    "SELECT DestState, COUNT(Delay) FROM ontime WHERE Month = 1 GROUP BY DestState",
+    "SELECT DestState, COUNT(Delay) FROM ontime WHERE Month = 2 GROUP BY DestState",
+]
+
+
+class TestSplit:
+    def test_homogeneous_log_is_one_segment(self):
+        log = QueryLog.from_statements(ANALYSIS_A)
+        assert len(split_by_distance(log)) == 1
+
+    def test_structural_jump_cuts(self):
+        log = QueryLog.from_statements(ANALYSIS_A + ANALYSIS_B)
+        segments = split_by_distance(log)
+        assert len(segments) == 2
+        assert segments[0].statements() == ANALYSIS_A
+
+    def test_empty_log_raises(self):
+        with pytest.raises(LogError):
+            split_by_distance(QueryLog())
+
+    def test_bad_threshold_raises(self):
+        with pytest.raises(LogError):
+            split_by_distance(QueryLog.from_statements(ANALYSIS_A), threshold=0.0)
+
+
+class TestCluster:
+    def test_interleaved_bursts_regroup(self):
+        log = QueryLog.from_statements(
+            ANALYSIS_A[:2] + ANALYSIS_B + ANALYSIS_A[2:]
+        )
+        analyses = segment_log(log)
+        assert len(analyses) == 2
+        lengths = sorted(len(a) for a in analyses)
+        assert lengths == [2, 3]
+
+    def test_cluster_order_is_first_appearance(self):
+        log = QueryLog.from_statements(ANALYSIS_A[:1] + ANALYSIS_B + ANALYSIS_A[1:])
+        analyses = segment_log(log)
+        assert analyses[0].statements()[0] == ANALYSIS_A[0]
+
+    def test_no_segments_raises(self):
+        with pytest.raises(LogError):
+            cluster_analyses([])
+
+    def test_segmented_analyses_mine_cleanly(self):
+        """End-to-end: segmentation turns a mixed log into per-analysis
+        logs whose interfaces fully express their own queries."""
+        from repro import PrecisionInterfaces, parse_sql
+
+        log = QueryLog.from_statements(ANALYSIS_A + ANALYSIS_B + ANALYSIS_A)
+        for analysis in segment_log(log):
+            asts = [parse_sql(s) for s in analysis.statements()]
+            interface = PrecisionInterfaces().generate(asts)
+            assert interface.expressiveness(asts) == 1.0

@@ -1,0 +1,126 @@
+"""Schema catalog and precision-filter tests (Appendix D)."""
+
+import pytest
+
+from repro import PrecisionInterfaces, parse_sql
+from repro.errors import SchemaError
+from repro.schema import (
+    ONTIME_CATALOG,
+    SDSS_CATALOG,
+    SchemaCatalog,
+    closure_precision,
+    validate_query,
+)
+
+
+class TestCatalog:
+    def test_case_insensitive_lookup(self):
+        assert SDSS_CATALOG.has_table("photoobj")
+        assert SDSS_CATALOG.has_column("PHOTOOBJ", "RA")
+
+    def test_columns_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            SDSS_CATALOG.columns_of("nope")
+
+    def test_tables_with_column(self):
+        tables = SDSS_CATALOG.tables_with_column("specObjId")
+        assert "speclineindex" in tables
+        assert "photoobj" not in tables
+
+    def test_duplicate_table_rejected(self):
+        catalog = SchemaCatalog()
+        catalog.add_table("t", ["a"])
+        with pytest.raises(SchemaError):
+            catalog.add_table("T", ["b"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            SchemaCatalog().add_table("t", [])
+
+    def test_table_function_registry(self):
+        assert SDSS_CATALOG.has_table_function("dbo.fGetNearbyObjEq")
+        assert not SDSS_CATALOG.has_table_function("dbo.fMystery")
+
+
+class TestValidation:
+    def test_valid_query(self):
+        ast = parse_sql("SELECT ra, dec FROM PhotoObj WHERE objID = 0x10")
+        assert validate_query(ast, SDSS_CATALOG).valid
+
+    def test_qualified_columns_resolved_through_alias(self):
+        ast = parse_sql("SELECT g.objID FROM Galaxy AS g WHERE g.ra > 1")
+        assert validate_query(ast, SDSS_CATALOG).valid
+
+    def test_wrong_column_for_table(self):
+        """The Appendix D failure mode: a column from one table combined
+        with another table."""
+        ast = parse_sql("SELECT specObjId FROM PhotoObj")
+        result = validate_query(ast, SDSS_CATALOG)
+        assert not result.valid
+        assert any("specObjId" in e for e in result.errors)
+
+    def test_unknown_table(self):
+        ast = parse_sql("SELECT a FROM Nowhere")
+        result = validate_query(ast, SDSS_CATALOG)
+        assert not result.valid
+
+    def test_wrong_qualified_column(self):
+        ast = parse_sql("SELECT g.wave FROM Galaxy AS g")
+        assert not validate_query(ast, SDSS_CATALOG).valid
+
+    def test_udf_from_is_permissive(self):
+        ast = parse_sql(
+            "SELECT g.objID FROM Galaxy AS g, "
+            "dbo.fGetNearbyObjEq(1.0, 2.0, 3.0) AS d WHERE d.objID = g.objID"
+        )
+        assert validate_query(ast, SDSS_CATALOG).valid
+
+    def test_subquery_scopes_validated_independently(self):
+        ast = parse_sql("SELECT * FROM (SELECT wave FROM Galaxy)")
+        assert not validate_query(ast, SDSS_CATALOG).valid
+
+    def test_star_is_always_fine(self):
+        assert validate_query(parse_sql("SELECT * FROM Star"), SDSS_CATALOG).valid
+
+    def test_ontime_catalog(self):
+        ast = parse_sql("SELECT DestState FROM ontime WHERE Month = 1")
+        assert validate_query(ast, ONTIME_CATALOG).valid
+
+
+class TestClosurePrecision:
+    def _mixed_interface(self):
+        """A session whose table widget and column widget were mined from
+        different sub-analyses: every log query is valid, but the widget
+        cross product contains `ra FROM SpecLineIndex`, which is not."""
+        log = [
+            "SELECT specObjId FROM SpecLineIndex WHERE z > 1",
+            "SELECT specObjId FROM SpecLineIndex WHERE z > 2",
+            "SELECT specObjId FROM XCRedshift WHERE z > 2",
+            "SELECT specObjId FROM XCRedshift WHERE z > 3",
+            "SELECT specObjId FROM SpecObj WHERE z > 3",
+            "SELECT ra FROM SpecObj WHERE z > 3",
+            "SELECT ra FROM SpecObj WHERE z > 4",
+        ]
+        return PrecisionInterfaces().generate_from_sql(log)
+
+    def test_unfiltered_precision_below_one(self):
+        interface = self._mixed_interface()
+        precision, count = closure_precision(interface, SDSS_CATALOG, limit=5000)
+        assert count > 0
+        assert precision < 1.0
+
+    def test_filtered_precision_is_one(self):
+        interface = self._mixed_interface()
+        precision, count = closure_precision(
+            interface, SDSS_CATALOG, limit=5000, filtered=True
+        )
+        assert precision == 1.0
+        assert count > 0
+
+    def test_single_client_precision_high(self):
+        log = [
+            f"SELECT ra FROM PhotoObj WHERE objID = {hex(16 + i)}" for i in range(6)
+        ]
+        interface = PrecisionInterfaces().generate_from_sql(log)
+        precision, _count = closure_precision(interface, SDSS_CATALOG, limit=5000)
+        assert precision == 1.0

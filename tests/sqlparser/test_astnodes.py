@@ -1,0 +1,127 @@
+"""Node model tests: identity, metrics, path editing."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.paths import Path
+from repro.sqlparser import Node, parse_sql
+
+
+def leaf(value):
+    return Node("NumExpr", {"value": value})
+
+
+class TestIdentity:
+    def test_structural_equality(self):
+        a = Node("BiExpr", {"op": "="}, [leaf(1), leaf(2)])
+        b = Node("BiExpr", {"op": "="}, [leaf(1), leaf(2)])
+        assert a == b
+        assert a.fingerprint == b.fingerprint
+
+    def test_attribute_difference_breaks_equality(self):
+        a = Node("BiExpr", {"op": "="}, [leaf(1), leaf(2)])
+        b = Node("BiExpr", {"op": "<"}, [leaf(1), leaf(2)])
+        assert a != b
+
+    def test_child_order_matters(self):
+        a = Node("AndExpr", {}, [leaf(1), leaf(2)])
+        b = Node("AndExpr", {}, [leaf(2), leaf(1)])
+        assert a != b
+
+    def test_hashable_in_sets(self):
+        assert len({leaf(1), leaf(1), leaf(2)}) == 2
+
+    def test_not_equal_to_non_node(self):
+        assert leaf(1) != 42
+
+
+class TestMetrics:
+    def test_size(self):
+        ast = parse_sql("SELECT a, b FROM t")
+        # SelectStmt + Project + 2 ProjClause + 2 ColExpr + From + TableRef
+        assert ast.size == 8
+
+    def test_depth_of_leaf(self):
+        assert leaf(1).depth == 1
+
+    def test_n_leaves(self):
+        tree = Node("AndExpr", {}, [leaf(1), Node("BiExpr", {"op": "="},
+                                                  [leaf(2), leaf(3)])])
+        assert tree.n_leaves == 3
+
+    def test_is_leaf(self):
+        assert leaf(0).is_leaf()
+        assert not parse_sql("SELECT a").is_leaf()
+
+
+class TestTraversal:
+    def test_preorder_starts_at_root(self):
+        ast = parse_sql("SELECT a")
+        nodes = list(ast.preorder())
+        assert nodes[0] is ast
+        assert len(nodes) == ast.size
+
+    def test_walk_with_paths_resolves(self):
+        ast = parse_sql("SELECT a, b FROM t WHERE x = 1")
+        for path, node in ast.walk_with_paths():
+            assert ast.get(path) is node
+
+
+class TestPathEditing:
+    def test_get_root(self):
+        ast = parse_sql("SELECT a")
+        assert ast.get(Path.root()) is ast
+
+    def test_get_missing_raises(self):
+        with pytest.raises(PathError):
+            parse_sql("SELECT a").get(Path.parse("9/9"))
+
+    def test_has_path(self):
+        ast = parse_sql("SELECT a FROM t")
+        assert ast.has_path(Path.parse("1/0"))
+        assert not ast.has_path(Path.parse("5"))
+
+    def test_replace_leaf(self):
+        ast = parse_sql("SELECT a FROM t WHERE x = 1")
+        edited = ast.replace_at(Path.parse("2/0/0/1"), leaf(99))
+        assert edited.get(Path.parse("2/0/0/1")).attributes["value"] == 99
+        # original untouched (persistent tree)
+        assert ast.get(Path.parse("2/0/0/1")).attributes["value"] == 1
+
+    def test_replace_root_returns_subtree(self):
+        ast = parse_sql("SELECT a")
+        other = parse_sql("SELECT b")
+        assert ast.replace_at(Path.root(), other) is other
+
+    def test_delete_child(self):
+        ast = parse_sql("SELECT a, b FROM t")
+        edited = ast.delete_at(Path.parse("0/1"))
+        assert len(edited.children[0].children) == 1
+
+    def test_delete_root_raises(self):
+        with pytest.raises(PathError):
+            parse_sql("SELECT a").delete_at(Path.root())
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(PathError):
+            parse_sql("SELECT a").delete_at(Path.parse("0/7"))
+
+    def test_insert_at_end(self):
+        ast = parse_sql("SELECT a FROM t")
+        clause = parse_sql("SELECT TOP 5 a FROM t").children[-1]
+        edited = ast.insert_at(Path.root(), 2, clause)
+        assert edited.children[2].node_type == "Top"
+
+    def test_insert_out_of_range_raises(self):
+        with pytest.raises(PathError):
+            parse_sql("SELECT a").insert_at(Path.root(), 9, leaf(1))
+
+    def test_edits_share_unmodified_subtrees(self):
+        ast = parse_sql("SELECT a, b FROM t WHERE x = 1")
+        edited = ast.replace_at(Path.parse("2/0/0/1"), leaf(2))
+        assert edited.children[0] is ast.children[0]  # Project untouched
+
+    def test_label_and_pretty(self):
+        node = Node("BiExpr", {"op": "="}, [leaf(1), leaf(2)])
+        assert node.label() == "BiExpr(op==)"
+        assert node.pretty().count("\n") == 2

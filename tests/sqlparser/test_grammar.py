@@ -1,0 +1,75 @@
+"""Grammar annotation tests."""
+
+import pytest
+
+from repro.errors import GrammarError
+from repro.sqlparser import Node, parse_sql
+from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
+
+
+class TestKinds:
+    def test_numeric_literal(self):
+        assert SQL_ANNOTATIONS.kind_of(Node("NumExpr", {"value": 5})) == "num"
+
+    def test_hex_is_numeric(self):
+        assert SQL_ANNOTATIONS.kind_of(Node("HexExpr", {"value": 16, "text": "0x10"})) == "num"
+
+    def test_string_literal(self):
+        assert SQL_ANNOTATIONS.kind_of(Node("StrExpr", {"value": "x"})) == "str"
+
+    def test_column_ref_is_str(self):
+        """Table 1 types the ColExpr(sales)->ColExpr(costs) change 'str'."""
+        assert SQL_ANNOTATIONS.kind_of(Node("ColExpr", {"name": "sales"})) == "str"
+
+    def test_tree_kind_for_composites(self):
+        ast = parse_sql("SELECT a FROM t")
+        assert SQL_ANNOTATIONS.kind_of(ast) == "tree"
+
+    def test_literal_type_with_children_is_tree(self):
+        fake = Node("NumExpr", {"value": 1}, [Node("NumExpr", {"value": 2})])
+        assert SQL_ANNOTATIONS.kind_of(fake) == "tree"
+
+
+class TestValues:
+    def test_literal_value_lookup(self):
+        assert SQL_ANNOTATIONS.literal_value(Node("ColExpr", {"name": "ra"})) == "ra"
+
+    def test_numeric_value(self):
+        assert SQL_ANNOTATIONS.numeric_value(Node("NumExpr", {"value": 2.5})) == 2.5
+
+    def test_numeric_value_of_hex(self):
+        node = Node("HexExpr", {"value": 0x400, "text": "0x400"})
+        assert SQL_ANNOTATIONS.numeric_value(node) == 1024.0
+
+    def test_numeric_value_of_string_raises(self):
+        with pytest.raises(GrammarError):
+            SQL_ANNOTATIONS.numeric_value(Node("StrExpr", {"value": "x"}))
+
+    def test_literal_value_of_tree_raises(self):
+        with pytest.raises(GrammarError):
+            SQL_ANNOTATIONS.literal_value(parse_sql("SELECT a"))
+
+    def test_missing_value_attribute_raises(self):
+        with pytest.raises(GrammarError):
+            SQL_ANNOTATIONS.literal_value(Node("NumExpr"))
+
+
+class TestRegistry:
+    def test_collections_registered(self):
+        for node_type in ("Project", "From", "GroupBy", "OrderBy", "AndExpr"):
+            assert SQL_ANNOTATIONS.is_collection(node_type)
+
+    def test_statements_registered(self):
+        assert SQL_ANNOTATIONS.is_statement("SelectStmt")
+        assert not SQL_ANNOTATIONS.is_statement("BiExpr")
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(GrammarError):
+            GrammarAnnotations(
+                literal_types={"X": "num"},
+                collection_types=frozenset({"X"}),
+            )
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(GrammarError):
+            GrammarAnnotations(literal_types={"X": "banana"})

@@ -1,0 +1,293 @@
+"""Parser unit tests: node shapes for every supported construct."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sqlparser import parse_sql
+from repro.treediff.paths import Path
+
+
+def clause_types(sql):
+    return [c.node_type for c in parse_sql(sql).children]
+
+
+class TestClauseStructure:
+    def test_minimal_select(self):
+        ast = parse_sql("SELECT a")
+        assert ast.node_type == "SelectStmt"
+        assert clause_types("SELECT a") == ["Project"]
+
+    def test_canonical_clause_order(self):
+        sql = (
+            "SELECT TOP 5 a FROM t WHERE x = 1 GROUP BY a HAVING COUNT(a) > 2 "
+            "ORDER BY a LIMIT 3"
+        )
+        assert clause_types(sql) == [
+            "Project", "From", "Where", "GroupBy", "Having", "OrderBy",
+            "Limit", "Top",
+        ]
+
+    def test_top_is_last_child(self):
+        """TOP lives at the end of the child list so toggling it does not
+        shift the other clauses' paths (Listing 6 stability)."""
+        without = parse_sql("SELECT a FROM t WHERE x = 1")
+        with_top = parse_sql("SELECT TOP 3 a FROM t WHERE x = 1")
+        assert with_top.children[-1].node_type == "Top"
+        for index in range(len(without.children)):
+            assert (
+                without.children[index].node_type
+                == with_top.children[index].node_type
+            )
+
+    def test_distinct_marker(self):
+        ast = parse_sql("SELECT DISTINCT a FROM t")
+        assert ast.children[-1].node_type == "Distinct"
+
+    def test_where_is_always_andexpr(self):
+        """A single predicate is still wrapped so adding a conjunct later
+        is an insertion, not a clause replacement."""
+        ast = parse_sql("SELECT a FROM t WHERE x = 1")
+        where = ast.children[2]
+        assert where.node_type == "Where"
+        assert where.children[0].node_type == "AndExpr"
+        assert len(where.children[0].children) == 1
+
+    def test_conjunction_flattened(self):
+        ast = parse_sql("SELECT a FROM t WHERE x = 1 AND y = 2 AND z = 3")
+        assert len(ast.children[2].children[0].children) == 3
+
+    def test_table1_paths(self):
+        """The paper's Table 1 path layout: Project at 0, second
+        ProjClause at 0/1, the Where-clause string literal at 2/0/0/1."""
+        ast = parse_sql("SELECT year, sales FROM T WHERE cty = 'USA' AND x > 1")
+        assert ast.get(Path.parse("0/1/0")).attributes["name"] == "sales"
+        assert ast.get(Path.parse("2/0/0/1")).attributes["value"] == "USA"
+        assert ast.get(Path.parse("2/0/0")).node_type == "BiExpr"
+
+    def test_limit_offset(self):
+        ast = parse_sql("SELECT a FROM t LIMIT 10 OFFSET 5")
+        limit = ast.children[-1]
+        assert limit.node_type == "Limit"
+        assert [c.attributes["value"] for c in limit.children] == [10, 5]
+
+    def test_trailing_semicolon_accepted(self):
+        parse_sql("SELECT a;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a FROM t xyzzy qux")
+
+
+class TestProjection:
+    def test_alias_with_as(self):
+        proj = parse_sql("SELECT a AS b").children[0].children[0]
+        assert proj.children[1].node_type == "AliasName"
+        assert proj.children[1].attributes["name"] == "b"
+
+    def test_alias_without_as(self):
+        proj = parse_sql("SELECT a b").children[0].children[0]
+        assert proj.children[1].attributes["name"] == "b"
+
+    def test_star(self):
+        proj = parse_sql("SELECT *").children[0].children[0]
+        assert proj.children[0].node_type == "StarExpr"
+
+    def test_qualified_star(self):
+        proj = parse_sql("SELECT t.*").children[0].children[0]
+        assert proj.children[0].attributes["name"] == "t.*"
+
+    def test_function_name_is_child_leaf(self):
+        """Listing 5 requires separate widgets for the function name and
+        its argument, so FuncName is a child, not an attribute."""
+        func = parse_sql("SELECT avg(a)").children[0].children[0].children[0]
+        assert func.node_type == "FuncExpr"
+        assert func.children[0].node_type == "FuncName"
+        assert func.children[0].attributes["name"] == "avg"
+
+    def test_count_star(self):
+        func = parse_sql("SELECT COUNT(*)").children[0].children[0].children[0]
+        assert func.children[1].node_type == "StarExpr"
+
+    def test_count_distinct(self):
+        func = parse_sql("SELECT COUNT(DISTINCT a)").children[0].children[0].children[0]
+        assert func.children[1].node_type == "Distinct"
+
+
+class TestFromClause:
+    def test_table_alias(self):
+        ref = parse_sql("SELECT a FROM Galaxy AS g").children[1].children[0]
+        assert ref.attributes == {"name": "Galaxy", "alias": "g"}
+
+    def test_udf_table_function(self):
+        ref = parse_sql(
+            "SELECT a FROM dbo.fGetNearbyObjEq(5.8, 0.3, 2.0) AS d"
+        ).children[1].children[0]
+        assert ref.node_type == "FuncTableRef"
+        assert ref.children[0].attributes["name"] == "dbo.fGetNearbyObjEq"
+        assert len(ref.children) == 4
+
+    def test_subquery_in_from(self):
+        ref = parse_sql("SELECT * FROM (SELECT a FROM t)").children[1].children[0]
+        assert ref.node_type == "SubqueryRef"
+        assert ref.children[0].node_type == "SelectStmt"
+
+    def test_comma_join(self):
+        from_clause = parse_sql("SELECT a FROM t1, t2").children[1]
+        assert len(from_clause.children) == 2
+
+    def test_explicit_join(self):
+        join = parse_sql("SELECT a FROM t1 JOIN t2 ON t1.x = t2.x").children[1].children[0]
+        assert join.node_type == "JoinRef"
+        assert join.attributes["join_type"] == "INNER"
+        assert join.children[2].node_type == "OnClause"
+
+    def test_left_outer_join(self):
+        join = parse_sql("SELECT a FROM t1 LEFT OUTER JOIN t2 ON t1.x = t2.x").children[1].children[0]
+        assert join.attributes["join_type"] == "LEFT"
+
+
+class TestExpressions:
+    def test_comparison(self):
+        pred = parse_sql("SELECT a FROM t WHERE x >= 5").children[2].children[0].children[0]
+        assert pred.attributes["op"] == ">="
+
+    def test_not_equal_normalised(self):
+        pred = parse_sql("SELECT a FROM t WHERE x != 5").children[2].children[0].children[0]
+        assert pred.attributes["op"] == "<>"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_sql("SELECT a + b * c").children[0].children[0].children[0]
+        assert expr.attributes["op"] == "+"
+        assert expr.children[1].attributes["op"] == "*"
+
+    def test_parenthesised_precedence(self):
+        expr = parse_sql("SELECT (a + b) * c").children[0].children[0].children[0]
+        assert expr.attributes["op"] == "*"
+
+    def test_between(self):
+        pred = parse_sql("SELECT a FROM t WHERE x BETWEEN 1 AND 5").children[2].children[0].children[0]
+        assert pred.node_type == "BetweenExpr"
+        assert len(pred.children) == 3
+
+    def test_not_between(self):
+        pred = parse_sql("SELECT a FROM t WHERE x NOT BETWEEN 1 AND 5").children[2].children[0].children[0]
+        assert pred.node_type == "NotExpr"
+        assert pred.children[0].node_type == "BetweenExpr"
+
+    def test_in_list(self):
+        pred = parse_sql("SELECT a FROM t WHERE x IN (1, 2, 3)").children[2].children[0].children[0]
+        assert pred.node_type == "InExpr"
+        assert len(pred.children[1].children) == 3
+
+    def test_in_subquery(self):
+        pred = parse_sql("SELECT a FROM t WHERE x IN (SELECT y FROM u)").children[2].children[0].children[0]
+        assert pred.children[1].node_type == "SelectStmt"
+
+    def test_like(self):
+        pred = parse_sql("SELECT a FROM t WHERE name LIKE 'A%'").children[2].children[0].children[0]
+        assert pred.attributes["op"] == "LIKE"
+
+    def test_is_null(self):
+        pred = parse_sql("SELECT a FROM t WHERE x IS NULL").children[2].children[0].children[0]
+        assert pred.node_type == "IsNullExpr"
+        assert not pred.attributes["negated"]
+
+    def test_is_not_null(self):
+        pred = parse_sql("SELECT a FROM t WHERE x IS NOT NULL").children[2].children[0].children[0]
+        assert pred.attributes["negated"]
+
+    def test_or_flattened(self):
+        body = parse_sql("SELECT a FROM t WHERE x = 1 OR y = 2 OR z = 3").children[2].children[0]
+        # the AndExpr wrapper holds a single OrExpr with three children
+        assert body.children[0].node_type == "OrExpr"
+        assert len(body.children[0].children) == 3
+
+    def test_unary_minus_folds_into_literal(self):
+        expr = parse_sql("SELECT -5").children[0].children[0].children[0]
+        assert expr.node_type == "NumExpr"
+        assert expr.attributes["value"] == -5
+
+    def test_hex_literal_value(self):
+        pred = parse_sql("SELECT * FROM t WHERE id = 0x400").children[2].children[0].children[0]
+        assert pred.children[1].node_type == "HexExpr"
+        assert pred.children[1].attributes["value"] == 0x400
+
+    def test_case_expression(self):
+        expr = parse_sql(
+            "SELECT CASE carrier WHEN 'AA' THEN 1 ELSE 0 END"
+        ).children[0].children[0].children[0]
+        assert expr.node_type == "CaseExpr"
+        assert [c.node_type for c in expr.children] == [
+            "CaseInput", "WhenClause", "ElseClause",
+        ]
+
+    def test_searched_case(self):
+        expr = parse_sql("SELECT CASE WHEN x > 1 THEN 1 END").children[0].children[0].children[0]
+        assert expr.children[0].node_type == "WhenClause"
+
+    def test_cast_with_type(self):
+        expr = parse_sql("SELECT CAST(a AS INT)").children[0].children[0].children[0]
+        assert expr.node_type == "CastExpr"
+        assert expr.children[1].attributes["name"] == "INT"
+
+    def test_tableau_cast_without_type(self):
+        """Listing 3 contains CAST(uniquecarrier) with no AS type."""
+        expr = parse_sql("SELECT CAST(uniquecarrier) AS u").children[0].children[0].children[0]
+        assert expr.node_type == "CastExpr"
+        assert len(expr.children) == 1
+
+    def test_exists(self):
+        pred = parse_sql("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)").children[2].children[0].children[0]
+        assert pred.node_type == "ExistsExpr"
+
+    def test_scalar_subquery(self):
+        expr = parse_sql("SELECT (SELECT max(x) FROM u)").children[0].children[0].children[0]
+        assert expr.node_type == "ScalarSubquery"
+
+
+class TestSetOperations:
+    def test_union(self):
+        ast = parse_sql("SELECT a FROM t UNION SELECT b FROM u")
+        assert ast.node_type == "SetOpStmt"
+        assert ast.attributes["op"] == "UNION"
+
+    def test_union_all(self):
+        ast = parse_sql("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert ast.attributes["op"] == "UNION ALL"
+
+    def test_union_left_associative(self):
+        ast = parse_sql("SELECT a UNION SELECT b UNION SELECT c")
+        assert ast.children[0].node_type == "SetOpStmt"
+
+
+class TestOrderBy:
+    def test_sort_direction(self):
+        order = parse_sql("SELECT a FROM t ORDER BY a DESC").children[2]
+        assert order.children[0].children[1].attributes["value"] == "DESC"
+
+    def test_implicit_direction_has_no_node(self):
+        order = parse_sql("SELECT a FROM t ORDER BY a").children[2]
+        assert len(order.children[0].children) == 1
+
+    def test_multiple_keys(self):
+        order = parse_sql("SELECT a FROM t ORDER BY a, b DESC").children[2]
+        assert len(order.children) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a FROM",
+            "SELECT a WHERE",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t GROUP a",
+            "SELECT CASE END",
+        ],
+    )
+    def test_malformed_raises(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(sql)

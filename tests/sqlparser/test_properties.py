@@ -1,0 +1,70 @@
+"""Property-based tests for the parser substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paths import Path
+from repro.sqlparser import parse_sql, render_sql
+from tests.strategies import scalar_exprs, select_statements
+
+
+@settings(max_examples=150, deadline=None)
+@given(select_statements())
+def test_render_parse_roundtrip(ast):
+    """Any AST the strategy builds survives render -> parse unchanged."""
+    assert parse_sql(render_sql(ast)) == ast
+
+
+@settings(max_examples=100, deadline=None)
+@given(select_statements())
+def test_double_roundtrip_fixpoint(ast):
+    """Rendering is a fixpoint: render(parse(render(x))) == render(x)."""
+    once = render_sql(ast)
+    assert render_sql(parse_sql(once)) == once
+
+
+@settings(max_examples=100, deadline=None)
+@given(select_statements())
+def test_fingerprint_consistency(ast):
+    """Structurally equal trees have equal fingerprints."""
+    clone = parse_sql(render_sql(ast))
+    assert clone.fingerprint == ast.fingerprint
+
+
+@settings(max_examples=100, deadline=None)
+@given(select_statements())
+def test_walk_paths_resolve(ast):
+    for path, node in ast.walk_with_paths():
+        assert ast.get(path).equals(node)
+
+
+@settings(max_examples=100, deadline=None)
+@given(select_statements(), select_statements())
+def test_replace_at_every_path_keeps_tree_valid(a, b):
+    """Replacing any subtree of a with the root of b yields a tree whose
+    size identity holds (persistent edit correctness)."""
+    paths = [p for p, _ in a.walk_with_paths()]
+    target = paths[len(paths) // 2]
+    edited = a.replace_at(target, b)
+    assert edited.get(target).equals(b)
+    expected = a.size - a.get(target).size + b.size
+    assert edited.size == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(scalar_exprs())
+def test_scalar_expression_roundtrip(expr):
+    """Scalar expressions round-trip inside a SELECT wrapper."""
+    from repro.sqlparser.astnodes import Node
+
+    ast = Node(
+        "SelectStmt", {}, [Node("Project", {}, [Node("ProjClause", {}, [expr])])]
+    )
+    assert parse_sql(render_sql(ast)) == ast
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=9), max_size=6))
+def test_path_parse_str_roundtrip(steps):
+    path = Path(tuple(steps))
+    assert Path.parse(str(path)) == path

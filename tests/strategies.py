@@ -1,0 +1,126 @@
+"""Hypothesis strategies for random-but-valid SQL ASTs.
+
+The generators build ASTs bottom-up in the exact node vocabulary the
+parser emits, so every generated tree should round-trip through
+``render_sql`` / ``parse_sql`` unchanged — the core property the parser
+substrate is tested on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.sqlparser.astnodes import Node
+
+_IDENT = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    # exclude words the lexer treats as keywords
+    lambda s: s.upper()
+    not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "OFFSET", "TOP", "DISTINCT", "ALL", "AS", "AND", "OR", "NOT", "IN",
+        "IS", "NULL", "LIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE",
+        "END", "CAST", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER",
+        "CROSS", "ON", "UNION", "EXCEPT", "INTERSECT", "ASC", "DESC",
+        "EXISTS", "TRUE", "FALSE",
+    }
+)
+
+_NUM = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6).map(
+        lambda v: Node("NumExpr", {"value": v})
+    ),
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+    .map(lambda v: round(v, 3))
+    .filter(lambda v: v == v and abs(v) < 1e6)
+    .map(lambda v: Node("NumExpr", {"value": v})),
+)
+
+_STR = st.from_regex(r"[a-zA-Z0-9 _\-]{0,12}", fullmatch=True).map(
+    lambda s: Node("StrExpr", {"value": s})
+)
+
+_COL = _IDENT.map(lambda name: Node("ColExpr", {"name": name}))
+
+_LITERAL = st.one_of(_NUM, _STR, _COL)
+
+_COMPARISON_OP = st.sampled_from(["=", "<>", "<", ">", "<=", ">="])
+_ARITH_OP = st.sampled_from(["+", "-", "*", "/"])
+
+
+def _bi(op_strategy):
+    def build(children_strategy):
+        return st.tuples(op_strategy, children_strategy, children_strategy).map(
+            lambda t: Node("BiExpr", {"op": t[0]}, [t[1], t[2]])
+        )
+
+    return build
+
+
+def scalar_exprs(max_depth: int = 3):
+    """Arithmetic/comparison expression trees over literals and columns."""
+    return st.recursive(
+        _LITERAL,
+        lambda inner: st.one_of(
+            _bi(_ARITH_OP)(inner),
+            st.tuples(_IDENT, st.lists(inner, min_size=1, max_size=3)).map(
+                lambda t: Node(
+                    "FuncExpr", {}, [Node("FuncName", {"name": t[0]})] + t[1]
+                )
+            ),
+        ),
+        max_leaves=6,
+    )
+
+
+def predicates():
+    """WHERE-clause conjunct strategies."""
+    simple = st.tuples(_COMPARISON_OP, _COL, st.one_of(_NUM, _STR)).map(
+        lambda t: Node("BiExpr", {"op": t[0]}, [t[1], t[2]])
+    )
+    between = st.tuples(
+        _COL,
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=101, max_value=1000),
+    ).map(
+        lambda t: Node(
+            "BetweenExpr",
+            {},
+            [t[0], Node("NumExpr", {"value": t[1]}), Node("NumExpr", {"value": t[2]})],
+        )
+    )
+    return st.one_of(simple, between)
+
+
+@st.composite
+def select_statements(draw) -> Node:
+    """A random SELECT AST in canonical clause order."""
+    n_proj = draw(st.integers(min_value=1, max_value=4))
+    projections = [
+        Node("ProjClause", {}, [draw(scalar_exprs())]) for _ in range(n_proj)
+    ]
+    clauses = [Node("Project", {}, projections)]
+
+    table = draw(_IDENT)
+    clauses.append(Node("From", {}, [Node("TableRef", {"name": table})]))
+
+    if draw(st.booleans()):
+        n_conj = draw(st.integers(min_value=1, max_value=3))
+        conjuncts = [draw(predicates()) for _ in range(n_conj)]
+        clauses.append(Node("Where", {}, [Node("AndExpr", {}, conjuncts)]))
+
+    if draw(st.booleans()):
+        n_group = draw(st.integers(min_value=1, max_value=2))
+        groups = [Node("GroupClause", {}, [draw(_COL)]) for _ in range(n_group)]
+        clauses.append(Node("GroupBy", {}, groups))
+
+    if draw(st.booleans()):
+        clauses.append(
+            Node(
+                "Top",
+                {},
+                [Node("NumExpr", {"value": draw(st.integers(1, 1000))})],
+            )
+        )
+    return Node("SelectStmt", {}, clauses)

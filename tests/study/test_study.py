@@ -1,0 +1,127 @@
+"""User-study substrate tests: tasks, simulator, ANOVA."""
+
+import pytest
+
+from repro.study import (
+    SDSS_FORM_FIELDS,
+    TASKS,
+    UserStudySimulator,
+    anova,
+    study_interfaces,
+    user_study_log,
+    widgets_for_task,
+)
+
+
+@pytest.fixture(scope="module")
+def interfaces():
+    return study_interfaces(user_study_log(600))
+
+
+class TestTasks:
+    def test_four_tasks(self):
+        assert [t.number for t in TASKS] == [1, 2, 3, 4]
+
+    def test_targets_parse(self):
+        for task in TASKS:
+            assert task.target().node_type == "SelectStmt"
+
+    def test_log_tagged_by_task(self):
+        log = user_study_log(200)
+        assert set(log.clients) == {"task1", "task2", "task3", "task4"}
+
+    def test_log_deterministic(self):
+        assert user_study_log(100).statements() == user_study_log(100).statements()
+
+    def test_every_task_expressible(self, interfaces):
+        for task in TASKS:
+            widgets = widgets_for_task(interfaces[task.number], task)
+            assert widgets is not None
+            assert len(widgets) >= 1
+
+    def test_inexpressible_task_returns_none(self, interfaces):
+        # task 4's interface cannot express task 1 (different tables)
+        assert widgets_for_task(interfaces[4], TASKS[0]) is None
+
+    def test_sdss_form_lacks_task1(self):
+        assert SDSS_FORM_FIELDS[1] is None
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def results(self, interfaces):
+        return UserStudySimulator(interfaces, n_users=40, seed=7).run()
+
+    def test_observation_count(self, results):
+        assert len(results.observations) == 40 * 4
+
+    def test_task1_gap(self, results):
+        """The headline result: Task 1 forces the SQL fallback on the SDSS
+        form (≈60 s, low accuracy) but has a dedicated widget on the
+        generated interface."""
+        assert results.mean_time(task=1, interface="sdss") > 50
+        assert results.mean_time(task=1, interface="precision") < 15
+        assert results.accuracy(task=1, interface="sdss") < 0.8
+        assert results.accuracy(task=1, interface="precision") > 0.9
+
+    def test_tasks_2_to_4_precision_faster(self, results):
+        for task in (2, 3, 4):
+            assert results.mean_time(task=task, interface="precision") < \
+                results.mean_time(task=task, interface="sdss")
+
+    def test_accuracy_parity_on_tasks_2_to_4(self, results):
+        for task in (2, 3, 4):
+            assert results.accuracy(task=task, interface="precision") >= 0.9
+            assert results.accuracy(task=task, interface="sdss") >= 0.9
+
+    def test_learning_effect(self, results):
+        """Later positions are faster for widget-driven conditions
+        (Figure 13)."""
+        first = results.mean_time(interface="precision", order=1)
+        last = results.mean_time(interface="precision", order=4)
+        assert last < first
+
+    def test_confidence_interval_positive(self, results):
+        assert results.confidence_95(interface="precision") > 0
+
+    def test_deterministic(self, interfaces):
+        a = UserStudySimulator(interfaces, n_users=10, seed=3).run()
+        b = UserStudySimulator(interfaces, n_users=10, seed=3).run()
+        assert [o.time_s for o in a.observations] == [o.time_s for o in b.observations]
+
+
+class TestAnova:
+    def test_study_factors_significant(self, interfaces):
+        results = UserStudySimulator(interfaces, n_users=40, seed=7).run()
+        response, factors = results.as_columns()
+        table = anova(response, factors, interactions=[("task", "interface")])
+        by_term = {row.term: row for row in table}
+        for term in ("task", "interface", "order", "task:interface"):
+            assert by_term[term].p_value < 1e-6
+
+    def test_null_effect_not_significant(self):
+        import random
+
+        rng = random.Random(0)
+        response = [rng.gauss(10, 1) for _ in range(200)]
+        factors = {"group": [i % 2 for i in range(200)]}
+        table = anova(response, factors)
+        assert table[0].p_value > 0.01
+
+    def test_detects_real_effect(self):
+        response = [10.0 + (5.0 if i % 2 else 0.0) + (i % 7) * 0.01 for i in range(100)]
+        factors = {"group": [i % 2 for i in range(100)]}
+        table = anova(response, factors)
+        assert table[0].p_value < 1e-10
+
+    def test_residual_row_last(self):
+        table = anova([1.0, 2.0, 3.0, 4.0], {"g": [0, 0, 1, 1]})
+        assert table[-1].term == "Residual"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            anova([], {})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            anova([1.0, 2.0], {"g": [0]})

@@ -1,0 +1,170 @@
+"""Diff extraction tests, including the paper's Table 1."""
+
+import pytest
+
+from repro.errors import DiffError
+from repro.paths import Path
+from repro.sqlparser import Node, parse_sql
+from repro.treediff import Diff, classify_change, diff_signature, extract_diffs
+
+
+def by_path(diffs):
+    return {str(d.path): d for d in diffs}
+
+
+class TestTable1:
+    """The diffs table of the paper's Table 1 (Figure 3 ASTs)."""
+
+    def test_all_four_records_present_unpruned(self, simple_pair):
+        q1, q2 = simple_pair
+        diffs = by_path(extract_diffs(q1, q2, prune=False))
+        # d1: ColExpr(sales) -> ColExpr(costs), type str
+        d1 = diffs["0/1/0"]
+        assert d1.t1.attributes["name"] == "sales"
+        assert d1.t2.attributes["name"] == "costs"
+        assert d1.kind == "str"
+        # d2: StrExpr(USA) -> StrExpr(EUR), type str
+        d2 = diffs["2/0/0/1"]
+        assert d2.t1.attributes["value"] == "USA"
+        assert d2.kind == "str"
+        # d3: ProjClause ancestor, type tree
+        assert diffs["0/1"].kind == "tree"
+        assert not diffs["0/1"].is_leaf
+        # d4: BiExpr ancestor, type tree
+        assert diffs["2/0/0"].kind == "tree"
+
+    def test_root_replacement_always_in_unpruned(self, simple_pair):
+        q1, q2 = simple_pair
+        diffs = by_path(extract_diffs(q1, q2, prune=False))
+        assert "/" in diffs
+
+    def test_lca_pruning_keeps_leaves_and_root(self, simple_pair):
+        """With two leaf-diffs in different clauses, their LCA is the root;
+        intermediate ancestors are pruned (Section 6.2)."""
+        q1, q2 = simple_pair
+        paths = set(by_path(extract_diffs(q1, q2, prune=True)))
+        assert paths == {"0/1/0", "2/0/0/1", "/"}
+
+    def test_single_leaf_diff_prunes_all_ancestors(self):
+        a = parse_sql("SELECT a FROM t WHERE x = 1")
+        b = parse_sql("SELECT a FROM t WHERE x = 2")
+        diffs = extract_diffs(a, b, prune=True)
+        assert len(diffs) == 1
+        assert diffs[0].is_leaf
+
+    def test_pruned_is_subset_of_unpruned(self, simple_pair):
+        q1, q2 = simple_pair
+        pruned = {diff_signature(d) for d in extract_diffs(q1, q2, prune=True)}
+        full = {diff_signature(d) for d in extract_diffs(q1, q2, prune=False)}
+        assert pruned <= full
+
+
+class TestStructuralDiffs:
+    def test_equal_trees_no_diffs(self):
+        ast = parse_sql("SELECT a FROM t")
+        assert extract_diffs(ast, ast) == []
+
+    def test_insertion_has_null_t1(self):
+        a = parse_sql("SELECT a FROM t")
+        b = parse_sql("SELECT TOP 5 a FROM t")
+        diffs = extract_diffs(a, b)
+        assert len(diffs) == 1
+        assert diffs[0].is_insertion
+        assert diffs[0].t2.node_type == "Top"
+        assert diffs[0].kind == "tree"
+
+    def test_deletion_has_null_t2(self):
+        a = parse_sql("SELECT TOP 5 a FROM t")
+        b = parse_sql("SELECT a FROM t")
+        diffs = extract_diffs(a, b)
+        assert diffs[0].is_deletion
+
+    def test_table_to_subquery_is_one_replacement(self):
+        a = parse_sql("SELECT * FROM T")
+        b = parse_sql("SELECT * FROM (SELECT a FROM T WHERE b > 10)")
+        diffs = extract_diffs(a, b)
+        assert len(diffs) == 1
+        assert diffs[0].t1.node_type == "TableRef"
+        assert diffs[0].t2.node_type == "SubqueryRef"
+
+    def test_nested_literal_change_path(self):
+        a = parse_sql("SELECT * FROM (SELECT a FROM T WHERE b > 10)")
+        b = parse_sql("SELECT * FROM (SELECT a FROM T WHERE b > 20)")
+        diffs = extract_diffs(a, b)
+        assert len(diffs) == 1
+        assert str(diffs[0].path) == "1/0/0/2/0/0/1"
+        assert diffs[0].kind == "num"
+
+    def test_query_indices_recorded(self):
+        a = parse_sql("SELECT a")
+        b = parse_sql("SELECT b")
+        diffs = extract_diffs(a, b, q1=7, q2=9)
+        assert diffs[0].q1 == 7
+        assert diffs[0].q2 == 9
+
+
+class TestDiffSemantics:
+    def test_apply_replacement(self):
+        a = parse_sql("SELECT a FROM t WHERE x = 1")
+        b = parse_sql("SELECT a FROM t WHERE x = 2")
+        diffs = extract_diffs(a, b)
+        assert diffs[0].apply(a) == b
+
+    def test_apply_insertion(self):
+        a = parse_sql("SELECT a FROM t")
+        b = parse_sql("SELECT TOP 5 a FROM t")
+        assert extract_diffs(a, b)[0].apply(a) == b
+
+    def test_apply_deletion(self):
+        a = parse_sql("SELECT TOP 5 a FROM t")
+        b = parse_sql("SELECT a FROM t")
+        assert extract_diffs(a, b)[0].apply(a) == b
+
+    def test_invert_roundtrip(self):
+        a = parse_sql("SELECT a FROM t WHERE x = 1")
+        b = parse_sql("SELECT a FROM t WHERE x = 2")
+        d = extract_diffs(a, b)[0]
+        assert d.invert().apply(b) == a
+
+    def test_apply_to_incompatible_tree_raises(self):
+        a = parse_sql("SELECT a FROM t WHERE x = 1")
+        b = parse_sql("SELECT a FROM t WHERE x = 2")
+        d = extract_diffs(a, b)[0]
+        with pytest.raises(DiffError):
+            d.apply(parse_sql("SELECT a"))
+
+    def test_all_null_diff_rejected(self):
+        with pytest.raises(DiffError):
+            Diff(0, 1, Path.root(), None, None, "tree", True)
+
+    def test_signature_ignores_query_ids(self):
+        a = parse_sql("SELECT a FROM t WHERE x = 1")
+        b = parse_sql("SELECT a FROM t WHERE x = 2")
+        d1 = extract_diffs(a, b, q1=0, q2=1)[0]
+        d2 = extract_diffs(a, b, q1=5, q2=6)[0]
+        assert diff_signature(d1) == diff_signature(d2)
+
+
+class TestClassifyChange:
+    def test_num_pair(self):
+        assert classify_change(
+            Node("NumExpr", {"value": 1}), Node("NumExpr", {"value": 2})
+        ) == "num"
+
+    def test_str_pair(self):
+        assert classify_change(
+            Node("StrExpr", {"value": "a"}), Node("ColExpr", {"name": "b"})
+        ) == "str"
+
+    def test_num_str_casts_to_str(self):
+        assert classify_change(
+            Node("NumExpr", {"value": 1}), Node("StrExpr", {"value": "x"})
+        ) == "str"
+
+    def test_presence_toggle_is_tree(self):
+        assert classify_change(None, Node("NumExpr", {"value": 1})) == "tree"
+
+    def test_mixed_tree(self):
+        assert classify_change(
+            Node("NumExpr", {"value": 1}), parse_sql("SELECT a")
+        ) == "tree"

@@ -1,0 +1,105 @@
+"""Ordered tree matching tests."""
+
+from repro.sqlparser import Node, parse_sql
+from repro.treediff.matching import align_children, match_trees, tree_distance
+
+
+def num(v):
+    return Node("NumExpr", {"value": v})
+
+
+def pred(col, v):
+    return Node("BiExpr", {"op": "="}, [Node("ColExpr", {"name": col}), num(v)])
+
+
+class TestAlignChildren:
+    def test_identical_lists_all_match(self):
+        kids = (num(1), num(2), num(3))
+        pairs = align_children(kids, kids)
+        assert all(p.is_match for p in pairs)
+        assert [(p.a_index, p.b_index) for p in pairs] == [(0, 0), (1, 1), (2, 2)]
+
+    def test_empty_lists(self):
+        assert align_children((), ()) == []
+
+    def test_pure_insertion(self):
+        pairs = align_children((num(1),), (num(1), num(2)))
+        assert pairs[0].is_match
+        assert pairs[1].is_insertion
+        assert pairs[1].b_index == 1
+
+    def test_pure_deletion(self):
+        pairs = align_children((num(1), num(2)), (num(2),))
+        assert pairs[0].is_deletion
+        assert pairs[1].is_match
+
+    def test_middle_insertion_preserves_order(self):
+        a = (num(1), num(3))
+        b = (num(1), num(2), num(3))
+        pairs = align_children(a, b)
+        assert [p.is_insertion for p in pairs] == [False, True, False]
+
+    def test_one_to_one_pairs_across_types(self):
+        """A lone table ref swapped for a subquery is a single replacement
+        (Figure 5e), not delete+insert."""
+        table = Node("TableRef", {"name": "T"})
+        subquery = Node("SubqueryRef", {}, [parse_sql("SELECT a FROM T")])
+        pairs = align_children((table,), (subquery,))
+        assert len(pairs) == 1
+        assert pairs[0].is_match
+
+    def test_keyed_conjunct_alignment(self):
+        """Month pairs with Month even when the list grows."""
+        a = (pred("Month", 9), pred("Day", 3))
+        b = (pred("Month", 4), pred("Day", 19), pred("DayOfWeek", 7))
+        pairs = align_children(a, b)
+        matches = [(p.a_index, p.b_index) for p in pairs if p.is_match]
+        assert (0, 0) in matches
+        assert (1, 1) in matches
+        inserts = [p.b_index for p in pairs if p.is_insertion]
+        assert inserts == [2]
+
+    def test_anchored_exact_children_stay_matched(self):
+        shared = pred("Day", 3)
+        a = (pred("Month", 9), shared)
+        b = (pred("Year", 2020), shared)
+        pairs = align_children(a, b)
+        matches = [(p.a_index, p.b_index) for p in pairs if p.is_match]
+        assert (1, 1) in matches
+
+
+class TestMatchTrees:
+    def test_roots_always_matched(self):
+        a = parse_sql("SELECT a")
+        b = parse_sql("SELECT b FROM t")
+        assert ((), ()) in match_trees(a, b)
+
+    def test_full_match_for_equal_trees(self):
+        ast = parse_sql("SELECT a, b FROM t WHERE x = 1")
+        assert len(match_trees(ast, ast)) == ast.size
+
+    def test_sibling_order_preserved(self):
+        a = parse_sql("SELECT a, b")
+        b = parse_sql("SELECT b, a")
+        matched = match_trees(a, b)
+        pairs = [(pa, pb) for pa, pb in matched if len(pa) == 2]
+        for pa, pb in pairs:
+            # matched projection clauses keep left-to-right order
+            assert pa[-1] <= pb[-1] or pb[-1] <= pa[-1]
+
+
+class TestTreeDistance:
+    def test_zero_for_equal(self):
+        ast = parse_sql("SELECT a FROM t")
+        assert tree_distance(ast, ast) == 0.0
+
+    def test_positive_for_different(self):
+        a = parse_sql("SELECT a FROM t")
+        b = parse_sql("SELECT b FROM t")
+        assert tree_distance(a, b) > 0
+
+    def test_monotone_in_change_size(self):
+        base = parse_sql("SELECT a FROM t WHERE x = 1")
+        small = parse_sql("SELECT a FROM t WHERE x = 2")
+        large = parse_sql("SELECT z, w FROM other WHERE q > 5")
+        assert tree_distance(base, small) < tree_distance(base, large)

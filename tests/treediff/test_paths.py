@@ -1,0 +1,90 @@
+"""Path tests."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.paths import Path
+
+
+class TestConstruction:
+    def test_root(self):
+        assert Path.root().is_root()
+        assert str(Path.root()) == "/"
+
+    def test_parse_paper_notation(self):
+        assert Path.parse("0/1/0").steps == (0, 1, 0)
+
+    def test_parse_root_forms(self):
+        assert Path.parse("") == Path.root()
+        assert Path.parse("/") == Path.root()
+
+    def test_parse_malformed_raises(self):
+        with pytest.raises(PathError):
+            Path.parse("0/x/1")
+
+    def test_negative_step_raises(self):
+        with pytest.raises(PathError):
+            Path((0, -1))
+
+
+class TestNavigation:
+    def test_child(self):
+        assert Path.parse("0/1").child(2) == Path.parse("0/1/2")
+
+    def test_parent(self):
+        assert Path.parse("0/1/2").parent() == Path.parse("0/1")
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(PathError):
+            Path.root().parent()
+
+    def test_concat(self):
+        assert Path.parse("0").concat(Path.parse("1/2")) == Path.parse("0/1/2")
+
+    def test_relative_to(self):
+        assert Path.parse("0/1/2").relative_to(Path.parse("0/1")) == Path.parse("2")
+
+    def test_relative_to_non_ancestor_raises(self):
+        with pytest.raises(PathError):
+            Path.parse("0/1").relative_to(Path.parse("2"))
+
+
+class TestPredicates:
+    def test_prefix(self):
+        assert Path.parse("0/1").is_prefix_of(Path.parse("0/1/5"))
+        assert Path.parse("0/1").is_prefix_of(Path.parse("0/1"))
+        assert not Path.parse("0/2").is_prefix_of(Path.parse("0/1/5"))
+
+    def test_strict_prefix(self):
+        assert Path.parse("0").is_strict_prefix_of(Path.parse("0/1"))
+        assert not Path.parse("0/1").is_strict_prefix_of(Path.parse("0/1"))
+
+    def test_root_is_prefix_of_everything(self):
+        assert Path.root().is_prefix_of(Path.parse("3/1/4"))
+
+    def test_common_prefix(self):
+        a = Path.parse("0/1/2")
+        b = Path.parse("0/1/5/6")
+        assert a.common_prefix(b) == Path.parse("0/1")
+
+    def test_common_prefix_disjoint_is_root(self):
+        assert Path.parse("1").common_prefix(Path.parse("2")) == Path.root()
+
+    def test_depth(self):
+        assert Path.root().depth == 0
+        assert Path.parse("0/1/0").depth == 3
+
+
+class TestOrderingAndHashing:
+    def test_sortable(self):
+        paths = [Path.parse(p) for p in ("1", "0/2", "0", "0/1")]
+        assert [str(p) for p in sorted(paths)] == ["0", "0/1", "0/2", "1"]
+
+    def test_usable_as_dict_key(self):
+        table = {Path.parse("0/1"): "x"}
+        assert table[Path.parse("0/1")] == "x"
+
+    def test_iteration_and_len(self):
+        path = Path.parse("3/1/4")
+        assert list(path) == [3, 1, 4]
+        assert len(path) == 3

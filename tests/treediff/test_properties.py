@@ -1,0 +1,79 @@
+"""Property tests: diff extraction is sound (the diffs reconstruct the
+target) and pruning never loses leaf diffs."""
+
+from hypothesis import given, settings
+
+from repro.treediff import extract_diffs
+from tests.strategies import select_statements
+
+
+@settings(max_examples=80, deadline=None)
+@given(select_statements(), select_statements())
+def test_leaf_diffs_reconstruct_target(a, b):
+    """Applying all leaf diffs (deletions right-to-left, then insertions
+    and replacements left-to-right) transforms a into b when both trees
+    have the same root structure."""
+    diffs = [d for d in extract_diffs(a, b, prune=True) if d.is_leaf]
+    root_replacement = [d for d in diffs if d.path.is_root()]
+    if root_replacement:
+        # whole-tree replacement trivially reconstructs
+        assert root_replacement[0].t2.equals(b)
+        return
+    current = a
+    replacements = [d for d in diffs if d.is_replacement]
+    deletions = sorted(
+        (d for d in diffs if d.is_deletion),
+        key=lambda d: d.source_path,
+        reverse=True,
+    )
+    insertions = sorted((d for d in diffs if d.is_insertion), key=lambda d: d.path)
+    for diff in replacements + deletions + insertions:
+        current = diff.apply(current)
+    assert current.equals(b)
+
+
+@settings(max_examples=80, deadline=None)
+@given(select_statements(), select_statements())
+def test_pruning_preserves_leaf_diffs(a, b):
+    pruned_leaves = {
+        (str(d.path), d.t1, d.t2)
+        for d in extract_diffs(a, b, prune=True)
+        if d.is_leaf
+    }
+    full_leaves = {
+        (str(d.path), d.t1, d.t2)
+        for d in extract_diffs(a, b, prune=False)
+        if d.is_leaf
+    }
+    assert pruned_leaves == full_leaves
+
+
+@settings(max_examples=80, deadline=None)
+@given(select_statements(), select_statements())
+def test_diff_symmetry(a, b):
+    """Extracting b->a yields the inverses of a->b (leaf level)."""
+    forward = {
+        (str(d.path), d.is_insertion, d.is_deletion)
+        for d in extract_diffs(a, b, prune=True)
+        if d.is_leaf and d.is_replacement
+    }
+    backward = {
+        (str(d.path), d.is_insertion, d.is_deletion)
+        for d in extract_diffs(b, a, prune=True)
+        if d.is_leaf and d.is_replacement
+    }
+    # replacements appear at the same paths in both directions when no
+    # structural insert/delete shifts indices
+    inserts_or_deletes = [
+        d
+        for d in extract_diffs(a, b, prune=True)
+        if d.is_leaf and not d.is_replacement
+    ]
+    if not inserts_or_deletes:
+        assert forward == backward
+
+
+@settings(max_examples=80, deadline=None)
+@given(select_statements())
+def test_self_diff_empty(ast):
+    assert extract_diffs(ast, ast) == []

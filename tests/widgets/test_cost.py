@@ -1,0 +1,92 @@
+"""Cost model and trace fitting tests."""
+
+import pytest
+
+from repro.widgets import (
+    DEFAULT_COEFFICIENTS,
+    QuadraticCost,
+    TimingTrace,
+    TraceSimulator,
+    fit_cost_model,
+    simulate_and_fit,
+)
+
+
+class TestQuadraticCost:
+    def test_evaluation(self):
+        cost = QuadraticCost(10.0, 2.0, 0.5)
+        assert cost(4) == 10 + 8 + 8
+
+    def test_monotone_nonnegative(self):
+        cost = QuadraticCost(1.0, 1.0, 1.0)
+        values = [cost(n) for n in range(10)]
+        assert values == sorted(values)
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            QuadraticCost(-1.0)
+
+    def test_all_defaults_present(self):
+        names = {
+            "textbox", "toggle_button", "checkbox", "radio_button",
+            "dropdown", "slider", "range_slider", "checkbox_list",
+            "drag_and_drop",
+        }
+        assert set(DEFAULT_COEFFICIENTS) == names
+
+    def test_as_tuple(self):
+        assert QuadraticCost(1, 2, 3).as_tuple() == (1, 2, 3)
+
+
+class TestFitting:
+    def test_recovers_exact_quadratic(self):
+        truth = QuadraticCost(100.0, 10.0, 0.5)
+        sizes = list(range(1, 50))
+        times = [truth(n) for n in sizes]
+        fitted = fit_cost_model(sizes, times)
+        assert fitted.a0 == pytest.approx(100.0, rel=0.01)
+        assert fitted.a1 == pytest.approx(10.0, rel=0.01)
+        assert fitted.a2 == pytest.approx(0.5, rel=0.01)
+
+    def test_coefficients_nonnegative_even_for_noisy_data(self):
+        fitted = fit_cost_model([1, 2, 3, 4], [100, 90, 95, 85])
+        assert fitted.a0 >= 0 and fitted.a1 >= 0 and fitted.a2 >= 0
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([1, 2], [10.0])
+
+
+class TestTraceSimulation:
+    def test_trace_shape(self):
+        trace = TraceSimulator(seed=1).trace("dropdown", trials_per_size=5)
+        assert isinstance(trace, TimingTrace)
+        assert len(trace) == 5 * 10
+
+    def test_deterministic_given_seed(self):
+        a = TraceSimulator(seed=3).trial("slider", 10)
+        b = TraceSimulator(seed=3).trial("slider", 10)
+        assert a == b
+
+    def test_unknown_widget_raises(self):
+        with pytest.raises(KeyError):
+            TraceSimulator().trial("hologram", 5)
+
+    def test_fitted_ordering_matches_example_4_4(self):
+        """The fitted dropdown is cheap for small domains, the textbox flat
+        and large; their crossover sits in the tens of options — the
+        structure of the paper's Example 4.4."""
+        fitted = simulate_and_fit(seed=11)
+        dropdown = fitted["dropdown"]
+        textbox = fitted["textbox"]
+        assert dropdown(3) < textbox(3)
+        assert dropdown(100) > textbox(100)
+        assert textbox.a0 == pytest.approx(4790, rel=0.2)
+
+    def test_fitted_slider_beats_dropdown_on_numeric_sizes(self):
+        fitted = simulate_and_fit(seed=11)
+        assert fitted["slider"](10) < fitted["dropdown"](10)

@@ -1,0 +1,117 @@
+"""Widget domain tests."""
+
+from repro.sqlparser import Node, parse_sql
+from repro.widgets import WidgetDomain
+
+
+def num(v):
+    return Node("NumExpr", {"value": v})
+
+
+def col(name):
+    return Node("ColExpr", {"name": name})
+
+
+def between(target, lo, hi):
+    return Node("BetweenExpr", {}, [col(target), num(lo), num(hi)])
+
+
+class TestBasics:
+    def test_deduplication(self):
+        domain = WidgetDomain([num(1), num(1), num(2)])
+        assert domain.size == 2
+
+    def test_none_counts_once(self):
+        domain = WidgetDomain([None, None, num(1)])
+        assert domain.size == 2
+        assert domain.includes_none
+
+    def test_subtrees_excludes_none(self):
+        domain = WidgetDomain([None, num(1)])
+        assert [n.attributes["value"] for n in domain.subtrees()] == [1]
+
+    def test_len_and_iter(self):
+        domain = WidgetDomain([num(1), num(2)])
+        assert len(domain) == 2
+        assert len(list(domain)) == 2
+
+
+class TestKinds:
+    def test_numeric_domain(self):
+        domain = WidgetDomain([num(1), num(5), num(100)])
+        assert domain.is_numeric
+        assert domain.numeric_range == (1.0, 100.0)
+
+    def test_hex_values_are_numeric(self):
+        domain = WidgetDomain([
+            Node("HexExpr", {"value": 16, "text": "0x10"}),
+            Node("HexExpr", {"value": 32, "text": "0x20"}),
+        ])
+        assert domain.numeric_range == (16.0, 32.0)
+
+    def test_mixed_kind_is_not_numeric(self):
+        domain = WidgetDomain([num(1), col("a")])
+        assert not domain.is_numeric
+        assert domain.is_literal
+
+    def test_tree_domain_not_literal(self):
+        domain = WidgetDomain([parse_sql("SELECT a")])
+        assert not domain.is_literal
+
+    def test_node_types(self):
+        domain = WidgetDomain([num(1), col("a")])
+        assert domain.node_types == {"NumExpr", "ColExpr"}
+
+
+class TestMembership:
+    def test_exact_containment(self):
+        domain = WidgetDomain([num(1), num(5)])
+        assert domain.contains(num(5))
+        assert not domain.contains(num(3))
+
+    def test_none_membership(self):
+        assert WidgetDomain([None, num(1)]).contains(None)
+        assert not WidgetDomain([num(1), num(2)]).contains(None)
+
+    def test_slider_extrapolation(self):
+        """Example 4.3: a slider initialised with {1, 5, 100} expresses the
+        whole range [1, 100]."""
+        domain = WidgetDomain([num(1), num(5), num(100)])
+        assert domain.contains(num(42), extrapolate=True)
+        assert not domain.contains(num(42), extrapolate=False)
+        assert not domain.contains(num(101), extrapolate=True)
+
+    def test_extrapolation_ignores_non_numeric(self):
+        domain = WidgetDomain([col("a"), col("b")])
+        assert not domain.contains(num(1), extrapolate=True)
+
+
+class TestBetweenRange:
+    def test_metadata(self):
+        domain = WidgetDomain([between("ra", 0, 100), between("ra", 50, 360)])
+        target, low, high = domain.between_range()
+        assert target.attributes["name"] == "ra"
+        assert (low, high) == (0.0, 360.0)
+
+    def test_contains_between_inside_track(self):
+        domain = WidgetDomain([between("ra", 0, 100), between("ra", 50, 360)])
+        assert domain.contains_between(between("ra", 120, 130))
+        assert not domain.contains_between(between("ra", -10, 50))
+
+    def test_different_target_rejected(self):
+        domain = WidgetDomain([between("ra", 0, 100)])
+        assert not domain.contains_between(between("dec", 10, 20))
+
+    def test_non_between_domain_has_no_range(self):
+        assert WidgetDomain([num(1), num(2)]).between_range() is None
+
+    def test_mixed_targets_have_no_range(self):
+        domain = WidgetDomain([between("ra", 0, 1), between("dec", 0, 1)])
+        assert domain.between_range() is None
+
+
+class TestMerge:
+    def test_merged_with_unions_entries(self):
+        merged = WidgetDomain([num(1)]).merged_with(WidgetDomain([num(2), None]))
+        assert merged.size == 3
+        assert merged.includes_none

@@ -1,0 +1,171 @@
+"""Widget type library tests: rules, costs, selection order."""
+
+import pytest
+
+from repro.errors import WidgetError
+from repro.sqlparser import Node, parse_sql
+from repro.widgets import (
+    CHECKBOX,
+    CHECKBOX_LIST,
+    DRAG_AND_DROP,
+    DROPDOWN,
+    RADIO_BUTTON,
+    RANGE_SLIDER,
+    SLIDER,
+    TEXTBOX,
+    TOGGLE_BUTTON,
+    Widget,
+    WidgetDomain,
+    default_library,
+    make_widget_type,
+)
+
+
+def num(v):
+    return Node("NumExpr", {"value": v})
+
+
+def text(v):
+    return Node("StrExpr", {"value": v})
+
+
+def between(lo, hi):
+    return Node(
+        "BetweenExpr",
+        {},
+        [Node("ColExpr", {"name": "ra"}), num(lo), num(hi)],
+    )
+
+
+class TestRules:
+    def test_library_has_nine_types(self):
+        assert len(default_library()) == 9
+
+    def test_slider_accepts_numeric_only(self):
+        assert SLIDER.accepts(WidgetDomain([num(1), num(2)]))
+        assert not SLIDER.accepts(WidgetDomain([text("a"), text("b")]))
+        assert not SLIDER.accepts(WidgetDomain([None, num(1)]))
+
+    def test_dropdown_accepts_literals_only(self):
+        assert DROPDOWN.accepts(WidgetDomain([text("a"), text("b")]))
+        assert not DROPDOWN.accepts(WidgetDomain([parse_sql("SELECT a"),
+                                                  parse_sql("SELECT b")]))
+
+    def test_toggle_needs_exactly_two(self):
+        assert TOGGLE_BUTTON.accepts(WidgetDomain([None, parse_sql("SELECT a")]))
+        assert not TOGGLE_BUTTON.accepts(WidgetDomain([num(1), num(2), num(3)]))
+
+    def test_checkbox_is_literal_presence(self):
+        assert CHECKBOX.accepts(WidgetDomain([None, num(1)]))
+        assert not CHECKBOX.accepts(WidgetDomain([None, parse_sql("SELECT a")]))
+
+    def test_radio_is_tree_catchall(self):
+        trees = [parse_sql(f"SELECT a{i}") for i in range(5)]
+        assert RADIO_BUTTON.accepts(WidgetDomain(trees))
+        assert not RADIO_BUTTON.accepts(WidgetDomain([None, trees[0], trees[1]]))
+
+    def test_checkbox_list_is_none_catchall(self):
+        trees = [parse_sql(f"SELECT a{i}") for i in range(3)]
+        assert CHECKBOX_LIST.accepts(WidgetDomain([None] + trees))
+        assert not CHECKBOX_LIST.accepts(WidgetDomain(trees))
+
+    def test_textbox_accepts_large_literal_domains(self):
+        values = [num(i) for i in range(100)]
+        assert TEXTBOX.accepts(WidgetDomain(values))
+
+    def test_range_slider_rule(self):
+        good = WidgetDomain([between(0, 10), between(5, 50)])
+        assert RANGE_SLIDER.accepts(good)
+        mixed = WidgetDomain([between(0, 10), num(5)])
+        assert not RANGE_SLIDER.accepts(mixed)
+
+    def test_drag_and_drop_rule(self):
+        a, b = num(1), num(2)
+        original = Node("Project", {}, [a, b])
+        permuted = Node("Project", {}, [b, a])
+        assert DRAG_AND_DROP.accepts(WidgetDomain([original, permuted]))
+        different = Node("Project", {}, [a, num(3)])
+        assert not DRAG_AND_DROP.accepts(WidgetDomain([original, different]))
+
+    def test_every_two_entry_domain_is_accepted_by_someone(self):
+        domains = [
+            WidgetDomain([num(1), num(2)]),
+            WidgetDomain([text("a"), text("b")]),
+            WidgetDomain([None, num(1)]),
+            WidgetDomain([None, parse_sql("SELECT a")]),
+            WidgetDomain([parse_sql("SELECT a"), parse_sql("SELECT b")]),
+        ]
+        library = default_library()
+        for domain in domains:
+            assert any(wt.accepts(domain) for wt in library)
+
+
+class TestCostOrdering:
+    """The orderings the paper's examples rely on."""
+
+    def test_slider_beats_dropdown_on_numerics(self):
+        domain = WidgetDomain([num(1), num(10)])
+        assert SLIDER.cost_for(domain) < DROPDOWN.cost_for(domain)
+
+    def test_dropdown_beats_textbox_on_small_domains(self):
+        small = WidgetDomain([text(str(i)) for i in range(5)])
+        assert DROPDOWN.cost_for(small) < TEXTBOX.cost_for(small)
+
+    def test_textbox_beats_dropdown_on_huge_domains(self):
+        """Example 4.4's crossover at roughly 36 options."""
+        huge = WidgetDomain([text(str(i)) for i in range(50)])
+        assert TEXTBOX.cost_for(huge) < DROPDOWN.cost_for(huge)
+
+    def test_paper_dropdown_constants(self):
+        domain = WidgetDomain([text("a"), text("b")])
+        assert DROPDOWN.cost_for(domain) == pytest.approx(276 + 125 * 2 + 0.07 * 4)
+
+    def test_paper_textbox_constant(self):
+        assert TEXTBOX.cost_for(WidgetDomain([text("a")])) == 4790
+
+    def test_radio_cost_grows_quadratically(self):
+        small = WidgetDomain([parse_sql(f"SELECT a{i}") for i in range(3)])
+        large = WidgetDomain([parse_sql(f"SELECT a{i}") for i in range(30)])
+        assert RADIO_BUTTON.cost_for(large) > 10 * RADIO_BUTTON.cost_for(small)
+
+
+class TestWidgetInstances:
+    def test_rule_enforced_at_instantiation(self):
+        from repro.paths import Path
+
+        with pytest.raises(WidgetError):
+            Widget(SLIDER, Path.parse("0"), WidgetDomain([text("a"), text("b")]))
+
+    def test_slider_extrapolated_expression(self):
+        from repro.paths import Path
+
+        widget = Widget(SLIDER, Path.parse("0"), WidgetDomain([num(1), num(100)]))
+        assert widget.can_express_subtree(num(50))
+        assert not widget.can_express_subtree(num(500))
+
+    def test_textbox_expresses_any_literal(self):
+        from repro.paths import Path
+
+        widget = Widget(TEXTBOX, Path.parse("0"), WidgetDomain([text("a")]))
+        assert widget.can_express_subtree(text("unseen"))
+        assert widget.can_express_subtree(num(123))
+        assert not widget.can_express_subtree(parse_sql("SELECT a"))
+
+    def test_range_slider_expresses_between_on_track(self):
+        from repro.paths import Path
+
+        widget = Widget(
+            RANGE_SLIDER,
+            Path.parse("2/0/0"),
+            WidgetDomain([between(0, 100), between(50, 360)]),
+        )
+        assert widget.can_express_subtree(between(120, 130))
+        assert not widget.can_express_subtree(between(-5, 10))
+
+    def test_make_widget_type_custom_cost(self):
+        from repro.widgets.cost import QuadraticCost
+
+        custom = make_widget_type("my_dropdown", DROPDOWN, QuadraticCost(1.0))
+        assert custom.cost_for(WidgetDomain([text("a"), text("b")])) == 1.0
+        with pytest.raises(WidgetError):
+            make_widget_type("", DROPDOWN)
