@@ -5,7 +5,7 @@ against widget complexity.  Expectation: merging never increases interface
 cost and never loses log expressiveness.
 """
 
-from repro import PipelineOptions, PrecisionInterfaces
+from repro import PipelineOptions, generate
 from repro.evaluation import format_table
 from repro.logs import OLAPLogGenerator, SDSSLogGenerator, listing_4_log
 
@@ -24,8 +24,8 @@ def test_ablation_merge(benchmark):
     def run():
         out = []
         for name, queries in workloads.items():
-            merged = PrecisionInterfaces(PipelineOptions(merge=True)).generate(queries)
-            unmerged = PrecisionInterfaces(PipelineOptions(merge=False)).generate(queries)
+            merged = generate(queries, options=PipelineOptions(merge=True)).interface
+            unmerged = generate(queries, options=PipelineOptions(merge=False)).interface
             out.append(
                 (
                     name,

@@ -5,7 +5,7 @@ the fraction of the closure that the schema accepts drops from ≈30 % toward
 ≈1 %; the column↔table consistency filter restores precision to 100 %.
 """
 
-from repro import PrecisionInterfaces
+from repro import generate
 from repro.evaluation import format_table
 from repro.logs import SDSSLogGenerator
 from repro.schema import SDSS_CATALOG, closure_precision
@@ -24,7 +24,7 @@ def test_fig15_closure_precision(benchmark):
         out = []
         for m in CLIENT_COUNTS:
             mixed = generator.interleaved(m, n_queries=QUERIES_PER_CLIENT)
-            interface = PrecisionInterfaces().generate(mixed.asts())
+            interface = generate(mixed.asts()).interface
             unfiltered, n_unfiltered = closure_precision(
                 interface, SDSS_CATALOG, limit=CLOSURE_LIMIT, filtered=False
             )

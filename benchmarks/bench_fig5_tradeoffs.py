@@ -7,7 +7,7 @@
 (e) subquery toggle with nested widgets (Listing 7).
 """
 
-from repro import PrecisionInterfaces
+from repro import generate
 from repro.evaluation import format_table
 from repro.logs import (
     LISTING_6,
@@ -37,15 +37,11 @@ def test_fig5_widget_tradeoffs(benchmark):
 
     def run():
         out = {}
-        out["5a listing4"] = PrecisionInterfaces().generate(logs["5a listing4"])
-        out["5b listing5-small"] = PrecisionInterfaces().generate(
-            logs["5b listing5-small"]
-        )
-        out["5c listing5-large"] = PrecisionInterfaces().generate(
-            logs["5c listing5-large"]
-        )
-        out["5d listing6"] = PrecisionInterfaces().generate_from_sql(list(LISTING_6))
-        out["5e listing7"] = PrecisionInterfaces().generate_from_sql(list(LISTING_7))
+        out["5a listing4"] = generate(logs["5a listing4"]).interface
+        out["5b listing5-small"] = generate(logs["5b listing5-small"]).interface
+        out["5c listing5-large"] = generate(logs["5c listing5-large"]).interface
+        out["5d listing6"] = generate(list(LISTING_6)).interface
+        out["5e listing7"] = generate(list(LISTING_7)).interface
         return out
 
     interfaces = run_once(benchmark, run)

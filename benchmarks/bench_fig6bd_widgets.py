@@ -6,7 +6,7 @@ id (Figure 6b); the OLAP log gets drop-downs for the aggregation/grouping
 changes and sliders for the predicate values (Figure 6d).
 """
 
-from repro import PrecisionInterfaces
+from repro import generate
 from repro.evaluation import format_table
 from repro.logs import OLAPLogGenerator, SDSSLogGenerator
 
@@ -19,8 +19,8 @@ def test_fig6b_and_6d_widgets(benchmark):
 
     def run():
         return (
-            PrecisionInterfaces().generate(sdss.asts()),
-            PrecisionInterfaces().generate(olap.asts()[:100]),
+            generate(sdss.asts()).interface,
+            generate(olap.asts()[:100]).interface,
         )
 
     c1_interface, olap_interface = run_once(benchmark, run)

@@ -3,6 +3,9 @@
 7a varies the *total* training budget: recall rises slowly because each
 client contributes few examples.  7b varies training *per client*: recall
 rises quickly, like the single-client experiments.
+
+``multi_client_recall`` drives the sweep through the staged API's
+``generate_many`` batch entry point — one batched call per curve.
 """
 
 from repro.evaluation import format_series, multi_client_recall

@@ -12,7 +12,7 @@ simple enough to deserve a generated "fast-path" interface and which are
 too ad-hoc (high widget cost relative to log coverage).
 """
 
-from repro import PrecisionInterfaces
+from repro import generate
 from repro.evaluation import format_table
 from repro.logs import QueryLog, SDSSLogGenerator
 from repro.schema import SDSS_CATALOG, closure_precision
@@ -27,8 +27,8 @@ def main() -> None:
     for client, sublog in sorted(mixed.by_client().items()):
         queries = sublog.asts()
         training, holdout = queries[: len(queries) // 2], queries[len(queries) // 2:]
-        system = PrecisionInterfaces()
-        interface = system.generate(training)
+        result = generate(training, source=client)
+        interface = result.interface
         recall = interface.expressiveness(holdout)
         precision, _ = closure_precision(interface, SDSS_CATALOG, limit=1000)
         verdict = "fast-path" if recall >= 0.9 and interface.n_widgets <= 6 else "review"
@@ -39,7 +39,7 @@ def main() -> None:
                 f"{interface.cost:.0f}",
                 f"{recall:.2f}",
                 f"{precision:.2f}",
-                f"{system.last_run.total_seconds * 1000:.0f}",
+                f"{result.run.total_seconds * 1000:.0f}",
                 verdict,
             ]
         )

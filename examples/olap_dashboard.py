@@ -15,7 +15,7 @@ compile the whole thing to ``olap_dashboard.html``.
 import random
 from pathlib import Path
 
-from repro import PrecisionInterfaces
+from repro import generate
 from repro.compiler import Database, Table, compile_html, execute, render_text
 from repro.logs import OLAPLogGenerator
 
@@ -63,7 +63,7 @@ def main() -> None:
         print("  ", sql)
     print()
 
-    interface = PrecisionInterfaces().generate(log.asts())
+    interface = generate(log).interface
     print(interface.describe())
     print()
 

@@ -5,12 +5,18 @@ Run with::
     python examples/quickstart.py
 
 This walks the paper's core loop on Listing 6 (an SDSS analysis that first
-adds a TOP clause, then tunes its limit): parse the log, mine the
-interaction graph, map the interactions to widgets, and use the interface's
-closure to check which new queries it can express.
+adds a TOP clause, then tunes its limit) through the staged pipeline API:
+
+    parse → mine interaction graph → map to widgets → merge
+
+Each stage is a first-class object; `generate()` runs the default
+composition and returns an immutable `GenerationResult` bundling the
+interface, per-stage timings/stats, and provenance.  An observer hook
+watches the stages go by, and an `InterfaceSession` shows the incremental
+path: appending queries re-mines only the new pairs.
 """
 
-from repro import PrecisionInterfaces, parse_sql
+from repro import InterfaceSession, Pipeline, PipelineObserver, generate, parse_sql
 
 LOG = [
     "SELECT g.objID FROM Galaxy AS g, "
@@ -22,18 +28,31 @@ LOG = [
 ]
 
 
-def main() -> None:
-    system = PrecisionInterfaces()
-    interface = system.generate_from_sql(LOG)
+class StageTracer(PipelineObserver):
+    """Print one line per stage as the pipeline runs."""
 
+    def on_stage_end(self, stage, state, report):
+        stats = ", ".join(f"{k}={v}" for k, v in report.stats.items())
+        print(f"  [{report.name:7s}] {report.seconds * 1000:6.1f} ms  {stats}")
+
+
+def main() -> None:
+    print("Staged pipeline:", " -> ".join(Pipeline.default().stage_names))
+    print()
+
+    result = generate(LOG, observers=[StageTracer()], source="quickstart")
+    interface = result.interface
+
+    print()
     print("Generated interface")
     print("-------------------")
     print(interface.describe())
     print()
 
-    run = system.last_run
+    run = result.run
     print(
         f"mined {run.n_diffs} diffs across {run.n_edges} edges "
+        f"({run.n_pairs_compared} pairs aligned) "
         f"in {run.total_seconds * 1000:.1f} ms"
     )
     print()
@@ -51,6 +70,21 @@ def main() -> None:
     for sql in probes:
         verdict = interface.expresses(parse_sql(sql))
         print(f"[{'yes' if verdict else 'no '}] {sql[:70]}")
+    print()
+
+    # the incremental path: same widgets, but the second append only
+    # aligns the pairs the new queries introduce
+    session = InterfaceSession()
+    session.append_sql(LOG[:2])
+    incremental = session.append_sql(LOG[2:])
+    print(
+        f"incremental session: append #2 aligned "
+        f"{incremental.run.n_pairs_compared} new pair(s) "
+        f"({session.n_pairs_compared} total) and produced "
+        f"{incremental.interface.n_widgets} widgets — "
+        f"{'identical to' if incremental.interface.widget_summary() == interface.widget_summary() else 'DIFFERENT from'} "
+        f"the one-shot interface"
+    )
 
 
 if __name__ == "__main__":

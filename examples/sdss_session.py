@@ -14,7 +14,7 @@ result is compiled into a standalone HTML application
 
 from pathlib import Path
 
-from repro import PrecisionInterfaces
+from repro import generate
 from repro.compiler import compile_html, describe_layout
 from repro.logs import SDSSLogGenerator
 from repro.schema import SDSS_CATALOG, closure_precision
@@ -32,7 +32,7 @@ def main() -> None:
 
     # train on a prefix, like Section 7.2.1
     training, holdout = queries[:25], queries[100:]
-    interface = PrecisionInterfaces().generate(training)
+    interface = generate(training, source=log.name).interface
 
     print("Generated interface (editor view)")
     print("---------------------------------")

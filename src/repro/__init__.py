@@ -5,25 +5,52 @@ Precision Interfaces mines the recurring structural transformations in a
 SQL query log and maps them onto interactive widgets, producing a
 minimal-cost interface whose closure covers the log.
 
-Quickstart::
+Quickstart (staged pipeline API)::
 
-    from repro import PrecisionInterfaces
-    interface = PrecisionInterfaces().generate_from_sql(list_of_sql_strings)
-    print(interface.describe())
+    from repro import generate
+    result = generate(list_of_sql_strings)
+    print(result.interface.describe())
+    print(result.run.total_seconds, result.run.stage("mine").stats)
+
+Batch and incremental workloads::
+
+    from repro import generate_many, InterfaceSession
+    results = generate_many([log_a, log_b])
+    session = InterfaceSession()
+    session.append_sql(first_batch)       # later appends only mine new pairs
 """
 
+from repro.api import (
+    GenerationResult,
+    InterfaceSession,
+    Pipeline,
+    PipelineObserver,
+    PipelineRun,
+    StageReport,
+    generate,
+    generate_many,
+    generate_segmented,
+)
 from repro.core.interface import Interface
 from repro.core.options import PipelineOptions
-from repro.core.pipeline import PipelineRun, PrecisionInterfaces
+from repro.core.pipeline import PrecisionInterfaces
 from repro.errors import ReproError
 from repro.paths import Path
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.parser import parse_sql
 from repro.sqlparser.render import render_sql
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "generate",
+    "generate_many",
+    "generate_segmented",
+    "GenerationResult",
+    "InterfaceSession",
+    "Pipeline",
+    "PipelineObserver",
+    "StageReport",
     "PrecisionInterfaces",
     "PipelineOptions",
     "PipelineRun",

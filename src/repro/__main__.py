@@ -7,22 +7,27 @@ Subcommands:
 * ``recall``  — train/hold-out recall for a log file.
 * ``check``   — closure-membership check of one query against a log.
 
+``mine`` and ``recall`` accept ``--json`` to dump the run's
+:class:`~repro.api.result.GenerationResult` statistics as machine-readable
+JSON (consumed by the benchmarks and dashboards).
+
 Example::
 
     python -m repro mine mylog.sql --html out.html
+    python -m repro mine mylog.sql --json
     python -m repro check mylog.sql "SELECT * FROM t WHERE x = 5"
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro import PipelineOptions, PrecisionInterfaces, parse_sql
+from repro import PipelineOptions, generate, generate_segmented, parse_sql
 from repro.compiler import compile_html
 from repro.errors import ReproError
 from repro.logs.io import load_text
-from repro.logs.sessions import segment_log
 
 
 def _options(args: argparse.Namespace) -> PipelineOptions:
@@ -41,26 +46,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="disable LCA pruning")
     parser.add_argument("--no-merge", action="store_true",
                         help="disable the widget merging phase")
+    parser.add_argument("--json", action="store_true",
+                        help="dump generation statistics as JSON")
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
     log = load_text(args.log)
-    logs = segment_log(log) if args.segment else [log]
-    for sublog in logs:
-        system = PrecisionInterfaces(_options(args))
-        interface = system.generate([parse_sql(s) for s in sublog.statements()])
-        print(f"# {sublog.name}: {len(sublog)} queries")
-        print(interface.describe())
-        run = system.last_run
-        print(
-            f"(mined {run.n_diffs} diffs / {run.n_edges} edges "
-            f"in {run.total_seconds * 1000:.0f} ms)\n"
-        )
+    if args.segment:
+        results = generate_segmented(log, options=_options(args))
+    else:
+        results = [generate(log, options=_options(args))]
+    payloads = []
+    for result in results:
+        source = result.provenance["source"]
+        if args.json:
+            payloads.append(result.to_dict())
+        else:
+            print(f"# {source}: {result.provenance['n_queries']} queries")
+            print(result.interface.describe())
+            run = result.run
+            print(
+                f"(mined {run.n_diffs} diffs / {run.n_edges} edges "
+                f"in {run.total_seconds * 1000:.0f} ms)\n"
+            )
         if args.html:
-            path = args.html if len(logs) == 1 else f"{sublog.name}-{args.html}"
+            name = source.rsplit("/", 1)[-1]
+            path = args.html if len(results) == 1 else f"{name}-{args.html}"
             with open(path, "w", encoding="utf-8") as handle:
-                handle.write(compile_html(interface, title=sublog.name))
-            print(f"wrote {path}")
+                handle.write(compile_html(result, title=source))
+            if not args.json:
+                print(f"wrote {path}")
+    if args.json:
+        # fixed shape: --segment always emits a list (one payload per
+        # analysis), the plain path always emits a single object
+        print(json.dumps(payloads if args.segment else payloads[0], indent=2))
     return 0
 
 
@@ -68,19 +87,33 @@ def _cmd_recall(args: argparse.Namespace) -> int:
     log = load_text(args.log)
     asts = [parse_sql(s) for s in log.statements()]
     split = max(1, int(len(asts) * args.split))
-    interface = PrecisionInterfaces(_options(args)).generate(asts[:split])
-    recall = interface.expressiveness(asts[split:])
-    print(f"training {split} / holdout {len(asts) - split}: recall {recall:.3f}")
+    result = generate(asts[:split], options=_options(args), source=log.name)
+    recall = result.interface.expressiveness(asts[split:])
+    if args.json:
+        payload = result.to_dict()
+        payload["recall"] = {
+            "n_training": split,
+            "n_holdout": len(asts) - split,
+            "recall": recall,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"training {split} / holdout {len(asts) - split}: recall {recall:.3f}")
     return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     log = load_text(args.log)
-    interface = PrecisionInterfaces(_options(args)).generate(
-        [parse_sql(s) for s in log.statements()]
+    result = generate(
+        [parse_sql(s) for s in log.statements()],
+        options=_options(args),
+        source=log.name,
     )
-    verdict = interface.expresses(parse_sql(args.query))
-    print("expressible" if verdict else "NOT expressible")
+    verdict = result.interface.expresses(parse_sql(args.query))
+    if args.json:
+        print(json.dumps({"query": args.query, "expressible": verdict}))
+    else:
+        print("expressible" if verdict else "NOT expressible")
     return 0 if verdict else 1
 
 

@@ -1,0 +1,56 @@
+"""Public staged-pipeline API.
+
+The generation pipeline (Figure 2a) as first-class, composable pieces:
+
+* :class:`~repro.api.stages.Stage` and the five concrete stages
+  (``ParseStage``, ``SegmentStage``, ``MineStage``, ``MapStage``,
+  ``MergeStage``) with the uniform ``run(state) -> state`` contract;
+* :class:`~repro.api.pipeline.Pipeline` — an observable stage composition
+  with per-stage timings and :class:`~repro.api.pipeline.PipelineObserver`
+  hooks;
+* :func:`~repro.api.pipeline.generate` /
+  :func:`~repro.api.pipeline.generate_many` /
+  :func:`~repro.api.pipeline.generate_segmented` — one-shot, batch, and
+  mixed-log entry points returning immutable
+  :class:`~repro.api.result.GenerationResult` values;
+* :class:`~repro.api.session.InterfaceSession` — incremental consumption
+  that reuses the already-built interaction graph across appends.
+"""
+
+from repro.api.pipeline import (
+    Pipeline,
+    PipelineObserver,
+    generate,
+    generate_many,
+    generate_segmented,
+)
+from repro.api.result import GenerationResult, PipelineRun, StageReport
+from repro.api.session import InterfaceSession
+from repro.api.stages import (
+    MapStage,
+    MergeStage,
+    MineStage,
+    ParseStage,
+    PipelineState,
+    SegmentStage,
+    Stage,
+)
+
+__all__ = [
+    "Pipeline",
+    "PipelineObserver",
+    "generate",
+    "generate_many",
+    "generate_segmented",
+    "GenerationResult",
+    "PipelineRun",
+    "StageReport",
+    "InterfaceSession",
+    "PipelineState",
+    "Stage",
+    "ParseStage",
+    "SegmentStage",
+    "MineStage",
+    "MapStage",
+    "MergeStage",
+]

@@ -1,0 +1,334 @@
+"""The staged pipeline and the public generation entry points.
+
+A :class:`Pipeline` is an ordered list of :class:`~repro.api.stages.Stage`
+objects with the uniform ``run(state) -> state`` contract.  The pipeline
+wraps every stage with wall-clock timing, notifies registered
+:class:`PipelineObserver` hooks, and assembles the stage records into the
+frozen :class:`~repro.api.result.PipelineRun`.
+
+Entry points::
+
+    from repro.api import generate, generate_many, generate_segmented
+
+    result = generate(["SELECT a FROM t WHERE x = 1",
+                       "SELECT a FROM t WHERE x = 2"])
+    result.interface.describe()
+    result.run.stage("mine").stats["n_pairs_compared"]
+
+``generate`` accepts raw SQL strings, parsed ASTs, or a
+:class:`~repro.logs.model.QueryLog`; ``generate_many`` maps it over a batch
+of logs (the multi-client workloads); ``generate_segmented`` first runs the
+:class:`~repro.api.stages.SegmentStage` to split a mixed log into analyses
+and mines one interface per analysis.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Sequence
+
+from repro.api.result import GenerationResult, PipelineRun, StageReport
+from repro.api.stages import (
+    MapStage,
+    MergeStage,
+    MineStage,
+    ParseStage,
+    PipelineState,
+    SegmentStage,
+    Stage,
+)
+from repro.core.interface import Interface
+from repro.core.options import PipelineOptions
+from repro.errors import LogError
+from repro.sqlparser.astnodes import Node
+
+__all__ = [
+    "PipelineObserver",
+    "Pipeline",
+    "generate",
+    "generate_many",
+    "generate_segmented",
+]
+
+
+class PipelineObserver:
+    """Instrumentation hooks; subclass and override what you need.
+
+    Observers see the live state (metrics exporters, progress bars, stage
+    tracers).  Hook exceptions propagate — an observer is part of the run.
+    """
+
+    def on_pipeline_start(self, pipeline: "Pipeline", state: PipelineState) -> None:
+        """Called once before the first stage."""
+
+    def on_stage_start(self, stage: Stage, state: PipelineState) -> None:
+        """Called immediately before ``stage.run``."""
+
+    def on_stage_end(
+        self, stage: Stage, state: PipelineState, report: StageReport
+    ) -> None:
+        """Called after ``stage.run`` with the stage's frozen report."""
+
+    def on_pipeline_end(
+        self, pipeline: "Pipeline", state: PipelineState, run: PipelineRun
+    ) -> None:
+        """Called once after the last stage with the aggregated run."""
+
+
+class Pipeline:
+    """An ordered, observable composition of stages.
+
+    Args:
+        stages: the stage sequence; composition order is execution order.
+        options: pipeline configuration shared by all runs (defaults to the
+            paper's recommended configuration).
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[Stage],
+        options: PipelineOptions | None = None,
+    ):
+        if not stages:
+            # a composition mistake, not a log problem — keep it out of
+            # the LogError/ReproError family the CLI reports as log errors
+            raise ValueError("a pipeline needs at least one stage")
+        self.stages: tuple[Stage, ...] = tuple(stages)
+        self.options = options or PipelineOptions()
+
+    @classmethod
+    def default(cls, options: PipelineOptions | None = None) -> "Pipeline":
+        """The paper's Figure 2a pipeline: parse → mine → map → merge."""
+        return cls(
+            [ParseStage(), MineStage(), MapStage(), MergeStage()], options
+        )
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        state: PipelineState,
+        observers: Iterable[PipelineObserver] = (),
+        prior_reports: Iterable[StageReport] = (),
+    ) -> tuple[PipelineState, tuple[StageReport, ...], PipelineRun]:
+        """Run every stage in order, timing each one.
+
+        Args:
+            state: the run's state (mutated and returned).
+            observers: instrumentation hooks.
+            prior_reports: reports of work already done outside this
+                pipeline (the incremental session's mine step); they are
+                included in the returned reports and in the run handed to
+                ``on_pipeline_end``, so observers see the whole picture.
+
+        Returns the advanced state, the per-stage reports, and the
+        aggregated :class:`PipelineRun` (the same object observers see).
+        """
+        observers = tuple(observers)
+        for observer in observers:
+            observer.on_pipeline_start(self, state)
+        reports: list[StageReport] = list(prior_reports)
+        for stage in self.stages:
+            for observer in observers:
+                observer.on_stage_start(stage, state)
+            started = time.perf_counter()
+            state = stage.run(state)
+            elapsed = time.perf_counter() - started
+            report = StageReport(
+                name=stage.name,
+                seconds=elapsed,
+                stats=state.records.get(stage.name, {}),
+            )
+            reports.append(report)
+            for observer in observers:
+                observer.on_stage_end(stage, state, report)
+        run = _run_from(state, tuple(reports))
+        for observer in observers:
+            observer.on_pipeline_end(self, state, run)
+        return state, tuple(reports), run
+
+    def generate(
+        self,
+        log: Any,
+        observers: Iterable[PipelineObserver] = (),
+        source: str | None = None,
+    ) -> GenerationResult:
+        """Run the pipeline over one log and assemble a result.
+
+        Args:
+            log: a :class:`~repro.logs.model.QueryLog`, a list of raw SQL
+                strings, or a list of parsed ASTs (log order preserved).
+            observers: instrumentation hooks.
+            source: provenance label override.
+
+        Raises:
+            LogError: for an empty log.
+            SQLSyntaxError: if any raw statement fails to parse.
+        """
+        state = _state_for(log, self.options, source=source)
+        state, reports, run = self.run(state, observers=observers)
+        return _assemble_result(state, reports, run=run)
+
+
+# ----------------------------------------------------------------------
+# state construction / result assembly (shared with InterfaceSession)
+# ----------------------------------------------------------------------
+def _state_for(
+    log: Any, options: PipelineOptions, source: str | None = None
+) -> PipelineState:
+    """Build the initial state for a log given as QueryLog, SQL, or ASTs."""
+    if hasattr(log, "statements") and hasattr(log, "asts"):  # QueryLog duck-type
+        return PipelineState(
+            options=options,
+            statements=list(log.statements()),
+            source=source or getattr(log, "name", "log"),
+        )
+    if isinstance(log, str):
+        raise LogError(
+            "pass a list of SQL statements (or a QueryLog), not a single "
+            "string — a bare string would be iterated character by character"
+        )
+    items = list(log)
+    if not items:
+        raise LogError("cannot generate an interface from an empty log")
+    if isinstance(items[0], str):
+        return PipelineState(options=options, statements=items, source=source or "sql")
+    return PipelineState(options=options, queries=items, source=source or "log")
+
+
+def _run_from(
+    state: PipelineState, reports: tuple[StageReport, ...]
+) -> PipelineRun:
+    """Aggregate stage reports into the frozen run record."""
+    by_name = {report.name: report for report in reports}
+    mine = by_name.get(MineStage.name)
+    mining_seconds = mine.seconds if mine else 0.0
+    mapping_seconds = sum(
+        report.seconds
+        for name in (MapStage.name, MergeStage.name)
+        if (report := by_name.get(name)) is not None
+    )
+    widgets = state.widgets or []
+    return PipelineRun(
+        n_queries=len(state.queries or []),
+        n_edges=state.graph.n_edges if state.graph else 0,
+        n_diffs=state.graph.n_diffs if state.graph else 0,
+        n_pairs_compared=int(mine.stats.get("n_pairs_compared", 0)) if mine else 0,
+        mining_seconds=mining_seconds,
+        mapping_seconds=mapping_seconds,
+        n_widgets=len(widgets),
+        interface_cost=sum(w.cost for w in widgets),
+        stages=reports,
+    )
+
+
+def _assemble_result(
+    state: PipelineState,
+    reports: tuple[StageReport, ...],
+    run: PipelineRun | None = None,
+    provenance_extra: dict[str, Any] | None = None,
+) -> GenerationResult:
+    """Wrap the final state into an immutable GenerationResult.
+
+    ``run`` is the record :meth:`Pipeline.run` already aggregated; it is
+    rebuilt from the reports only when not supplied.
+    """
+    if not state.queries or state.graph is None or state.widgets is None:
+        raise LogError("pipeline did not produce an interface (missing stages?)")
+    options = state.options
+    interface = Interface(
+        widgets=state.widgets,
+        initial_query=state.queries[0],
+        annotations=options.annotations,
+        metadata={
+            "n_queries": len(state.queries),
+            "n_edges": state.graph.n_edges,
+            "n_diffs": state.graph.n_diffs,
+            "window": options.window,
+            "lca_pruning": options.lca_pruning,
+        },
+    )
+    if run is None:
+        run = _run_from(state, reports)
+    provenance: dict[str, Any] = {
+        "source": state.source,
+        "n_queries": len(state.queries),
+        "window": options.window,
+        "lca_pruning": options.lca_pruning,
+        "merge": options.merge,
+        "stages": [report.name for report in reports],
+    }
+    provenance.update(provenance_extra or {})
+    return GenerationResult(interface=interface, run=run, provenance=provenance)
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def generate(
+    log: Any,
+    options: PipelineOptions | None = None,
+    observers: Iterable[PipelineObserver] = (),
+    source: str | None = None,
+) -> GenerationResult:
+    """Mine one precision interface from one log.
+
+    See :meth:`Pipeline.generate`; this runs the default staged pipeline.
+    """
+    return Pipeline.default(options).generate(log, observers=observers, source=source)
+
+
+def generate_many(
+    logs: Iterable[Any],
+    options: PipelineOptions | None = None,
+    observers: Iterable[PipelineObserver] = (),
+) -> list[GenerationResult]:
+    """Mine one interface per log, in input order (batch/multi-client).
+
+    The stage objects are stateless, so one pipeline serves the whole
+    batch; each log still gets its own state, reports, and result.  An
+    empty batch yields an empty list (unlike an empty *log*, which raises).
+    """
+    pipeline = Pipeline.default(options)
+    return [pipeline.generate(log, observers=observers) for log in logs]
+
+
+def generate_segmented(
+    log: Any,
+    options: PipelineOptions | None = None,
+    observers: Iterable[PipelineObserver] = (),
+    jump_threshold: float = 0.3,
+    cluster_threshold: float = 0.3,
+) -> list[GenerationResult]:
+    """Segment a mixed log into analyses, then mine one interface each.
+
+    Runs parse → segment once, then the default pipeline per segment.  Each
+    result's provenance carries its ``segment`` index and a derived
+    ``source`` label (``<log>/analysis-<i>``).
+    """
+    resolved = options or PipelineOptions()
+    state = _state_for(log, resolved)
+    front = Pipeline(
+        [ParseStage(), SegmentStage(jump_threshold, cluster_threshold)], resolved
+    )
+    state, _reports, _run = front.run(state, observers=observers)
+    pipeline = Pipeline.default(resolved)
+    results = []
+    for index, segment in enumerate(state.segments or []):
+        result = pipeline.generate(
+            segment,
+            observers=observers,
+            source=f"{state.source}/analysis-{index}",
+        )
+        result = GenerationResult(
+            interface=result.interface,
+            run=result.run,
+            provenance={**result.provenance, "segment": index},
+        )
+        results.append(result)
+    return results

@@ -1,0 +1,152 @@
+"""Immutable generation results.
+
+The staged pipeline reports everything it did through value objects instead
+of mutable side-channels: each stage produces a :class:`StageReport`, the
+reports aggregate into a :class:`PipelineRun`, and :func:`repro.api.generate`
+wraps the mined interface, its provenance, and the run record into one
+frozen :class:`GenerationResult`.
+
+All three types are frozen dataclasses; their mapping-valued fields are
+wrapped in :class:`types.MappingProxyType`.  The run record, provenance,
+and the result's field bindings therefore cannot be mutated behind a
+caller's back — the property the old ``PrecisionInterfaces.last_run``
+attribute could not offer.  Note the scope: the wrapped
+:class:`~repro.core.interface.Interface` is a live object (its widget
+list and metadata stay mutable, as the compiler and layout code rely on);
+callers caching results should treat it as read-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # import at runtime would be circular via repro.core
+    from repro.core.interface import Interface
+
+__all__ = ["StageReport", "PipelineRun", "GenerationResult"]
+
+
+def _frozen_mapping(value: Mapping[str, Any] | None) -> Mapping[str, Any]:
+    return MappingProxyType(dict(value or {}))
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """What one stage did during one pipeline run.
+
+    Attributes:
+        name: the stage's name (``"parse"``, ``"mine"``, ...).
+        seconds: wall-clock time spent inside the stage.
+        stats: stage-specific counters (pairs compared, widgets built, ...).
+    """
+
+    name: str
+    seconds: float
+    stats: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stats", _frozen_mapping(self.stats))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "seconds": self.seconds, "stats": dict(self.stats)}
+
+
+@dataclass(frozen=True)
+class PipelineRun:
+    """Record of one generation run (timings and graph sizes), used by the
+    runtime experiments of Appendix B.
+
+    Field names are unchanged from the seed's mutable ``PipelineRun`` so the
+    runtime harness and benchmarks read the same counters; the record is now
+    frozen and additionally carries the per-stage :class:`StageReport` list.
+    """
+
+    n_queries: int = 0
+    n_edges: int = 0
+    n_diffs: int = 0
+    n_pairs_compared: int = 0
+    mining_seconds: float = 0.0
+    mapping_seconds: float = 0.0
+    n_widgets: int = 0
+    interface_cost: float = 0.0
+    stages: tuple[StageReport, ...] = ()
+
+    @property
+    def total_seconds(self) -> float:
+        return self.mining_seconds + self.mapping_seconds
+
+    def stage(self, name: str) -> StageReport | None:
+        """The report of the named stage, if the pipeline ran it."""
+        for report in self.stages:
+            if report.name == name:
+                return report
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_queries": self.n_queries,
+            "n_edges": self.n_edges,
+            "n_diffs": self.n_diffs,
+            "n_pairs_compared": self.n_pairs_compared,
+            "mining_seconds": self.mining_seconds,
+            "mapping_seconds": self.mapping_seconds,
+            "total_seconds": self.total_seconds,
+            "n_widgets": self.n_widgets,
+            "interface_cost": self.interface_cost,
+            "stages": [report.to_dict() for report in self.stages],
+        }
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """One generated interface plus everything needed to audit it.
+
+    The record itself is frozen (fields cannot be rebound, ``run`` and
+    ``provenance`` are deeply read-only); the ``interface`` is a live
+    object — treat it as read-only when caching results, or its widget
+    list can drift from the frozen run counters.
+
+    Attributes:
+        interface: the mined :class:`~repro.core.interface.Interface`.
+        run: the frozen :class:`PipelineRun` with per-stage reports.
+        provenance: where the log came from and which options mined it.
+    """
+
+    interface: Interface
+    run: PipelineRun
+    provenance: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "provenance", _frozen_mapping(self.provenance))
+
+    # convenience pass-throughs (keep one-liners like
+    # ``generate(log).describe()`` working without unwrapping)
+    @property
+    def n_widgets(self) -> int:
+        return self.interface.n_widgets
+
+    @property
+    def cost(self) -> float:
+        return self.interface.cost
+
+    def describe(self) -> str:
+        return self.interface.describe()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable statistics (consumed by ``--json`` and the
+        benchmark dashboards).  ASTs and widget domains are summarised, not
+        embedded."""
+        return {
+            "provenance": dict(self.provenance),
+            "run": self.run.to_dict(),
+            "interface": {
+                "n_widgets": self.interface.n_widgets,
+                "cost": self.interface.cost,
+                "widgets": [
+                    {"type": kind, "path": path, "domain_size": size}
+                    for kind, path, size in self.interface.widget_summary()
+                ],
+            },
+        }

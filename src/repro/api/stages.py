@@ -1,0 +1,212 @@
+"""First-class pipeline stages (Figure 2a, made composable).
+
+The paper's generation pipeline is an explicit sequence —
+
+    parse → (segment) → mine interaction graph → map to widgets → merge
+
+— and each step here is a :class:`Stage` object with the uniform contract
+``run(state) -> state`` over a shared :class:`PipelineState`.  Stages are
+stateless and reusable; per-run data lives only in the state, so one stage
+instance can serve many concurrent pipelines.
+
+Stages record their counters with :meth:`PipelineState.record`; the
+:class:`~repro.api.pipeline.Pipeline` wraps each ``run`` with wall-clock
+timing and turns the records into frozen
+:class:`~repro.api.result.StageReport` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.mapper import MapperStats, initialize, merge_widgets
+from repro.core.options import PipelineOptions
+from repro.errors import LogError
+from repro.graph.build import BuildStats, build_interaction_graph
+from repro.graph.interaction import InteractionGraph
+from repro.logs.sessions import segment_asts, validate_threshold
+from repro.sqlparser.astnodes import Node
+from repro.sqlparser.parser import parse_sql
+from repro.widgets.base import Widget
+
+__all__ = [
+    "PipelineState",
+    "Stage",
+    "ParseStage",
+    "SegmentStage",
+    "MineStage",
+    "MapStage",
+    "MergeStage",
+]
+
+
+@dataclass
+class PipelineState:
+    """The mutable carrier threaded through the stages of one run.
+
+    Attributes:
+        options: pipeline configuration shared by every stage.
+        statements: raw SQL strings (input of :class:`ParseStage`).
+        queries: parsed ASTs in log order.
+        segments: per-analysis query lists (output of :class:`SegmentStage`).
+        graph: the mined interaction graph (output of :class:`MineStage`).
+        widgets: the widget set (output of :class:`MapStage` /
+            :class:`MergeStage`).
+        source: free-form label of where the log came from (provenance).
+        records: per-stage counters, keyed by stage name.
+    """
+
+    options: PipelineOptions
+    statements: list[str] | None = None
+    queries: list[Node] | None = None
+    segments: list[list[Node]] | None = None
+    graph: InteractionGraph | None = None
+    widgets: list[Widget] | None = None
+    source: str = "log"
+    records: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def record(self, stage_name: str, **stats: Any) -> None:
+        """Merge counters into the named stage's record."""
+        self.records.setdefault(stage_name, {}).update(stats)
+
+
+class Stage:
+    """One pipeline step.  Subclasses implement :meth:`run`.
+
+    The contract is uniform: take the state, advance it, return it.  A stage
+    must raise (typically :class:`~repro.errors.LogError`) when its input is
+    missing, rather than silently skipping.
+    """
+
+    name = "stage"
+
+    def run(self, state: PipelineState) -> PipelineState:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+class ParseStage(Stage):
+    """Parse raw SQL statements into ASTs (no-op when ASTs were supplied)."""
+
+    name = "parse"
+
+    def run(self, state: PipelineState) -> PipelineState:
+        if state.queries is None:
+            if not state.statements:
+                raise LogError("cannot generate an interface from an empty log")
+            state.queries = [parse_sql(sql) for sql in state.statements]
+            state.record(self.name, n_parsed=len(state.queries))
+        else:
+            state.record(self.name, n_parsed=0)
+        state.record(self.name, n_queries=len(state.queries))
+        return state
+
+
+class SegmentStage(Stage):
+    """Split a mixed log into per-analysis segments (Section 3.3).
+
+    Delegates to :func:`repro.logs.sessions.segment_asts` — one
+    implementation serves both the log-level helpers and this stage.
+    Pipelines that embed this stage fan the downstream stages out over
+    ``state.segments``.
+    """
+
+    name = "segment"
+
+    def __init__(self, jump_threshold: float = 0.3, cluster_threshold: float = 0.3):
+        # validate eagerly so a bad composition fails at build time
+        validate_threshold(jump_threshold)
+        validate_threshold(cluster_threshold)
+        self.jump_threshold = jump_threshold
+        self.cluster_threshold = cluster_threshold
+
+    def run(self, state: PipelineState) -> PipelineState:
+        if not state.queries:
+            raise LogError("cannot segment an empty query log")
+        state.segments = segment_asts(
+            state.queries, self.jump_threshold, self.cluster_threshold
+        )
+        state.record(self.name, n_segments=len(state.segments))
+        return state
+
+
+class MineStage(Stage):
+    """Mine the interaction graph (Section 4.2 with the Section 6
+    sliding-window and LCA-pruning optimisations)."""
+
+    name = "mine"
+
+    def run(self, state: PipelineState) -> PipelineState:
+        if not state.queries:
+            raise LogError("cannot mine an empty query log")
+        options = state.options
+        stats = BuildStats()
+        state.graph = build_interaction_graph(
+            state.queries,
+            window=options.window,
+            prune=options.lca_pruning,
+            annotations=options.annotations,
+            stats=stats,
+        )
+        state.record(
+            self.name,
+            n_pairs_compared=stats.n_pairs_compared,
+            n_edges=state.graph.n_edges,
+            n_diffs=state.graph.n_diffs,
+        )
+        return state
+
+
+class MapStage(Stage):
+    """Initialize (Algorithm 1): one cheapest widget per diff partition."""
+
+    name = "map"
+
+    def run(self, state: PipelineState) -> PipelineState:
+        if state.graph is None:
+            raise LogError("map stage needs a mined interaction graph")
+        options = state.options
+        diffs = state.graph.diffs
+        state.widgets = initialize(diffs, options.library, options.annotations)
+        state.record(
+            self.name,
+            n_partitions=len({d.path for d in diffs}),
+            n_initial_widgets=len(state.widgets),
+            initial_cost=sum(w.cost for w in state.widgets),
+        )
+        return state
+
+
+class MergeStage(Stage):
+    """Merge (Algorithm 3) to a fixed point; identity when merging is
+    disabled in the options (the ablation configuration)."""
+
+    name = "merge"
+
+    def run(self, state: PipelineState) -> PipelineState:
+        if state.widgets is None or state.graph is None:
+            raise LogError("merge stage needs mapped widgets")
+        options = state.options
+        rounds = 0
+        if options.merge and state.widgets:
+            stats = MapperStats()
+            leaf_diffs = [d for d in state.graph.diffs if d.is_leaf]
+            state.widgets = merge_widgets(
+                state.widgets,
+                options.library,
+                options.annotations,
+                stats=stats,
+                leaf_diffs=leaf_diffs,
+            )
+            rounds = stats.n_merge_rounds
+        state.record(
+            self.name,
+            merged=options.merge,
+            n_merge_rounds=rounds,
+            n_widgets=len(state.widgets),
+            final_cost=sum(w.cost for w in state.widgets),
+        )
+        return state

@@ -23,7 +23,7 @@ from itertools import product
 from repro.compiler.layout import LayoutPlan, grid_layout
 from repro.compiler.runtime import Database, execute, render_text
 from repro.core.closure import apply_widget_choice
-from repro.core.interface import Interface
+from repro.core.interface import Interface, as_interface
 from repro.errors import CompileError
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.render import render_sql
@@ -134,7 +134,8 @@ def compile_html(
     """Compile an interface into a self-contained HTML application.
 
     Args:
-        interface: the generated interface.
+        interface: the generated interface (or a
+            :class:`~repro.api.result.GenerationResult`, which is unwrapped).
         title: page title.
         database: optional in-memory database; when given, every closure
             query is executed and its rendered result embedded.
@@ -148,6 +149,7 @@ def compile_html(
     Raises:
         CompileError: when the interface has no widgets.
     """
+    interface = as_interface(interface)
     if not interface.widgets:
         raise CompileError("cannot compile an interface with no widgets")
     plan = layout or grid_layout(interface, columns=columns)

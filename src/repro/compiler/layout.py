@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.interface import Interface
+from repro.core.interface import Interface, as_interface
 from repro.errors import CompileError
 from repro.sqlparser.render import render_sql
 from repro.widgets.base import Widget
@@ -101,6 +101,7 @@ def grid_layout(interface: Interface, columns: int = 2) -> LayoutPlan:
     """
     if columns <= 0:
         raise CompileError(f"columns must be positive, got {columns}")
+    interface = as_interface(interface)
     plan = LayoutPlan(columns=columns)
     ordered = sorted(interface.widgets, key=lambda w: (w.path.depth, w.path))
     for index, widget in enumerate(ordered):
@@ -118,6 +119,7 @@ def grid_layout(interface: Interface, columns: int = 2) -> LayoutPlan:
 
 def describe_layout(interface: Interface) -> str:
     """Editor-style summary: the grid plus the initial query."""
+    interface = as_interface(interface)
     plan = grid_layout(interface)
     lines = [f"initial: {render_sql(interface.initial_query)}"]
     lines.extend(cell.describe() for cell in plan.cells)

@@ -1,4 +1,8 @@
-"""Core contribution: interaction mapper, interface model, pipeline."""
+"""Core contribution: interaction mapper, interface model, closure.
+
+The end-to-end pipeline now lives in :mod:`repro.api` as composable
+stages; :class:`~repro.core.pipeline.PrecisionInterfaces` remains here as
+a deprecation shim."""
 
 from repro.core.closure import apply_widget_choice, enumerate_closure, expresses
 from repro.core.interface import Interface

@@ -16,7 +16,14 @@ from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
 from repro.sqlparser.render import render_sql
 from repro.widgets.base import Widget
 
-__all__ = ["Interface"]
+__all__ = ["Interface", "as_interface"]
+
+
+def as_interface(obj) -> "Interface":
+    """Unwrap a result-like object (anything carrying an ``interface``
+    attribute, e.g. :class:`~repro.api.result.GenerationResult`) to its
+    :class:`Interface`; plain interfaces pass through unchanged."""
+    return getattr(obj, "interface", obj)
 
 
 @dataclass

@@ -1,54 +1,70 @@
-"""End-to-end pipeline: query log → precision interface (Figure 2a).
+"""Legacy facade over the staged pipeline (deprecated).
 
-    parse → mine interaction graph → map interactions to widgets
+The pipeline of Figure 2a now lives in :mod:`repro.api` as five composable
+stages with a uniform ``run(state) -> state`` contract::
 
-Usage::
+    parse → (segment) → mine interaction graph → map to widgets → merge
 
-    from repro import PrecisionInterfaces
-    pi = PrecisionInterfaces()
-    interface = pi.generate_from_sql([
+Preferred usage::
+
+    from repro.api import generate, InterfaceSession
+
+    result = generate([
         "SELECT * FROM t WHERE a = 1",
         "SELECT * FROM t WHERE a = 2",
     ])
-    interface.expresses(parse_sql("SELECT * FROM t WHERE a = 1"))
+    result.interface.expresses(parse_sql("SELECT * FROM t WHERE a = 1"))
+    result.run.stage("mine").stats["n_pairs_compared"]   # per-stage stats
+
+    session = InterfaceSession()          # incremental logs
+    session.append_sql(first_batch)
+    session.append_sql(second_batch)      # only new pairs are re-mined
+
+:class:`PrecisionInterfaces` remains as a thin deprecation shim for one
+release: ``generate``/``generate_from_sql`` still return the bare
+:class:`~repro.core.interface.Interface` and still populate ``last_run``,
+but both emit :class:`DeprecationWarning` — new code should read the
+immutable :class:`~repro.api.result.PipelineRun` off the
+:class:`~repro.api.result.GenerationResult` instead of the mutable
+``last_run`` side-channel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from typing import TYPE_CHECKING
 
 from repro.core.interface import Interface
-from repro.core.mapper import MapperStats, map_interactions
 from repro.core.options import PipelineOptions
 from repro.errors import LogError
-from repro.graph.build import BuildStats, build_interaction_graph
 from repro.sqlparser.astnodes import Node
-from repro.sqlparser.parser import parse_sql
+
+if TYPE_CHECKING:
+    from repro.api.result import PipelineRun
 
 __all__ = ["PrecisionInterfaces", "PipelineRun"]
 
 
-@dataclass
-class PipelineRun:
-    """Record of one generation run (timings and graph sizes), used by the
-    runtime experiments of Appendix B."""
+def __getattr__(name: str):
+    # PipelineRun is re-exported lazily (PEP 562): repro.api imports
+    # repro.core submodules, so an eager import here would be circular
+    if name == "PipelineRun":
+        from repro.api.result import PipelineRun
 
-    n_queries: int = 0
-    n_edges: int = 0
-    n_diffs: int = 0
-    n_pairs_compared: int = 0
-    mining_seconds: float = 0.0
-    mapping_seconds: float = 0.0
-    n_widgets: int = 0
-    interface_cost: float = 0.0
+        return PipelineRun
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    @property
-    def total_seconds(self) -> float:
-        return self.mining_seconds + self.mapping_seconds
+
+def _deprecated(what: str, instead: str) -> None:
+    warnings.warn(
+        f"{what} is deprecated; use {instead} (see repro.api)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class PrecisionInterfaces:
-    """The system facade.
+    """Deprecated system facade — use :func:`repro.api.generate`.
 
     Args:
         options: pipeline configuration; defaults match the paper's
@@ -58,67 +74,56 @@ class PrecisionInterfaces:
 
     def __init__(self, options: PipelineOptions | None = None):
         self.options = options or PipelineOptions()
-        self.last_run: PipelineRun | None = None
+        self._last_run: PipelineRun | None = None
+
+    @property
+    def last_run(self) -> PipelineRun | None:
+        """Deprecated mutable side-channel; read ``result.run`` instead."""
+        _deprecated(
+            "PrecisionInterfaces.last_run", "GenerationResult.run"
+        )
+        return self._last_run
+
+    @last_run.setter
+    def last_run(self, value: PipelineRun | None) -> None:
+        _deprecated(
+            "PrecisionInterfaces.last_run", "GenerationResult.run"
+        )
+        self._last_run = value
 
     # ------------------------------------------------------------------
     # generation
     # ------------------------------------------------------------------
     def generate_from_sql(self, statements: list[str]) -> Interface:
-        """Parse raw SQL strings and generate an interface.
+        """Parse raw SQL strings and generate an interface (deprecated).
 
         Raises:
             LogError: for an empty log.
             SQLSyntaxError: if any statement fails to parse.
         """
+        _deprecated(
+            "PrecisionInterfaces.generate_from_sql", "repro.api.generate"
+        )
         if not statements:
             raise LogError("cannot generate an interface from an empty log")
-        return self.generate([parse_sql(sql) for sql in statements])
+        return self._run(list(statements))
 
     def generate(self, queries: list[Node]) -> Interface:
-        """Generate an interface from parsed ASTs (log order preserved).
+        """Generate an interface from parsed ASTs (deprecated).
 
         Raises:
             LogError: for an empty log.
         """
+        _deprecated("PrecisionInterfaces.generate", "repro.api.generate")
         if not queries:
             raise LogError("cannot generate an interface from an empty log")
-        options = self.options
-        build_stats = BuildStats()
-        graph = build_interaction_graph(
-            queries,
-            window=options.window,
-            prune=options.lca_pruning,
-            annotations=options.annotations,
-            stats=build_stats,
-        )
-        mapper_stats = MapperStats()
-        widgets = map_interactions(
-            graph.diffs,
-            library=options.library,
-            annotations=options.annotations,
-            merge=options.merge,
-            stats=mapper_stats,
-        )
-        interface = Interface(
-            widgets=widgets,
-            initial_query=queries[0],
-            annotations=options.annotations,
-            metadata={
-                "n_queries": len(queries),
-                "n_edges": graph.n_edges,
-                "n_diffs": graph.n_diffs,
-                "window": options.window,
-                "lca_pruning": options.lca_pruning,
-            },
-        )
-        self.last_run = PipelineRun(
-            n_queries=len(queries),
-            n_edges=graph.n_edges,
-            n_diffs=graph.n_diffs,
-            n_pairs_compared=build_stats.n_pairs_compared,
-            mining_seconds=build_stats.mining_seconds,
-            mapping_seconds=mapper_stats.mapping_seconds,
-            n_widgets=len(widgets),
-            interface_cost=interface.cost,
-        )
-        return interface
+        return self._run(list(queries))
+
+    def _run(self, log: list) -> Interface:
+        # imported lazily: repro.api itself imports repro.core submodules,
+        # so a module-level import here would be circular
+        from repro.api.pipeline import generate
+
+        result = generate(log, options=self.options)
+        self._last_run = result.run
+        return result.interface

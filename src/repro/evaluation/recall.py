@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import generate, generate_many
 from repro.core.options import PipelineOptions
-from repro.core.pipeline import PrecisionInterfaces
 from repro.errors import LogError
 from repro.logs.model import QueryLog
 from repro.sqlparser.astnodes import Node
@@ -69,7 +69,7 @@ def _recall_of(
     holdout: list[Node],
     options: PipelineOptions | None,
 ) -> float:
-    interface = PrecisionInterfaces(options).generate(training)
+    interface = generate(training, options=options).interface
     return interface.expressiveness(holdout)
 
 
@@ -137,12 +137,17 @@ def multi_client_recall(
     holdout = asts[-holdout_size:]
     available = len(asts) - holdout_size
     curve = RecallCurve(label=label or f"mixed-{len(client_logs)}")
+    trainings = []
     for size in training_sizes:
         n_training = size * len(client_logs) if per_client else size
-        n_training = min(n_training, available)
-        training = asts[:n_training]
+        trainings.append(asts[: min(n_training, available)])
+    # one batched call over the training-size sweep (generate_many)
+    results = generate_many(trainings, options=options)
+    for size, result in zip(training_sizes, results):
         curve.points.append(
-            RecallPoint(n_training=size, recall=_recall_of(training, holdout, options))
+            RecallPoint(
+                n_training=size, recall=result.interface.expressiveness(holdout)
+            )
         )
     return curve
 
@@ -163,9 +168,9 @@ def cross_client_matrix(
     parsed = {
         client: log.truncate(n_queries).asts() for client, log in client_logs.items()
     }
+    results = generate_many(parsed.values(), options=options)
     interfaces = {
-        client: PrecisionInterfaces(options).generate(asts)
-        for client, asts in parsed.items()
+        client: result.interface for client, result in zip(parsed, results)
     }
     matrix: dict[str, dict[str, float]] = {}
     for train_client, interface in interfaces.items():

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.api import generate
 from repro.core.options import PipelineOptions
-from repro.core.pipeline import PrecisionInterfaces
 from repro.sqlparser.astnodes import Node
 
 __all__ = ["RuntimeMeasurement", "measure_pipeline", "window_lca_sweep", "scalability_sweep"]
@@ -43,10 +43,7 @@ def measure_pipeline(
 ) -> RuntimeMeasurement:
     """Run the pipeline once and report timings and graph sizes."""
     options = PipelineOptions(window=window, lca_pruning=lca_pruning)
-    system = PrecisionInterfaces(options)
-    system.generate(queries)
-    run = system.last_run
-    assert run is not None  # generate() always records a run
+    run = generate(queries, options=options).run
     return RuntimeMeasurement(
         n_queries=run.n_queries,
         window=window,

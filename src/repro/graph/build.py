@@ -21,7 +21,7 @@ from repro.sqlparser.astnodes import Node
 from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
 from repro.treediff.diff import extract_diffs
 
-__all__ = ["BuildStats", "build_interaction_graph"]
+__all__ = ["BuildStats", "build_interaction_graph", "extend_interaction_graph"]
 
 
 @dataclass
@@ -35,6 +35,32 @@ class BuildStats:
 
     n_pairs_compared: int = 0
     mining_seconds: float = 0.0
+
+
+def _compare_pair(
+    graph: InteractionGraph,
+    i: int,
+    j: int,
+    prune: bool,
+    annotations: GrammarAnnotations,
+) -> None:
+    """Align queries ``i`` and ``j`` and record the diffs/edge, if any.
+
+    Shared by the full build and the incremental extension — the
+    incremental session's result-equivalence guarantee depends on both
+    paths recording pairs identically.
+    """
+    left, right = graph.queries[i], graph.queries[j]
+    if left.fingerprint == right.fingerprint and left.equals(right):
+        return
+    records = extract_diffs(
+        left, right, q1=i, q2=j, prune=prune, annotations=annotations
+    )
+    if not records:
+        return
+    graph.diffs.extend(records)
+    leaf = tuple(d for d in records if d.is_leaf)
+    graph.edges.append(Edge(q1=i, q2=j, interaction=leaf))
 
 
 def build_interaction_graph(
@@ -72,21 +98,59 @@ def build_interaction_graph(
     started = time.perf_counter()
     n_pairs = 0
 
-    for i, left in enumerate(queries):
+    for i in range(len(queries)):
         upper = min(len(queries), i + span)
         for j in range(i + 1, upper):
-            right = queries[j]
             n_pairs += 1
-            if left.fingerprint == right.fingerprint and left.equals(right):
-                continue
-            records = extract_diffs(
-                left, right, q1=i, q2=j, prune=prune, annotations=annotations
-            )
-            if not records:
-                continue
-            graph.diffs.extend(records)
-            leaf = tuple(d for d in records if d.is_leaf)
-            graph.edges.append(Edge(q1=i, q2=j, interaction=leaf))
+            _compare_pair(graph, i, j, prune, annotations)
+
+    if stats is not None:
+        stats.n_pairs_compared += n_pairs
+        stats.mining_seconds += time.perf_counter() - started
+    return graph
+
+
+def extend_interaction_graph(
+    graph: InteractionGraph,
+    new_queries: list[Node],
+    window: int | None = None,
+    prune: bool = True,
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+    stats: BuildStats | None = None,
+) -> InteractionGraph:
+    """Incrementally extend a mined graph with appended queries.
+
+    Only pairs that involve a new query are aligned: for each appended
+    position ``j``, the partners are ``i in [max(0, j - window + 1), j)``
+    (all earlier queries when ``window`` is ``None``).  Together with the
+    pairs already in ``graph`` this is exactly the pair set
+    :func:`build_interaction_graph` would compare on the concatenated log,
+    so growing a log by increments never re-diffs an already-compared pair.
+
+    The graph is mutated in place and returned.  Note that edges/diffs are
+    appended in arrival order, which differs from the full build's
+    ``(q1, q2)``-lexicographic order once ``window > 2``; callers that need
+    build-order parity (the incremental session does) sort by ``(q1, q2)``
+    before mapping.
+
+    Raises:
+        LogError: for an empty batch or a nonsensical window.
+    """
+    if not new_queries:
+        raise LogError("cannot extend the graph with an empty batch")
+    if window is not None and window < 2:
+        raise LogError(f"window must be >= 2, got {window}")
+
+    old_n = len(graph.queries)
+    graph.queries.extend(new_queries)
+    started = time.perf_counter()
+    n_pairs = 0
+
+    for j in range(old_n, len(graph.queries)):
+        start = 0 if window is None else max(0, j - window + 1)
+        for i in range(start, j):
+            n_pairs += 1
+            _compare_pair(graph, i, j, prune, annotations)
 
     if stats is not None:
         stats.n_pairs_compared += n_pairs

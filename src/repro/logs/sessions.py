@@ -9,7 +9,9 @@ to cluster similar queries".  This module implements that preprocessing:
   between consecutive queries exceeds a threshold (a new analysis usually
   starts with a large structural jump);
 * :func:`cluster_analyses` — greedy distance-based clustering of segments
-  into analyses, so interleaved bursts of the same analysis are merged.
+  into analyses, so interleaved bursts of the same analysis are merged;
+* :func:`segment_asts` — the AST-level core of both, used directly by the
+  staged pipeline's :class:`~repro.api.stages.SegmentStage`.
 
 Used by the multi-client examples to recover per-analysis logs when no
 client ids are available.
@@ -17,13 +19,23 @@ client ids are available.
 
 from __future__ import annotations
 
+from typing import Callable, Sequence, TypeVar
+
 from repro.errors import LogError
 from repro.logs.model import QueryLog
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.parser import parse_sql
 from repro.treediff.matching import tree_distance
 
-__all__ = ["split_by_distance", "cluster_analyses", "segment_log"]
+__all__ = [
+    "split_by_distance",
+    "cluster_analyses",
+    "segment_log",
+    "segment_asts",
+    "validate_threshold",
+]
+
+T = TypeVar("T")
 
 
 def _relative_distance(a: Node, b: Node) -> float:
@@ -31,6 +43,46 @@ def _relative_distance(a: Node, b: Node) -> float:
     1 for totally different ones."""
     distance = tree_distance(a, b)
     return distance / max(1, a.size + b.size)
+
+
+def validate_threshold(threshold: float) -> None:
+    """Reject distance thresholds outside (0, 1] — the single source of
+    truth for every segmentation entry point (including SegmentStage).
+
+    Raises:
+        LogError: for a nonsensical threshold.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise LogError(f"threshold must be in (0, 1], got {threshold}")
+
+
+def _split_cuts(asts: Sequence[Node], threshold: float) -> list[int]:
+    """Cut positions (including 0 and len) at large structural jumps."""
+    cuts = [0]
+    for index in range(1, len(asts)):
+        if _relative_distance(asts[index - 1], asts[index]) > threshold:
+            cuts.append(index)
+    cuts.append(len(asts))
+    return cuts
+
+
+def _greedy_cluster(
+    items: list[T], prototype_of: Callable[[T], Node], threshold: float
+) -> list[list[T]]:
+    """Greedily group items whose prototype ASTs are structurally close,
+    in order of first appearance."""
+    prototypes: list[Node] = []
+    clusters: list[list[T]] = []
+    for item in items:
+        prototype = prototype_of(item)
+        for index, representative in enumerate(prototypes):
+            if _relative_distance(representative, prototype) <= threshold:
+                clusters[index].append(item)
+                break
+        else:
+            prototypes.append(prototype)
+            clusters.append([item])
+    return clusters
 
 
 def split_by_distance(log: QueryLog, threshold: float = 0.3) -> list[QueryLog]:
@@ -46,18 +98,9 @@ def split_by_distance(log: QueryLog, threshold: float = 0.3) -> list[QueryLog]:
     """
     if not log.entries:
         raise LogError("cannot segment an empty log")
-    if not 0.0 < threshold <= 1.0:
-        raise LogError(f"threshold must be in (0, 1], got {threshold}")
-    asts = log.asts()
-    cuts = [0]
-    for index in range(1, len(asts)):
-        if _relative_distance(asts[index - 1], asts[index]) > threshold:
-            cuts.append(index)
-    cuts.append(len(asts))
-    segments = []
-    for start, stop in zip(cuts, cuts[1:]):
-        segments.append(log.slice(start, stop))
-    return segments
+    validate_threshold(threshold)
+    cuts = _split_cuts(log.asts(), threshold)
+    return [log.slice(start, stop) for start, stop in zip(cuts, cuts[1:])]
 
 
 def _segment_prototype(segment: QueryLog) -> Node:
@@ -78,19 +121,7 @@ def cluster_analyses(
     """
     if not segments:
         raise LogError("no segments to cluster")
-    prototypes: list[Node] = []
-    clusters: list[list[QueryLog]] = []
-    for segment in segments:
-        prototype = _segment_prototype(segment)
-        assigned = False
-        for index, representative in enumerate(prototypes):
-            if _relative_distance(representative, prototype) <= threshold:
-                clusters[index].append(segment)
-                assigned = True
-                break
-        if not assigned:
-            prototypes.append(prototype)
-            clusters.append([segment])
+    clusters = _greedy_cluster(segments, _segment_prototype, threshold)
     out = []
     for index, group in enumerate(clusters):
         entries = [entry for segment in group for entry in segment.entries]
@@ -108,3 +139,27 @@ def segment_log(
     return cluster_analyses(
         split_by_distance(log, jump_threshold), cluster_threshold
     )
+
+
+def segment_asts(
+    asts: Sequence[Node],
+    jump_threshold: float = 0.3,
+    cluster_threshold: float = 0.3,
+) -> list[list[Node]]:
+    """AST-level end-to-end segmentation (the SegmentStage entry point).
+
+    Same algorithm as :func:`segment_log`, but over parsed queries with no
+    log metadata: split at structural jumps, then greedily cluster the
+    bursts by their first query.
+
+    Raises:
+        LogError: for an empty log or a nonsensical threshold.
+    """
+    if not asts:
+        raise LogError("cannot segment an empty query log")
+    validate_threshold(jump_threshold)
+    validate_threshold(cluster_threshold)
+    cuts = _split_cuts(asts, jump_threshold)
+    bursts = [list(asts[start:stop]) for start, stop in zip(cuts, cuts[1:])]
+    clusters = _greedy_cluster(bursts, lambda burst: burst[0], cluster_threshold)
+    return [[ast for burst in cluster for ast in burst] for cluster in clusters]

@@ -165,12 +165,14 @@ def study_interfaces(log: QueryLog, options=None) -> dict[int, Interface]:
     is a separate analysis and gets its own widget group, which is how the
     paper's Figure 8b interface presents per-task controls.
     """
-    from repro.core.pipeline import PrecisionInterfaces  # local: avoid cycle
+    from repro.api import generate  # local: avoid cycle
 
     out: dict[int, Interface] = {}
     for client, sublog in log.by_client().items():
         number = int(client.removeprefix("task"))
-        out[number] = PrecisionInterfaces(options).generate(sublog.asts())
+        out[number] = generate(
+            sublog.asts(), options=options, source=f"study/{client}"
+        ).interface
     return out
 
 

@@ -1,0 +1,74 @@
+"""The ``--json`` output mode of ``python -m repro``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.logs import LISTING_6
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    path = tmp_path / "log.sql"
+    path.write_text("\n".join(LISTING_6) + "\n", encoding="utf-8")
+    return str(path)
+
+
+def _json_out(capsys):
+    return json.loads(capsys.readouterr().out)
+
+
+class TestMineJson:
+    def test_dumps_generation_result_stats(self, log_file, capsys):
+        assert main(["mine", log_file, "--json"]) == 0
+        payload = _json_out(capsys)
+        assert payload["run"]["n_queries"] == 3
+        assert payload["run"]["n_pairs_compared"] == 2
+        assert [s["name"] for s in payload["run"]["stages"]] == [
+            "parse", "mine", "map", "merge"
+        ]
+        widgets = {w["type"] for w in payload["interface"]["widgets"]}
+        assert widgets == {"toggle_button", "slider"}
+
+    def test_segment_mode_emits_one_payload_per_analysis(self, tmp_path, capsys):
+        statements = [
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 2",
+            "SELECT dest, SUM(delay) FROM ontime GROUP BY dest",
+            "SELECT dest, AVG(delay) FROM ontime GROUP BY dest",
+        ]
+        path = tmp_path / "mixed.sql"
+        path.write_text("\n".join(statements) + "\n", encoding="utf-8")
+        assert main(["mine", str(path), "--json", "--segment"]) == 0
+        payload = _json_out(capsys)
+        assert isinstance(payload, list) and len(payload) == 2
+        assert payload[0]["provenance"]["segment"] == 0
+
+    def test_segment_shape_is_a_list_even_for_one_analysis(self, log_file, capsys):
+        """Deterministic schema: --segment always emits a list."""
+        assert main(["mine", log_file, "--json", "--segment"]) == 0
+        payload = _json_out(capsys)
+        assert isinstance(payload, list) and len(payload) == 1
+
+    def test_plain_mode_unchanged(self, log_file, capsys):
+        assert main(["mine", log_file]) == 0
+        out = capsys.readouterr().out
+        assert "Interface:" in out and "{" not in out.split("\n")[0]
+
+
+class TestRecallJson:
+    def test_recall_block_present(self, log_file, capsys):
+        assert main(["recall", log_file, "--json", "--split", "0.67"]) == 0
+        payload = _json_out(capsys)
+        assert payload["recall"]["n_training"] == 2
+        assert payload["recall"]["n_holdout"] == 1
+        assert 0.0 <= payload["recall"]["recall"] <= 1.0
+
+
+class TestCheckJson:
+    def test_verdict_as_json(self, log_file, capsys):
+        query = LISTING_6[0]
+        assert main(["check", log_file, "--json", query]) == 0
+        payload = _json_out(capsys)
+        assert payload == {"query": query, "expressible": True}

@@ -1,0 +1,209 @@
+"""Staged pipeline API: composition, observers, immutable results, shim."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import PrecisionInterfaces, parse_sql
+from repro.api import (
+    GenerationResult,
+    MapStage,
+    MergeStage,
+    MineStage,
+    ParseStage,
+    Pipeline,
+    PipelineObserver,
+    PipelineState,
+    SegmentStage,
+    generate,
+)
+from repro.core.options import PipelineOptions
+from repro.errors import LogError
+from repro.logs import LISTING_6, listing_4_log
+
+
+class TestComposition:
+    def test_default_stage_order_is_figure_2a(self):
+        assert Pipeline.default().stage_names == ("parse", "mine", "map", "merge")
+
+    def test_stages_run_in_composition_order(self):
+        seen = []
+
+        class Tracer(PipelineObserver):
+            def on_stage_start(self, stage, state):
+                seen.append(("start", stage.name))
+
+            def on_stage_end(self, stage, state, report):
+                seen.append(("end", stage.name))
+
+        generate(list(LISTING_6), observers=[Tracer()])
+        assert seen == [
+            ("start", "parse"), ("end", "parse"),
+            ("start", "mine"), ("end", "mine"),
+            ("start", "map"), ("end", "map"),
+            ("start", "merge"), ("end", "merge"),
+        ]
+
+    def test_pipeline_and_run_hooks_fire_once(self):
+        events = []
+
+        class Tracer(PipelineObserver):
+            def on_pipeline_start(self, pipeline, state):
+                events.append("pipeline_start")
+
+            def on_pipeline_end(self, pipeline, state, run):
+                events.append(("pipeline_end", run.n_queries))
+
+        generate(list(LISTING_6), observers=[Tracer()])
+        assert events == ["pipeline_start", ("pipeline_end", 3)]
+
+    def test_custom_composition_subset(self):
+        """A hand-rolled parse→mine pipeline stops where its stages stop."""
+        pipeline = Pipeline([ParseStage(), MineStage()])
+        state = PipelineState(
+            options=pipeline.options, statements=list(LISTING_6)
+        )
+        state, reports, run = pipeline.run(state)
+        assert [r.name for r in reports] == ["parse", "mine"]
+        assert state.graph is not None and state.widgets is None
+        assert run.n_pairs_compared == reports[1].stats["n_pairs_compared"]
+
+    def test_stage_reports_carry_stats_and_timings(self):
+        result = generate(list(LISTING_6))
+        assert [r.name for r in result.run.stages] == [
+            "parse", "mine", "map", "merge"
+        ]
+        mine = result.run.stage("mine")
+        assert mine.stats["n_pairs_compared"] == result.run.n_pairs_compared
+        assert all(r.seconds >= 0 for r in result.run.stages)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_out_of_order_composition_fails_loudly(self):
+        pipeline = Pipeline([ParseStage(), MapStage()])  # map before mine
+        state = PipelineState(options=pipeline.options, statements=list(LISTING_6))
+        with pytest.raises(LogError):
+            pipeline.run(state)
+
+
+class TestSegmentStage:
+    def test_mixed_log_splits_into_analyses(self):
+        lookups = ["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 2"]
+        aggregates = [
+            "SELECT dest, SUM(delay) FROM ontime GROUP BY dest",
+            "SELECT dest, AVG(delay) FROM ontime GROUP BY dest",
+        ]
+        queries = [parse_sql(s) for s in lookups + aggregates]
+        state = PipelineState(options=PipelineOptions(), queries=queries)
+        state = SegmentStage().run(state)
+        assert len(state.segments) == 2
+        assert [len(s) for s in state.segments] == [2, 2]
+
+    def test_interleaved_bursts_cluster_back_together(self):
+        a = ["SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 2"]
+        b = ["SELECT dest, SUM(delay) FROM ontime GROUP BY dest"]
+        queries = [parse_sql(s) for s in a + b + a]
+        state = PipelineState(options=PipelineOptions(), queries=queries)
+        state = SegmentStage().run(state)
+        assert len(state.segments) == 2
+        assert len(state.segments[0]) == 4  # both lookup bursts merged
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(LogError):
+            SegmentStage(jump_threshold=0.0)
+
+
+class TestImmutableResults:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return generate(list(LISTING_6), source="listing6")
+
+    def test_result_fields_frozen(self, result):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.interface = None
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.run = None
+
+    def test_run_fields_frozen(self, result):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            result.run.n_queries = 99
+
+    def test_provenance_and_stats_read_only(self, result):
+        with pytest.raises(TypeError):
+            result.provenance["source"] = "tampered"
+        with pytest.raises(TypeError):
+            result.run.stage("mine").stats["n_pairs_compared"] = 0
+
+    def test_provenance_contents(self, result):
+        assert result.provenance["source"] == "listing6"
+        assert result.provenance["stages"] == ["parse", "mine", "map", "merge"]
+        assert result.provenance["window"] == 2
+
+    def test_to_dict_is_json_serialisable(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["run"]["n_queries"] == 3
+        assert payload["interface"]["n_widgets"] == result.interface.n_widgets
+        assert [s["name"] for s in payload["run"]["stages"]] == [
+            "parse", "mine", "map", "merge"
+        ]
+
+
+class TestDeprecationShim:
+    def test_generate_warns_and_matches_new_api(self):
+        queries = listing_4_log(10).asts()
+        with pytest.warns(DeprecationWarning):
+            legacy = PrecisionInterfaces().generate(queries)
+        fresh = generate(queries).interface
+        assert legacy.widget_summary() == fresh.widget_summary()
+
+    def test_generate_from_sql_warns(self):
+        with pytest.warns(DeprecationWarning):
+            PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+
+    def test_last_run_warns_and_is_populated(self):
+        system = PrecisionInterfaces()
+        with pytest.warns(DeprecationWarning):
+            system.generate_from_sql(list(LISTING_6))
+        with pytest.warns(DeprecationWarning):
+            run = system.last_run
+        assert run.n_queries == 3
+        assert run.total_seconds > 0
+
+    def test_shim_still_rejects_empty_logs(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(LogError):
+                PrecisionInterfaces().generate([])
+
+    def test_shim_result_is_frozen_run(self):
+        system = PrecisionInterfaces()
+        with pytest.warns(DeprecationWarning):
+            system.generate_from_sql(list(LISTING_6))
+        with pytest.warns(DeprecationWarning):
+            run = system.last_run
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            run.n_queries = 0
+
+
+class TestGenerateInputs:
+    def test_accepts_sql_asts_and_querylog(self):
+        log = listing_4_log(6)
+        from_log = generate(log)
+        from_asts = generate(log.asts())
+        from_sql = generate(log.statements())
+        assert (
+            from_log.interface.widget_summary()
+            == from_asts.interface.widget_summary()
+            == from_sql.interface.widget_summary()
+        )
+        assert from_log.provenance["source"] == log.name
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(LogError):
+            generate([])
+
+    def test_bare_string_rejected_with_clear_error(self):
+        with pytest.raises(LogError, match="list of SQL statements"):
+            generate("SELECT a FROM t WHERE x = 1")
