@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Execute every Python code snippet in README.md and docs/*.md.
+
+Documentation that does not run rots; this keeps the docs site honest.
+Each fenced ```python block is executed in its own namespace with the
+working directory set to a scratch temp dir (snippets may create files).
+Blocks fenced as ```python no-run are syntax-checked but not executed —
+for illustrative fragments (e.g. deprecated-API examples) that reference
+undefined names on purpose.
+
+Usage:
+    python scripts/check_doc_snippets.py [file-or-dir ...]
+
+With no arguments, checks README.md and docs/ relative to the repo root
+(the script's parent's parent).  Exits non-zero on the first failing
+snippet, printing the file, block number, and traceback.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+import traceback
+from contextlib import contextmanager
+from pathlib import Path
+
+FENCE = re.compile(
+    r"^```python[ \t]*(?P<tag>no-run)?[ \t]*\n(?P<body>.*?)^```[ \t]*$",
+    re.MULTILINE | re.DOTALL,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def iter_markdown(targets: list[str]) -> list[Path]:
+    """Resolve CLI arguments (or the defaults) to markdown files."""
+    if not targets:
+        paths = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+        return [p for p in paths if p.exists()]
+    out: list[Path] = []
+    for target in targets:
+        path = Path(target).resolve()
+        if path.is_dir():
+            out.extend(sorted(path.glob("*.md")))
+        else:
+            out.append(path)
+    return out
+
+
+def display(path: Path) -> str:
+    """Repo-relative label when possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+@contextmanager
+def scratch_cwd():
+    """Run a snippet inside a throwaway working directory."""
+    import os
+
+    previous = os.getcwd()
+    with tempfile.TemporaryDirectory() as scratch:
+        os.chdir(scratch)
+        try:
+            yield
+        finally:
+            os.chdir(previous)
+
+
+def check_file(path: Path) -> tuple[int, int]:
+    """Run every snippet in one file; returns (n_executed, n_failed)."""
+    executed = failed = 0
+    text = path.read_text(encoding="utf-8")
+    for index, match in enumerate(FENCE.finditer(text), start=1):
+        body = match.group("body")
+        label = f"{display(path)} block {index}"
+        if match.group("tag") == "no-run":
+            try:
+                compile(body, str(path), "exec")
+                print(f"  SYNTAX {label}")
+            except SyntaxError:
+                failed += 1
+                print(f"  FAIL   {label} (syntax error in no-run block)")
+                traceback.print_exc()
+            continue
+        executed += 1
+        try:
+            with scratch_cwd():
+                exec(compile(body, str(path), "exec"), {"__name__": "__main__"})
+            print(f"  OK     {label}")
+        except Exception:
+            failed += 1
+            print(f"  FAIL   {label}")
+            traceback.print_exc()
+    return executed, failed
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    total = failures = 0
+    for path in iter_markdown(argv):
+        print(f"{display(path)}:")
+        executed, failed = check_file(path)
+        total += executed
+        failures += failed
+    print(f"\n{total} snippet(s) executed, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

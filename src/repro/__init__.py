@@ -31,6 +31,7 @@ from repro.api import (
     generate_many,
     generate_segmented,
 )
+from repro.cache import GraphStore
 from repro.core.interface import Interface
 from repro.core.options import PipelineOptions
 from repro.core.pipeline import PrecisionInterfaces
@@ -53,6 +54,7 @@ __all__ = [
     "StageReport",
     "PrecisionInterfaces",
     "PipelineOptions",
+    "GraphStore",
     "PipelineRun",
     "Interface",
     "Node",

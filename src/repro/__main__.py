@@ -2,8 +2,9 @@
 
 Subcommands:
 
-* ``mine``    — mine an interface from a query-log file (one statement per
-  line) and print it; optionally compile to an HTML app.
+* ``mine``    — mine an interface per query-log file (one statement per
+  line, or ``.jsonl``) and print it; optionally compile to an HTML app.
+  Multiple log files shard across a process pool with ``--workers``.
 * ``recall``  — train/hold-out recall for a log file.
 * ``check``   — closure-membership check of one query against a log.
 
@@ -11,10 +12,16 @@ Subcommands:
 :class:`~repro.api.result.GenerationResult` statistics as machine-readable
 JSON (consumed by the benchmarks and dashboards).
 
+All subcommands accept ``--cache-dir``: mined interaction graphs are
+persisted there (a :class:`~repro.cache.store.GraphStore`), and a repeat
+run over an unchanged log skips the mining work entirely — the ``--json``
+output's ``cache``/``mine`` stage stats show the hit.
+
 Example::
 
     python -m repro mine mylog.sql --html out.html
-    python -m repro mine mylog.sql --json
+    python -m repro mine mylog.sql --json --cache-dir .repro-cache
+    python -m repro mine clientA.sql clientB.sql clientC.sql --workers 2
     python -m repro check mylog.sql "SELECT * FROM t WHERE x = 5"
 """
 
@@ -23,11 +30,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
-from repro import PipelineOptions, generate, generate_segmented, parse_sql
+from repro import PipelineOptions, generate, generate_many, generate_segmented, parse_sql
 from repro.compiler import compile_html
 from repro.errors import ReproError
-from repro.logs.io import load_text
+from repro.logs.io import load_log, load_text
 
 
 def _options(args: argparse.Namespace) -> PipelineOptions:
@@ -35,11 +43,11 @@ def _options(args: argparse.Namespace) -> PipelineOptions:
         window=None if args.window == 0 else args.window,
         lca_pruning=not args.no_pruning,
         merge=not args.no_merge,
+        cache_dir=args.cache_dir,
     )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("log", help="query log file, one statement per line")
     parser.add_argument("--window", type=int, default=2,
                         help="sliding window (0 = all pairs)")
     parser.add_argument("--no-pruning", action="store_true",
@@ -48,15 +56,49 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="disable the widget merging phase")
     parser.add_argument("--json", action="store_true",
                         help="dump generation statistics as JSON")
+    parser.add_argument("--cache-dir",
+                        help="persist mined interaction graphs in this "
+                             "directory and reuse them on repeat runs")
+
+
+def _html_target(
+    html: str, source: str, n_results: int, written: set[str]
+) -> Path:
+    """Where one result's HTML goes.
+
+    A single result uses ``--html`` verbatim.  Multiple results prefix
+    the *file name* (never the directory part) with the result's source
+    stem, and same-stem collisions get a numeric suffix instead of
+    silently overwriting an earlier interface.
+    """
+    target = Path(html)
+    if n_results > 1:
+        stem = source.rsplit("/", 1)[-1]
+        target = target.with_name(f"{stem}-{target.name}")
+    if str(target) in written:
+        base = target
+        counter = 2
+        while str(target) in written:
+            target = base.with_name(f"{base.stem}-{counter}{base.suffix}")
+            counter += 1
+    return target
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    log = load_text(args.log)
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    options = _options(args)
+    logs = [load_log(path) for path in args.logs]
     if args.segment:
-        results = generate_segmented(log, options=_options(args))
+        if len(logs) > 1:
+            raise ReproError("--segment takes exactly one log file")
+        results = generate_segmented(logs[0], options=options, workers=args.workers)
+    elif len(logs) == 1:
+        results = [generate(logs[0], options=options)]
     else:
-        results = [generate(log, options=_options(args))]
+        results = generate_many(logs, options=options, workers=args.workers)
     payloads = []
+    written: set[str] = set()
     for result in results:
         source = result.provenance["source"]
         if args.json:
@@ -70,16 +112,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 f"in {run.total_seconds * 1000:.0f} ms)\n"
             )
         if args.html:
-            name = source.rsplit("/", 1)[-1]
-            path = args.html if len(results) == 1 else f"{name}-{args.html}"
+            path = _html_target(args.html, source, len(results), written)
+            written.add(str(path))
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(compile_html(result, title=source))
             if not args.json:
                 print(f"wrote {path}")
     if args.json:
-        # fixed shape: --segment always emits a list (one payload per
-        # analysis), the plain path always emits a single object
-        print(json.dumps(payloads if args.segment else payloads[0], indent=2))
+        # fixed shape: --segment and multi-file batches always emit a list
+        # (one payload per interface), a single plain log emits one object
+        single = len(args.logs) == 1 and not args.segment
+        print(json.dumps(payloads[0] if single else payloads, indent=2))
     return 0
 
 
@@ -118,25 +161,35 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, dispatch the subcommand, and return the exit code
+    (0 success, 1 negative ``check`` verdict, 2 for any library error)."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Precision Interfaces (SIGMOD 2019) reproduction"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
     mine = commands.add_parser("mine", help="mine an interface from a log")
+    mine.add_argument("logs", nargs="+", metavar="log",
+                      help="query log file(s); one statement per line, or "
+                           ".jsonl with metadata")
     _add_common(mine)
     mine.add_argument("--html", help="compile the interface to an HTML file")
     mine.add_argument("--segment", action="store_true",
                       help="segment the log into analyses first")
+    mine.add_argument("--workers", type=int, default=1,
+                      help="shard multiple logs (or segments) across this "
+                           "many worker processes")
     mine.set_defaults(fn=_cmd_mine)
 
     recall = commands.add_parser("recall", help="train/holdout recall")
+    recall.add_argument("log", help="query log file, one statement per line")
     _add_common(recall)
     recall.add_argument("--split", type=float, default=0.5,
                         help="training fraction (default 0.5)")
     recall.set_defaults(fn=_cmd_recall)
 
     check = commands.add_parser("check", help="closure membership of a query")
+    check.add_argument("log", help="query log file, one statement per line")
     _add_common(check)
     check.add_argument("query", help="SQL statement to test")
     check.set_defaults(fn=_cmd_check)

@@ -14,7 +14,14 @@ The generation pipeline (Figure 2a) as first-class, composable pieces:
   mixed-log entry points returning immutable
   :class:`~repro.api.result.GenerationResult` values;
 * :class:`~repro.api.session.InterfaceSession` — incremental consumption
-  that reuses the already-built interaction graph across appends.
+  that reuses the already-built interaction graph across appends, with
+  ``save``/``resume`` persistence across processes.
+
+Scale features layer on without changing the contracts:
+``generate_many(..., workers=N)`` shards a batch across a process pool,
+and ``PipelineOptions(cache_dir=...)`` inserts a
+:class:`~repro.api.stages.CacheStage` so re-runs over an already-mined
+log skip the Mine stage (see :mod:`repro.cache`).
 """
 
 from repro.api.pipeline import (
@@ -27,6 +34,7 @@ from repro.api.pipeline import (
 from repro.api.result import GenerationResult, PipelineRun, StageReport
 from repro.api.session import InterfaceSession
 from repro.api.stages import (
+    CacheStage,
     MapStage,
     MergeStage,
     MineStage,
@@ -50,6 +58,7 @@ __all__ = [
     "Stage",
     "ParseStage",
     "SegmentStage",
+    "CacheStage",
     "MineStage",
     "MapStage",
     "MergeStage",

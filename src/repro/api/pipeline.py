@@ -25,10 +25,12 @@ and mines one interface per analysis.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Iterable, Sequence
 
 from repro.api.result import GenerationResult, PipelineRun, StageReport
 from repro.api.stages import (
+    CacheStage,
     MapStage,
     MergeStage,
     MineStage,
@@ -98,13 +100,23 @@ class Pipeline:
 
     @classmethod
     def default(cls, options: PipelineOptions | None = None) -> "Pipeline":
-        """The paper's Figure 2a pipeline: parse → mine → map → merge."""
-        return cls(
-            [ParseStage(), MineStage(), MapStage(), MergeStage()], options
-        )
+        """The paper's Figure 2a pipeline: parse → mine → map → merge.
+
+        When ``options.cache_dir`` is set, a
+        :class:`~repro.api.stages.CacheStage` is inserted before the Mine
+        stage: a second run over the same log restores the interaction
+        graph from disk and the Mine stage reports ``skipped=True``.
+        """
+        options = options or PipelineOptions()
+        stages: list[Stage] = [ParseStage()]
+        if options.cache_dir is not None:
+            stages.append(CacheStage())
+        stages.extend([MineStage(), MapStage(), MergeStage()])
+        return cls(stages, options)
 
     @property
     def stage_names(self) -> tuple[str, ...]:
+        """The composed stages' names, in execution order."""
         return tuple(stage.name for stage in self.stages)
 
     # ------------------------------------------------------------------
@@ -283,19 +295,85 @@ def generate(
     return Pipeline.default(options).generate(log, observers=observers, source=source)
 
 
+def _generate_in_worker(payload: tuple[Any, PipelineOptions, str | None]) -> GenerationResult:
+    """Process-pool entry point: mine one log in a worker process.
+
+    Must stay a module-level function so it pickles by reference under
+    every multiprocessing start method (spawn included).
+    """
+    log, options, source = payload
+    return Pipeline.default(options).generate(log, source=source)
+
+
+def _validate_sharding(
+    workers: int | None, observers: Iterable[PipelineObserver]
+) -> int:
+    """Validate the sharding arguments shared by the batch entry points.
+
+    Returns the requested worker count (``1`` for ``None``).  Raises
+    ``ValueError`` for a non-positive count, or for observers combined
+    with a parallel request — observers hold process-local state and
+    cannot follow a run into another process.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    requested = workers or 1
+    if requested > 1 and tuple(observers):
+        raise ValueError(
+            "observers hold process-local state and are not supported with "
+            "workers > 1; drop the observers or run with workers=1"
+        )
+    return requested
+
+
+def _shard(
+    payloads: list[tuple[Any, PipelineOptions, str | None]], workers: int
+) -> list[GenerationResult]:
+    """Run the payloads through worker processes, preserving input order."""
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_generate_in_worker, payloads))
+
+
 def generate_many(
     logs: Iterable[Any],
     options: PipelineOptions | None = None,
     observers: Iterable[PipelineObserver] = (),
+    workers: int | None = None,
 ) -> list[GenerationResult]:
     """Mine one interface per log, in input order (batch/multi-client).
 
-    The stage objects are stateless, so one pipeline serves the whole
-    batch; each log still gets its own state, reports, and result.  An
-    empty batch yields an empty list (unlike an empty *log*, which raises).
+    Per-client logs are independent until any cross-client analysis, so
+    with ``workers > 1`` the batch is sharded across a
+    :class:`concurrent.futures.ProcessPoolExecutor` — one log per task,
+    results in input order.  Logs, options, and results cross process
+    boundaries by pickling; a shared ``options.cache_dir`` is safe (the
+    store's writes are atomic).  Observers hold live local state and
+    cannot follow a run into another process, so they are only supported
+    serially.
+
+    The serial path is unchanged: the stage objects are stateless, so one
+    pipeline serves the whole batch; each log still gets its own state,
+    reports, and result.  An empty batch yields an empty list (unlike an
+    empty *log*, which raises).
+
+    Args:
+        logs: the batch; each element is anything :func:`generate` accepts.
+        options: shared pipeline configuration.
+        observers: instrumentation hooks (``workers`` must be left serial).
+        workers: process count; ``None`` or ``1`` runs in-process.
+
+    Raises:
+        ValueError: for ``workers < 1`` or observers combined with
+            ``workers > 1`` (raised up front, even for batches too small
+            to actually shard).
     """
-    pipeline = Pipeline.default(options)
-    return [pipeline.generate(log, observers=observers) for log in logs]
+    logs = list(logs)
+    n_workers = min(_validate_sharding(workers, observers), len(logs))
+    if n_workers <= 1:
+        pipeline = Pipeline.default(options)
+        return [pipeline.generate(log, observers=observers) for log in logs]
+    resolved = options or PipelineOptions()
+    return _shard([(log, resolved, None) for log in logs], n_workers)
 
 
 def generate_segmented(
@@ -304,31 +382,49 @@ def generate_segmented(
     observers: Iterable[PipelineObserver] = (),
     jump_threshold: float = 0.3,
     cluster_threshold: float = 0.3,
+    workers: int | None = None,
 ) -> list[GenerationResult]:
     """Segment a mixed log into analyses, then mine one interface each.
 
     Runs parse → segment once, then the default pipeline per segment.  Each
     result's provenance carries its ``segment`` index and a derived
-    ``source`` label (``<log>/analysis-<i>``).
+    ``source`` label (``<log>/analysis-<i>``).  Segments are independent
+    logs, so ``workers > 1`` shards the per-segment mining across a
+    process pool exactly like :func:`generate_many` (same validation,
+    same observer restriction, raised before any work happens).
     """
+    n_requested = _validate_sharding(workers, observers)
     resolved = options or PipelineOptions()
     state = _state_for(log, resolved)
     front = Pipeline(
         [ParseStage(), SegmentStage(jump_threshold, cluster_threshold)], resolved
     )
     state, _reports, _run = front.run(state, observers=observers)
-    pipeline = Pipeline.default(resolved)
+    segments = state.segments or []
+    n_workers = min(n_requested, len(segments))
     results = []
-    for index, segment in enumerate(state.segments or []):
-        result = pipeline.generate(
-            segment,
-            observers=observers,
-            source=f"{state.source}/analysis-{index}",
+    if n_workers > 1:
+        payloads = [
+            (segment, resolved, f"{state.source}/analysis-{index}")
+            for index, segment in enumerate(segments)
+        ]
+        mined = _shard(payloads, n_workers)
+    else:
+        pipeline = Pipeline.default(resolved)
+        mined = [
+            pipeline.generate(
+                segment,
+                observers=observers,
+                source=f"{state.source}/analysis-{index}",
+            )
+            for index, segment in enumerate(segments)
+        ]
+    for index, result in enumerate(mined):
+        results.append(
+            GenerationResult(
+                interface=result.interface,
+                run=result.run,
+                provenance={**result.provenance, "segment": index},
+            )
         )
-        result = GenerationResult(
-            interface=result.interface,
-            run=result.run,
-            provenance={**result.provenance, "segment": index},
-        )
-        results.append(result)
     return results

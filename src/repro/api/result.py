@@ -49,7 +49,18 @@ class StageReport:
     def __post_init__(self) -> None:
         object.__setattr__(self, "stats", _frozen_mapping(self.stats))
 
+    # mappingproxy does not pickle; ship a plain dict across process
+    # boundaries (the sharded generate_many) and re-freeze on arrival
+    def __getstate__(self) -> dict[str, Any]:
+        return {"name": self.name, "seconds": self.seconds, "stats": dict(self.stats)}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "stats", _frozen_mapping(state["stats"]))
+
     def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable copy of the report."""
         return {"name": self.name, "seconds": self.seconds, "stats": dict(self.stats)}
 
 
@@ -75,6 +86,7 @@ class PipelineRun:
 
     @property
     def total_seconds(self) -> float:
+        """Mining plus mapping wall-clock time for the run."""
         return self.mining_seconds + self.mapping_seconds
 
     def stage(self, name: str) -> StageReport | None:
@@ -85,6 +97,7 @@ class PipelineRun:
         return None
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable copy of the run record (stages included)."""
         return {
             "n_queries": self.n_queries,
             "n_edges": self.n_edges,
@@ -121,17 +134,32 @@ class GenerationResult:
     def __post_init__(self) -> None:
         object.__setattr__(self, "provenance", _frozen_mapping(self.provenance))
 
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "interface": self.interface,
+            "run": self.run,
+            "provenance": dict(self.provenance),
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        object.__setattr__(self, "provenance", _frozen_mapping(state["provenance"]))
+
     # convenience pass-throughs (keep one-liners like
     # ``generate(log).describe()`` working without unwrapping)
     @property
     def n_widgets(self) -> int:
+        """Widget count of the mined interface."""
         return self.interface.n_widgets
 
     @property
     def cost(self) -> float:
+        """Total cost of the mined interface."""
         return self.interface.cost
 
     def describe(self) -> str:
+        """Human-readable summary of the mined interface."""
         return self.interface.describe()
 
     def to_dict(self) -> dict[str, Any]:

@@ -4,14 +4,24 @@ Production logs grow; re-mining the whole log on every arrival is
 ``O(|Q| * window)`` tree alignments *per append*.  An
 :class:`InterfaceSession` keeps the interaction graph built so far and, on
 each append, aligns only the pairs that involve a new query — the already
-compared pairs (and their diff records) are reused as-is.  Mapping is then
-re-run over the accumulated diffs table, which is cheap next to mining.
+compared pairs (and their diff records) are reused as-is.  Mapping is
+incremental too: the session keeps a per-path widget memo, so Initialize
+(Algorithm 1) re-solves only the diff partitions this append actually
+touched instead of the whole accumulated table.
 
 The session is result-equivalent to batch generation: after any sequence of
 appends, the widget set matches a one-shot
 :func:`repro.api.generate` over the concatenated log, because the pair set
 is identical and the diffs table is normalised to the full build's
 ``(q1, q2)``-lexicographic order before mapping.
+
+Sessions are also durable.  :meth:`InterfaceSession.save` snapshots the
+accumulated graph (via :mod:`repro.cache.serialize`) and
+:meth:`InterfaceSession.resume` restores it in another process without
+re-mining a single pair; when ``options.cache_dir`` is set the session
+additionally reads and writes the shared
+:class:`~repro.cache.store.GraphStore`, so a session can adopt a graph a
+previous ``generate()`` run already mined.
 
 Usage::
 
@@ -20,10 +30,16 @@ Usage::
     result = session.append_sql(afternoon_statements)
     result.run.n_pairs_compared     # pairs aligned by THIS append only
     session.interface.expresses(q)
+
+    session.save("session.jsonl")
+    # ... later, in a different process ...
+    session = InterfaceSession.resume("session.jsonl")
+    session.append_sql(evening_statements)
 """
 
 from __future__ import annotations
 
+from pathlib import Path as FilePath
 from typing import Any, Iterable
 
 from repro.api.pipeline import (
@@ -33,8 +49,11 @@ from repro.api.pipeline import (
 )
 from repro.api.result import GenerationResult, StageReport
 from repro.api.stages import MapStage, MergeStage, MineStage, PipelineState
+from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.serialize import load_graph, save_graph
+from repro.cache.store import GraphStore
 from repro.core.options import PipelineOptions
-from repro.errors import LogError
+from repro.errors import CacheError, LogError
 from repro.graph.build import BuildStats, extend_interaction_graph
 from repro.graph.interaction import InteractionGraph
 from repro.sqlparser.astnodes import Node
@@ -48,7 +67,14 @@ class InterfaceSession:
 
     Args:
         options: pipeline configuration (defaults to the paper's
-            recommended configuration).
+            recommended configuration).  With ``options.cache_dir`` set,
+            the session shares the :class:`~repro.cache.store.GraphStore`
+            with one-shot ``generate()`` runs: the first append adopts a
+            cached graph of the same batch if one exists, and
+            :meth:`flush_to_store` publishes the accumulated graph for
+            later runs to reuse (explicit, because serialising the whole
+            graph on *every* append would cost O(accumulated log) — the
+            very thing the incremental session avoids).
         observers: hooks notified by the mapping pipeline of every append.
     """
 
@@ -63,6 +89,14 @@ class InterfaceSession:
         self._stats = BuildStats()
         self._n_appends = 0
         self._last: GenerationResult | None = None
+        # per-path widget memo threaded into MapStage (see
+        # initialize_incremental); keyed by path, valued (signature, widget)
+        self._map_cache: dict = {}
+        self._store = (
+            GraphStore(self.options.cache_dir)
+            if self.options.cache_dir is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -92,6 +126,82 @@ class InterfaceSession:
         return self._last.interface if self._last else None
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | FilePath) -> None:
+        """Snapshot the session to ``path`` (versioned JSON lines).
+
+        The snapshot holds the accumulated graph, the cumulative build
+        stats, the append counter, and a fingerprint of the options, so
+        :meth:`resume` can refuse a snapshot mined under different options.
+
+        Raises:
+            LogError: when nothing has been appended yet.
+        """
+        if not self._graph.queries:
+            raise LogError("cannot save a session before the first append")
+        # snapshot in full-build order so the file also loads cleanly as a
+        # bare graph (load_graph + map_interactions) outside a session
+        save_graph(
+            path,
+            self._normalised_graph(),
+            self._stats,
+            extra={
+                "session": {
+                    "n_appends": self._n_appends,
+                    "options_fingerprint": options_fingerprint(self.options),
+                }
+            },
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        path: str | FilePath,
+        options: PipelineOptions | None = None,
+        observers: Iterable[PipelineObserver] = (),
+    ) -> "InterfaceSession":
+        """Restore a :meth:`save` snapshot — typically in a new process.
+
+        No pair is re-aligned: the graph comes back from disk and one
+        mapping pass rebuilds the current interface, so ``session.result``
+        is immediately available and later appends continue incrementally.
+
+        Args:
+            path: a file written by :meth:`save`.
+            options: must describe the same mining configuration the
+                snapshot was built under (fingerprints are compared).
+            observers: hooks for the resumed session's future appends
+                (they also see the resume's mapping pass).
+
+        Raises:
+            CacheError: for a snapshot of a different format version, a
+                file that is not a session snapshot, or an options
+                mismatch.
+        """
+        graph, stats, extra = load_graph(path)
+        session_meta = extra.get("session")
+        if not session_meta:
+            raise CacheError(
+                f"{path} is a bare graph file, not a session snapshot"
+            )
+        session = cls(options=options, observers=observers)
+        expected = session_meta.get("options_fingerprint")
+        actual = options_fingerprint(session.options)
+        if expected != actual:
+            raise CacheError(
+                "session snapshot was mined under different options "
+                f"(snapshot {str(expected)[:16]}…, resume {actual[:16]}…); "
+                "pass the original options to resume()"
+            )
+        session._graph = graph
+        session._stats = stats
+        session._n_appends = int(session_meta.get("n_appends", 1))
+        if graph.queries:
+            session._last = session._remap(BuildStats(), resumed=True)
+        return session
+
+    # ------------------------------------------------------------------
     # consumption
     # ------------------------------------------------------------------
     def append_sql(self, statements: Iterable[str]) -> GenerationResult:
@@ -117,19 +227,76 @@ class InterfaceSession:
         if not queries:
             raise LogError("cannot append an empty batch of queries")
         append_stats = BuildStats()
-        extend_interaction_graph(
-            self._graph,
-            queries,
-            window=self.options.window,
-            prune=self.options.lca_pruning,
-            annotations=self.options.annotations,
-            stats=append_stats,
-        )
+        cache_hit = self._adopt_cached_graph(queries)
+        if not cache_hit:
+            extend_interaction_graph(
+                self._graph,
+                queries,
+                window=self.options.window,
+                prune=self.options.lca_pruning,
+                annotations=self.options.annotations,
+                stats=append_stats,
+            )
         self._stats.n_pairs_compared += append_stats.n_pairs_compared
         self._stats.mining_seconds += append_stats.mining_seconds
         self._n_appends += 1
-        self._last = self._remap(append_stats)
+        self._last = self._remap(append_stats, cache_hit=cache_hit)
         return self._last
+
+    # ------------------------------------------------------------------
+    # shared graph store
+    # ------------------------------------------------------------------
+    def _adopt_cached_graph(self, queries: list[Node]) -> bool:
+        """On the session's first batch, try the shared store.
+
+        A previous ``generate()`` (or session) over exactly this batch
+        under these options left its graph in the store; adopting it makes
+        the first append mine nothing.  Later appends never hit — their
+        accumulated log is session-specific — so the lookup is skipped.
+        """
+        if self._store is None or self._graph.queries:
+            return False
+        cached = self._store.load(
+            log_fingerprint(queries), options_fingerprint(self.options)
+        )
+        if cached is None:
+            return False
+        graph, mined_stats = cached
+        self._graph = graph
+        # the alignments were paid for by whoever populated the store;
+        # count them into the session totals to keep the "equal to one
+        # full build" invariant of n_pairs_compared
+        self._stats.n_pairs_compared += mined_stats.n_pairs_compared
+        return True
+
+    def flush_to_store(self) -> None:
+        """Publish the accumulated graph to the shared store.
+
+        Keyed by the *accumulated* log's fingerprint, so both a one-shot
+        ``generate()`` over the concatenated log and a future session fed
+        the same batches will hit.  The *normalised* graph is what gets
+        written: store consumers map straight off the stored diff order,
+        and the greedy merge is order-sensitive, so entries must always be
+        in full-build ``(q1, q2)``-lexicographic order.
+
+        Explicit rather than automatic: serialising and fingerprinting the
+        whole graph costs O(accumulated log), so the caller decides when
+        that is worth paying (typically once, after the last append of a
+        batch window).  A no-op when no ``cache_dir`` is configured.
+
+        Raises:
+            LogError: when nothing has been appended yet.
+        """
+        if self._store is None:
+            return
+        if not self._graph.queries:
+            raise LogError("cannot flush a session before the first append")
+        self._store.save(
+            log_fingerprint(self._graph.queries),
+            options_fingerprint(self.options),
+            self._normalised_graph(),
+            self._stats,
+        )
 
     # ------------------------------------------------------------------
     # mapping over the accumulated graph
@@ -149,13 +316,19 @@ class InterfaceSession:
             diffs=sorted(self._graph.diffs, key=lambda d: (d.q1, d.q2)),
         )
 
-    def _remap(self, append_stats: BuildStats) -> GenerationResult:
+    def _remap(
+        self,
+        append_stats: BuildStats,
+        cache_hit: bool = False,
+        resumed: bool = False,
+    ) -> GenerationResult:
         graph = self._normalised_graph()
         state = PipelineState(
             options=self.options,
             queries=list(graph.queries),
             graph=graph,
             source=f"session#{self._n_appends}",
+            map_cache=self._map_cache,
         )
         mine_stats: dict[str, Any] = {
             "n_pairs_compared": append_stats.n_pairs_compared,
@@ -164,6 +337,10 @@ class InterfaceSession:
             "n_diffs": graph.n_diffs,
             "incremental": True,
         }
+        if cache_hit:
+            mine_stats["cache_hit"] = True
+        if resumed:
+            mine_stats["resumed"] = True
         state.record(MineStage.name, **mine_stats)
         mine_report = StageReport(
             name=MineStage.name,
@@ -176,13 +353,16 @@ class InterfaceSession:
         state, reports, run = pipeline.run(
             state, observers=self._observers, prior_reports=(mine_report,)
         )
+        provenance_extra: dict[str, Any] = {
+            "incremental": True,
+            "n_appends": self._n_appends,
+            "n_pairs_compared_total": self._stats.n_pairs_compared,
+        }
+        if resumed:
+            provenance_extra["resumed"] = True
         return _assemble_result(
             state,
             reports,
             run=run,
-            provenance_extra={
-                "incremental": True,
-                "n_appends": self._n_appends,
-                "n_pairs_compared_total": self._stats.n_pairs_compared,
-            },
+            provenance_extra=provenance_extra,
         )

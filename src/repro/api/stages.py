@@ -2,12 +2,20 @@
 
 The paper's generation pipeline is an explicit sequence —
 
-    parse → (segment) → mine interaction graph → map to widgets → merge
+    parse → (segment) → [cache lookup] → mine interaction graph
+          → map to widgets → merge
 
 — and each step here is a :class:`Stage` object with the uniform contract
 ``run(state) -> state`` over a shared :class:`PipelineState`.  Stages are
 stateless and reusable; per-run data lives only in the state, so one stage
 instance can serve many concurrent pipelines.
+
+The bracketed step is optional: when ``options.cache_dir`` is set, the
+default pipeline inserts a :class:`CacheStage` that consults a persistent
+:class:`~repro.cache.store.GraphStore` keyed by (log, options)
+fingerprints.  On a hit the mined graph is restored from disk and
+:class:`MineStage` skips its ``O(|Q| * window)`` tree alignments — the
+skip is visible in the run's stage reports (``mine.stats["skipped"]``).
 
 Stages record their counters with :meth:`PipelineState.record`; the
 :class:`~repro.api.pipeline.Pipeline` wraps each ``run`` with wall-clock
@@ -20,9 +28,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.mapper import MapperStats, initialize, merge_widgets
+from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.store import GraphStore
+from repro.core.mapper import (
+    MapperStats,
+    initialize,
+    initialize_incremental,
+    merge_widgets,
+)
 from repro.core.options import PipelineOptions
-from repro.errors import LogError
+from repro.errors import CacheError, LogError
 from repro.graph.build import BuildStats, build_interaction_graph
 from repro.graph.interaction import InteractionGraph
 from repro.logs.sessions import segment_asts, validate_threshold
@@ -35,6 +50,7 @@ __all__ = [
     "Stage",
     "ParseStage",
     "SegmentStage",
+    "CacheStage",
     "MineStage",
     "MapStage",
     "MergeStage",
@@ -55,6 +71,15 @@ class PipelineState:
             :class:`MergeStage`).
         source: free-form label of where the log came from (provenance).
         records: per-stage counters, keyed by stage name.
+        cache_store: the :class:`~repro.cache.store.GraphStore` the run is
+            using, set by :class:`CacheStage` (``None`` = caching off).
+        cache_key: the run's ``(log_fingerprint, options_fingerprint)``
+            pair, set by :class:`CacheStage`; :class:`MineStage` saves a
+            freshly mined graph under it.
+        map_cache: per-path widget memo for incremental mapping, owned by
+            a long-lived caller (the session); when set,
+            :class:`MapStage` rebuilds only the partitions whose diff
+            lists changed since the previous run.
     """
 
     options: PipelineOptions
@@ -65,6 +90,9 @@ class PipelineState:
     widgets: list[Widget] | None = None
     source: str = "log"
     records: dict[str, dict[str, Any]] = field(default_factory=dict)
+    cache_store: GraphStore | None = None
+    cache_key: tuple[str, str] | None = None
+    map_cache: dict | None = None
 
     def record(self, stage_name: str, **stats: Any) -> None:
         """Merge counters into the named stage's record."""
@@ -82,6 +110,7 @@ class Stage:
     name = "stage"
 
     def run(self, state: PipelineState) -> PipelineState:
+        """Advance ``state`` by this stage's work and return it."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -94,6 +123,7 @@ class ParseStage(Stage):
     name = "parse"
 
     def run(self, state: PipelineState) -> PipelineState:
+        """Fill ``state.queries`` from ``state.statements`` if needed."""
         if state.queries is None:
             if not state.statements:
                 raise LogError("cannot generate an interface from an empty log")
@@ -124,6 +154,7 @@ class SegmentStage(Stage):
         self.cluster_threshold = cluster_threshold
 
     def run(self, state: PipelineState) -> PipelineState:
+        """Fill ``state.segments`` with per-analysis query lists."""
         if not state.queries:
             raise LogError("cannot segment an empty query log")
         state.segments = segment_asts(
@@ -133,13 +164,81 @@ class SegmentStage(Stage):
         return state
 
 
+class CacheStage(Stage):
+    """Look up the run's interaction graph in a persistent store.
+
+    Fingerprints the parsed log and the options, then consults the
+    :class:`~repro.cache.store.GraphStore` under ``options.cache_dir``.
+    On a hit the cached graph becomes ``state.graph`` and the downstream
+    :class:`MineStage` has nothing to do; on a miss the store and key are
+    left on the state so :class:`MineStage` persists what it mines.  With
+    no ``cache_dir`` configured the stage records ``enabled=False`` and
+    passes the state through untouched.
+    """
+
+    name = "cache"
+
+    def run(self, state: PipelineState) -> PipelineState:
+        """Fill ``state.graph`` from the store on a hit; otherwise arm
+        ``state.cache_store``/``state.cache_key`` for :class:`MineStage`."""
+        if state.options.cache_dir is None:
+            state.record(self.name, enabled=False, hit=False)
+            return state
+        if not state.queries:
+            raise LogError("cache lookup needs a parsed query log")
+        store = GraphStore(state.options.cache_dir)
+        try:
+            log_fp = log_fingerprint(state.queries)
+            opts_fp = options_fingerprint(state.options)
+        except CacheError as exc:
+            # a cache must fail open: a log that cannot be fingerprinted
+            # (e.g. exotic non-JSON attribute values) mines normally, it
+            # just cannot be cached
+            state.record(self.name, enabled=True, hit=False, error=str(exc))
+            return state
+        state.cache_store = store
+        state.cache_key = (log_fp, opts_fp)
+        key = store.key(log_fp, opts_fp)
+        cached = store.load(log_fp, opts_fp)
+        if cached is None:
+            state.record(self.name, enabled=True, hit=False, key=key)
+            return state
+        graph, mined_stats = cached
+        state.graph = graph
+        state.record(
+            self.name,
+            enabled=True,
+            hit=True,
+            key=key,
+            n_pairs_compared_original=mined_stats.n_pairs_compared,
+        )
+        return state
+
+
 class MineStage(Stage):
     """Mine the interaction graph (Section 4.2 with the Section 6
-    sliding-window and LCA-pruning optimisations)."""
+    sliding-window and LCA-pruning optimisations).
+
+    When the state already carries a graph — a :class:`CacheStage` hit, or
+    a caller that mined out-of-band — the stage skips the alignment work
+    and records ``skipped=True`` with zero pairs compared.  After a fresh
+    mine it persists the graph through ``state.cache_store`` when a
+    :class:`CacheStage` armed one.
+    """
 
     name = "mine"
 
     def run(self, state: PipelineState) -> PipelineState:
+        """Fill ``state.graph`` by mining (or skip if already present)."""
+        if state.graph is not None:
+            state.record(
+                self.name,
+                skipped=True,
+                n_pairs_compared=0,
+                n_edges=state.graph.n_edges,
+                n_diffs=state.graph.n_diffs,
+            )
+            return state
         if not state.queries:
             raise LogError("cannot mine an empty query log")
         options = state.options
@@ -157,20 +256,41 @@ class MineStage(Stage):
             n_edges=state.graph.n_edges,
             n_diffs=state.graph.n_diffs,
         )
+        if state.cache_store is not None and state.cache_key is not None:
+            try:
+                state.cache_store.save(*state.cache_key, state.graph, stats)
+            except (CacheError, OSError) as exc:
+                # the mine already succeeded; a failed persist must not
+                # destroy the run — surface it in the stage stats instead
+                state.record(self.name, cache_save_error=str(exc))
         return state
 
 
 class MapStage(Stage):
-    """Initialize (Algorithm 1): one cheapest widget per diff partition."""
+    """Initialize (Algorithm 1): one cheapest widget per diff partition.
+
+    When the state carries a ``map_cache`` (the incremental session's
+    per-path memo), only partitions whose diff lists changed since the
+    previous run are re-solved; untouched partitions reuse their widget.
+    """
 
     name = "map"
 
     def run(self, state: PipelineState) -> PipelineState:
+        """Fill ``state.widgets`` with one widget per diff partition."""
         if state.graph is None:
             raise LogError("map stage needs a mined interaction graph")
         options = state.options
         diffs = state.graph.diffs
-        state.widgets = initialize(diffs, options.library, options.annotations)
+        if state.map_cache is not None:
+            state.widgets, n_reused, n_rebuilt = initialize_incremental(
+                diffs, options.library, options.annotations, state.map_cache
+            )
+            state.record(
+                self.name, n_partitions_reused=n_reused, n_partitions_rebuilt=n_rebuilt
+            )
+        else:
+            state.widgets = initialize(diffs, options.library, options.annotations)
         state.record(
             self.name,
             n_partitions=len({d.path for d in diffs}),
@@ -187,6 +307,7 @@ class MergeStage(Stage):
     name = "merge"
 
     def run(self, state: PipelineState) -> PipelineState:
+        """Contract ``state.widgets`` to the merged fixed point."""
         if state.widgets is None or state.graph is None:
             raise LogError("merge stage needs mapped widgets")
         options = state.options

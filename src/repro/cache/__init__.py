@@ -1,0 +1,45 @@
+"""Persistence and caching for mined interaction graphs.
+
+Mining dominates generation cost; the graph it produces is a pure function
+of (parsed log, options).  This package makes that artefact durable:
+
+* :mod:`repro.cache.serialize` — versioned JSON/JSONL encoding of
+  :class:`~repro.graph.interaction.InteractionGraph` +
+  :class:`~repro.graph.build.BuildStats` (``graph_to_dict`` /
+  ``save_graph`` and their inverses);
+* :mod:`repro.cache.fingerprint` — process-stable SHA-256 fingerprints of
+  a parsed log and of the mining-relevant options;
+* :mod:`repro.cache.store` — :class:`GraphStore`, a content-addressed
+  directory of cached graphs keyed by ``(log_fingerprint,
+  options_fingerprint)`` with load/save/invalidate.
+
+The pipeline consumes it through ``PipelineOptions.cache_dir`` (see
+:class:`~repro.api.stages.CacheStage`): on a hit the Mine stage is skipped
+entirely, and :meth:`repro.api.session.InterfaceSession.resume` restores a
+session in a new process from a saved snapshot.
+"""
+
+from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.serialize import (
+    FORMAT_VERSION,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    node_from_dict,
+    node_to_dict,
+    save_graph,
+)
+from repro.cache.store import GraphStore
+
+__all__ = [
+    "FORMAT_VERSION",
+    "GraphStore",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+    "node_to_dict",
+    "node_from_dict",
+    "log_fingerprint",
+    "options_fingerprint",
+]

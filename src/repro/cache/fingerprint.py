@@ -1,0 +1,104 @@
+"""Stable content fingerprints for cache keys.
+
+The :class:`~repro.cache.store.GraphStore` keys cached graphs by
+``(log fingerprint, options fingerprint)``: the same log mined under the
+same options always reuses the same entry, and changing either the log or
+any option that affects mining produces a different key (automatic
+invalidation).
+
+``Node.fingerprint`` cannot serve here — it is built on Python's ``hash``,
+which is salted per process for strings, so it differs between the process
+that saved a graph and the one loading it.  These fingerprints instead
+hash the canonical JSON encoding of the content with SHA-256, which is
+stable across processes, platforms, and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Iterable
+
+from repro.cache.serialize import FORMAT_VERSION, node_to_dict
+from repro.sqlparser.astnodes import Node
+
+__all__ = ["log_fingerprint", "options_fingerprint"]
+
+
+def _digest(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _rule_name(rule: Any) -> str:
+    """A process-stable name for a widget rule callable.
+
+    Never ``repr`` — the default object repr embeds a memory address,
+    which would make the fingerprint differ in every process.  Callables
+    without a ``__qualname__`` (partials, callable instances) are named
+    by their type instead.
+    """
+    name = getattr(rule, "__qualname__", None)
+    if name:
+        return f"{getattr(rule, '__module__', '')}.{name}"
+    kind = type(rule)
+    return f"{kind.__module__}.{kind.__qualname__}"
+
+
+def log_fingerprint(queries: Iterable[Node]) -> str:
+    """SHA-256 over the canonical encoding of a parsed log, in log order.
+
+    Two logs fingerprint equal exactly when they are the same sequence of
+    structurally-equal ASTs — whitespace and comment differences in the
+    raw SQL do not matter, query order does.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"v{FORMAT_VERSION}".encode("ascii"))
+    for query in queries:
+        canonical = json.dumps(
+            node_to_dict(query), sort_keys=True, separators=(",", ":")
+        )
+        hasher.update(b"\x00")
+        hasher.update(canonical.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def options_fingerprint(options: Any) -> str:
+    """SHA-256 over every option that can change what mining produces.
+
+    Covers the mining knobs (window, LCA pruning), the mapping knobs
+    (merge, coverage), the widget library (name, cost coefficients, flags,
+    and the rule function's qualified name), and the grammar annotations.
+    ``cache_dir`` itself is deliberately excluded — where a graph is cached
+    must not change whether it is found.
+    """
+    library_signature = [
+        {
+            "name": wt.name,
+            "cost": list(wt.cost.as_tuple()),
+            "rule": _rule_name(wt.rule),
+            "extrapolates": wt.extrapolates,
+            "unbounded": wt.unbounded,
+            "accepts_kinds": sorted(wt.accepts_kinds),
+            "html_tag": wt.html_tag,
+        }
+        for wt in options.library
+    ]
+    annotations = options.annotations
+    annotations_signature = {
+        "literal_types": dict(sorted(annotations.literal_types.items())),
+        "value_attributes": dict(sorted(annotations.value_attributes.items())),
+        "collection_types": sorted(annotations.collection_types),
+        "statement_types": sorted(annotations.statement_types),
+    }
+    return _digest(
+        {
+            "format": FORMAT_VERSION,
+            "window": options.window,
+            "lca_pruning": options.lca_pruning,
+            "merge": options.merge,
+            "coverage": options.coverage,
+            "library": library_signature,
+            "annotations": annotations_signature,
+        }
+    )

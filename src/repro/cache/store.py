@@ -1,0 +1,141 @@
+"""Content-addressed on-disk store for mined interaction graphs.
+
+A :class:`GraphStore` is a directory of :func:`~repro.cache.serialize.
+save_graph` files keyed by ``(log fingerprint, options fingerprint)``.
+The key is content-addressed, so there is no explicit invalidation
+protocol for correctness: a changed log or changed options simply hashes
+to a different entry and misses.  :meth:`GraphStore.invalidate` and
+:meth:`GraphStore.clear` exist for space management and for forcing a
+re-mine after a code change.
+
+Concurrency: saves are atomic (write-then-rename, see ``save_graph``), so
+any number of processes — the sharded ``generate_many`` workers in
+particular — can share one store directory.  Two workers mining the same
+key race benignly: both write the same content and the second rename wins.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FilePath
+from typing import Iterator
+
+from repro.cache.serialize import load_graph, save_graph
+from repro.errors import CacheError
+from repro.graph.build import BuildStats
+from repro.graph.interaction import InteractionGraph
+
+__all__ = ["GraphStore"]
+
+#: Hex digits of each fingerprint kept in the file name.  16 of each
+#: (64 bits log + 64 bits options) keeps names short while making
+#: accidental collisions vanishingly unlikely for any realistic store.
+_KEY_DIGITS = 16
+
+_SUFFIX = ".graph.jsonl"
+
+
+class GraphStore:
+    """Load/save/invalidate cached interaction graphs under one directory.
+
+    Args:
+        root: the cache directory; created (with parents) if missing.
+    """
+
+    def __init__(self, root: str | FilePath):
+        self.root = FilePath(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(log_fingerprint: str, options_fingerprint: str) -> str:
+        """The store key for a (log, options) pair."""
+        return f"{log_fingerprint[:_KEY_DIGITS]}-{options_fingerprint[:_KEY_DIGITS]}"
+
+    def path_for(self, log_fingerprint: str, options_fingerprint: str) -> FilePath:
+        """Where the entry for this key lives (whether or not it exists)."""
+        return self.root / (self.key(log_fingerprint, options_fingerprint) + _SUFFIX)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def has(self, log_fingerprint: str, options_fingerprint: str) -> bool:
+        """True when an entry exists for this key (it may still fail to
+        load if written by an incompatible version)."""
+        return self.path_for(log_fingerprint, options_fingerprint).exists()
+
+    def load(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> tuple[InteractionGraph, BuildStats] | None:
+        """Return the cached ``(graph, stats)`` for this key, or ``None``.
+
+        A missing entry, a version mismatch, or a corrupt file all load as
+        ``None`` (a miss): the caller re-mines and overwrites, which is
+        always safe because the store is content-addressed.
+        """
+        path = self.path_for(log_fingerprint, options_fingerprint)
+        if not path.exists():
+            return None
+        try:
+            graph, stats, _extra = load_graph(path)
+        except CacheError:
+            return None
+        return graph, stats
+
+    def save(
+        self,
+        log_fingerprint: str,
+        options_fingerprint: str,
+        graph: InteractionGraph,
+        stats: BuildStats | None = None,
+    ) -> FilePath:
+        """Persist a mined graph under this key; returns the entry path."""
+        path = self.path_for(log_fingerprint, options_fingerprint)
+        save_graph(path, graph, stats)
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> list[FilePath]:
+        """All entry files currently in the store, sorted by name."""
+        return sorted(self.root.glob("*" + _SUFFIX))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __iter__(self) -> Iterator[FilePath]:
+        return iter(self.entries())
+
+    def invalidate(
+        self,
+        log_fingerprint: str | None = None,
+        options_fingerprint: str | None = None,
+    ) -> int:
+        """Remove entries matching either fingerprint prefix.
+
+        With both arguments, removes the single exact entry; with one,
+        removes every entry sharing that side of the key; with neither,
+        removes everything (same as :meth:`clear`).  Returns the number of
+        entries removed.
+        """
+        removed = 0
+        log_part = log_fingerprint[:_KEY_DIGITS] if log_fingerprint else None
+        opts_part = (
+            options_fingerprint[:_KEY_DIGITS] if options_fingerprint else None
+        )
+        for path in self.entries():
+            name = path.name[: -len(_SUFFIX)]
+            entry_log, _, entry_opts = name.partition("-")
+            if log_part is not None and entry_log != log_part:
+                continue
+            if opts_part is not None and entry_opts != opts_part:
+                continue
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        return self.invalidate()

@@ -28,7 +28,14 @@ from repro.widgets.base import Widget, WidgetType
 from repro.widgets.domain import WidgetDomain
 from repro.widgets.library import default_library
 
-__all__ = ["MapperStats", "pick_widget", "initialize", "merge_widgets", "map_interactions"]
+__all__ = [
+    "MapperStats",
+    "pick_widget",
+    "initialize",
+    "initialize_incremental",
+    "merge_widgets",
+    "map_interactions",
+]
 
 
 @dataclass
@@ -108,6 +115,55 @@ def initialize(
         if widget is not None:
             widgets.append(widget)
     return widgets
+
+
+def initialize_incremental(
+    diffs: list[Diff],
+    library: list[WidgetType],
+    annotations: GrammarAnnotations,
+    cache: dict[Path, tuple[tuple[int, ...], Widget | None]],
+) -> tuple[list[Widget], int, int]:
+    """Algorithm 1 with partition-level reuse for growing diff tables.
+
+    The diffs table only ever grows (the incremental session appends, never
+    edits), so a path partition whose diff list is unchanged since the last
+    call must produce the same widget — re-solving it is pure waste.
+    ``cache`` maps each path to ``(signature, widget)`` where the signature
+    identifies the exact diff objects (by ``id``) the widget was built
+    from; a diff object's identity is stable because the session's graph
+    holds a reference to it for its whole lifetime.  Partitions whose
+    signature matches reuse the cached widget (including cached
+    ``None`` — a partition no widget type accepts stays skipped without
+    re-running ``pickWidget``); the rest are re-solved and re-cached, and
+    paths that vanished from the table are evicted.
+
+    Returns ``(widgets, n_reused, n_rebuilt)``.
+    """
+    partitions: dict[Path, list[Diff]] = {}
+    for diff in diffs:
+        partitions.setdefault(diff.path, []).append(diff)
+    widgets: list[Widget] = []
+    n_reused = 0
+    n_rebuilt = 0
+    for path in sorted(partitions):
+        partition = partitions[path]
+        signature = tuple(id(d) for d in partition)
+        cached = cache.get(path)
+        if cached is not None and cached[0] == signature:
+            n_reused += 1
+            widget = cached[1]
+        else:
+            n_rebuilt += 1
+            try:
+                widget = pick_widget(partition, library, annotations)
+            except MappingError:
+                widget = None
+            cache[path] = (signature, widget)
+        if widget is not None:
+            widgets.append(widget)
+    for stale in set(cache) - set(partitions):
+        del cache[stale]
+    return widgets, n_reused, n_rebuilt
 
 
 def _incident_queries(diffs: list[Diff]) -> set[int]:

@@ -28,6 +28,12 @@ class PipelineOptions:
             log must be expressible.
         library: widget type library (defaults to the 9 built-in types).
         annotations: grammar annotations for the query language.
+        cache_dir: directory of a :class:`~repro.cache.store.GraphStore`.
+            When set, the default pipeline inserts a
+            :class:`~repro.api.stages.CacheStage`: mined interaction graphs
+            are persisted there keyed by (log, options) fingerprints, and a
+            later run over the same log skips the Mine stage entirely.
+            ``None`` (the default) disables persistence.
     """
 
     window: int | None = 2
@@ -36,6 +42,7 @@ class PipelineOptions:
     coverage: float = 1.0
     library: list[WidgetType] = field(default_factory=default_library)
     annotations: GrammarAnnotations = SQL_ANNOTATIONS
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.coverage <= 1.0:

@@ -66,3 +66,9 @@ class LogError(ReproError):
 
 class CompileError(ReproError):
     """Raised when interface compilation to HTML fails."""
+
+
+class CacheError(ReproError):
+    """Raised when a persisted graph or session snapshot cannot be
+    decoded (version mismatch, truncation, malformed records) or does not
+    match the options it is being resumed under."""

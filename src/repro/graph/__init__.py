@@ -1,6 +1,22 @@
-"""Interaction graph: vertices are queries, edges are mined interactions."""
+"""Interaction graph: vertices are queries, edges are mined interactions.
 
-from repro.graph.build import BuildStats, build_interaction_graph
+:func:`build_interaction_graph` mines a parsed log in one pass
+(Section 4.2 with the Section 6 optimisations);
+:func:`extend_interaction_graph` grows an existing graph with appended
+queries, aligning only the new pairs (what
+:class:`~repro.api.session.InterfaceSession` runs per append).  The graph
+is a pure function of (parsed log, options), which is what makes it
+cacheable — :mod:`repro.cache` serialises it and keys it by content
+fingerprints so later runs skip the mining entirely.
+"""
+
+from repro.graph.build import BuildStats, build_interaction_graph, extend_interaction_graph
 from repro.graph.interaction import Edge, InteractionGraph
 
-__all__ = ["Edge", "InteractionGraph", "build_interaction_graph", "BuildStats"]
+__all__ = [
+    "Edge",
+    "InteractionGraph",
+    "build_interaction_graph",
+    "extend_interaction_graph",
+    "BuildStats",
+]

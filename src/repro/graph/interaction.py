@@ -56,14 +56,17 @@ class InteractionGraph:
 
     @property
     def n_vertices(self) -> int:
+        """Number of vertices ``|V|`` — one per logged query."""
         return len(self.queries)
 
     @property
     def n_edges(self) -> int:
+        """Number of labelled edges ``|E|``."""
         return len(self.edges)
 
     @property
     def n_diffs(self) -> int:
+        """Size of the diffs table (leaf plus ancestor records)."""
         return len(self.diffs)
 
     def out_edges(self, query_index: int) -> list[Edge]:

@@ -1,7 +1,7 @@
 """Query log substrate: model, IO, and the three synthetic log generators."""
 
 from repro.logs.adhoc import AdhocLogGenerator
-from repro.logs.io import load_jsonl, load_text, save_jsonl, save_text
+from repro.logs.io import load_jsonl, load_log, load_text, save_jsonl, save_text
 from repro.logs.listings import (
     LISTING_1,
     LISTING_2,
@@ -25,6 +25,7 @@ __all__ = [
     "load_text",
     "save_jsonl",
     "load_jsonl",
+    "load_log",
     "SDSSLogGenerator",
     "PROFILE_NAMES",
     "OLAPLogGenerator",

@@ -17,7 +17,7 @@ from pathlib import Path as FilePath
 from repro.errors import LogError
 from repro.logs.model import LogEntry, QueryLog
 
-__all__ = ["save_text", "load_text", "save_jsonl", "load_jsonl"]
+__all__ = ["save_text", "load_text", "save_jsonl", "load_jsonl", "load_log"]
 
 
 def save_text(log: QueryLog, path: str | FilePath) -> None:
@@ -43,6 +43,23 @@ def load_text(path: str | FilePath, client: str = "c0", name: str | None = None)
     return QueryLog.from_statements(
         statements, client=client, name=name or file_path.stem
     )
+
+
+def load_log(path: str | FilePath, name: str | None = None) -> QueryLog:
+    """Load a query log, dispatching on the file extension.
+
+    ``.jsonl`` / ``.ndjson`` files go through :func:`load_jsonl`;
+    everything else is treated as one-statement-per-line text.  This is
+    what the CLI uses so a ``mine`` invocation can mix both formats in one
+    batch.
+
+    Raises:
+        LogError: when the file is empty or malformed.
+    """
+    file_path = FilePath(path)
+    if file_path.suffix.lower() in (".jsonl", ".ndjson"):
+        return load_jsonl(file_path, name=name)
+    return load_text(file_path, name=name)
 
 
 def save_jsonl(log: QueryLog, path: str | FilePath) -> None:

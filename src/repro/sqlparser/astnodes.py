@@ -45,6 +45,24 @@ class Node:
         self._size: int | None = None
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle without the cached fingerprint/size.
+
+        ``fingerprint`` is built on ``hash()``, whose string salt differs
+        per process; shipping the cache across a process boundary (the
+        sharded ``generate_many`` workers) would poison ``equals``/``__hash__``
+        in the receiving process.  Both caches rebuild lazily on demand.
+        """
+        return (self.node_type, self.attributes, self.children)
+
+    def __setstate__(self, state) -> None:
+        self.node_type, self.attributes, self.children = state
+        self._fingerprint = None
+        self._size = None
+
+    # ------------------------------------------------------------------
     # structural identity
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,163 @@
+"""Sharded batch generation: generate_many(workers=N) semantics."""
+
+import pickle
+
+import pytest
+
+from repro.api import generate_many, generate_segmented, PipelineObserver
+from repro.core.options import PipelineOptions
+from repro.logs import SDSSLogGenerator
+
+
+@pytest.fixture(scope="module")
+def client_logs():
+    """Four independent per-client SDSS logs (the fig7 workload shape)."""
+    return [
+        log.asts()
+        for log in SDSSLogGenerator(seed=0).clients(4, n_queries=30).values()
+    ]
+
+
+def _summaries(results):
+    return [r.interface.widget_summary() for r in results]
+
+
+class TestWorkerParity:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_parallel_matches_serial(self, client_logs, workers):
+        """Acceptance: workers=N yields the same interfaces, in the same
+        order, as workers=1."""
+        serial = generate_many(client_logs, workers=1)
+        parallel = generate_many(client_logs, workers=workers)
+        assert _summaries(parallel) == _summaries(serial)
+        assert [r.run.n_queries for r in parallel] == [
+            r.run.n_queries for r in serial
+        ]
+        assert [r.run.n_pairs_compared for r in parallel] == [
+            r.run.n_pairs_compared for r in serial
+        ]
+
+    def test_parallel_with_options(self, client_logs):
+        options = PipelineOptions(window=None)
+        serial = generate_many(client_logs[:2], options=options)
+        parallel = generate_many(client_logs[:2], options=options, workers=2)
+        assert _summaries(parallel) == _summaries(serial)
+
+    def test_parallel_results_are_complete(self, client_logs):
+        for result in generate_many(client_logs, workers=2):
+            assert result.run.stage("mine") is not None
+            assert dict(result.provenance)["n_queries"] > 0
+            # results crossed a process boundary once already; they must
+            # survive another round trip (e.g. caching layers above us)
+            clone = pickle.loads(pickle.dumps(result))
+            assert clone.interface.widget_summary() == result.interface.widget_summary()
+
+    def test_empty_batch(self):
+        assert generate_many([], workers=4) == []
+
+    def test_workers_none_and_one_are_serial(self, client_logs):
+        assert _summaries(generate_many(client_logs[:1], workers=None)) == _summaries(
+            generate_many(client_logs[:1], workers=1)
+        )
+
+
+class TestCrossProcessNodes:
+    def test_node_pickle_drops_hash_caches(self):
+        """The cached fingerprint is built on the per-process hash salt;
+        it must not travel inside a pickle."""
+        import pickle as _pickle
+
+        from repro.sqlparser.parser import parse_sql
+
+        node = parse_sql("SELECT a FROM t WHERE x = 1")
+        assert node.fingerprint is not None  # populate the cache
+        clone = _pickle.loads(_pickle.dumps(node))
+        assert clone._fingerprint is None
+        assert clone._size is None
+        assert clone.equals(node)
+        assert hash(clone) == hash(node)
+
+    def test_nodes_pickled_under_a_different_hash_salt(self, tmp_path):
+        """Simulate a spawn-start worker: a subprocess with its own hash
+        salt pickles a parsed tree; the parent must still see it as equal
+        to (and hash-compatible with) its own parse of the same SQL."""
+        import os
+        import pickle as _pickle
+        import subprocess
+        import sys
+
+        from repro.sqlparser.parser import parse_sql
+
+        out = tmp_path / "node.pickle"
+        script = (
+            "import pickle, sys\n"
+            "sys.path.insert(0, sys.argv[2])\n"
+            "from repro.sqlparser.parser import parse_sql\n"
+            "n = parse_sql('SELECT a FROM t WHERE x = 1')\n"
+            "n.fingerprint\n"
+            "pickle.dump(n, open(sys.argv[1], 'wb'))\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env = {k: v for k, v in os.environ.items() if k != "PYTHONHASHSEED"}
+        subprocess.run(
+            [sys.executable, "-c", script, str(out), src],
+            check=True,
+            env=env,
+        )
+        foreign = _pickle.load(open(out, "rb"))
+        local = parse_sql("SELECT a FROM t WHERE x = 1")
+        assert foreign.equals(local)
+        assert hash(foreign) == hash(local)
+        assert {foreign} == {local}
+
+
+class TestWorkerValidation:
+    def test_workers_must_be_positive(self, client_logs):
+        with pytest.raises(ValueError, match="workers"):
+            generate_many(client_logs, workers=0)
+
+    def test_observers_refused_in_parallel(self, client_logs):
+        with pytest.raises(ValueError, match="observers"):
+            generate_many(client_logs, observers=[PipelineObserver()], workers=2)
+
+    def test_observers_fine_serially(self, client_logs):
+        seen = []
+
+        class Spy(PipelineObserver):
+            def on_pipeline_end(self, pipeline, state, run):
+                seen.append(run.n_queries)
+
+        generate_many(client_logs[:2], observers=[Spy()], workers=1)
+        assert len(seen) == 2
+
+
+class TestSegmentedWorkers:
+    def test_segmented_validates_like_generate_many(self):
+        with pytest.raises(ValueError, match="workers"):
+            generate_segmented(["SELECT a FROM t WHERE x = 1"], workers=0)
+        with pytest.raises(ValueError, match="observers"):
+            generate_segmented(
+                ["SELECT a FROM t WHERE x = 1"],
+                observers=[PipelineObserver()],
+                workers=2,
+            )
+
+    def test_segmented_parallel_matches_serial(self):
+        generator = SDSSLogGenerator(seed=1)
+        mixed = generator.interleaved(2, n_queries=20).asts()
+        serial = generate_segmented(mixed)
+        parallel = generate_segmented(mixed, workers=2)
+        assert _summaries(parallel) == _summaries(serial)
+        assert [dict(r.provenance)["segment"] for r in parallel] == [
+            dict(r.provenance)["segment"] for r in serial
+        ]
+
+    def test_shared_cache_dir_across_workers(self, client_logs, tmp_path):
+        """All workers share one store; a second parallel batch hits it."""
+        options = PipelineOptions(cache_dir=str(tmp_path))
+        cold = generate_many(client_logs, options=options, workers=2)
+        warm = generate_many(client_logs, options=options, workers=2)
+        assert all(r.run.stage("cache").stats["hit"] is False for r in cold)
+        assert all(r.run.stage("cache").stats["hit"] is True for r in warm)
+        assert all(r.run.stage("mine").stats["skipped"] is True for r in warm)
+        assert _summaries(warm) == _summaries(cold)
