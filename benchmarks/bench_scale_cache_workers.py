@@ -1,29 +1,54 @@
-"""Scale layer: sharded ``generate_many`` and the persistent graph cache.
+"""Scale layer: sharded ``generate_many``, the persistent cache, and the
+incremental append path.
 
-Not a paper figure — this benchmarks the PR-2 scale features on the
-Figure 7 multi-client workload (independent per-client SDSS logs):
+Not a paper figure — this benchmarks the scale features on synthetic
+workloads:
 
 * ``generate_many(logs, workers=2)`` must beat ``workers=1`` wall-clock —
   per-client mining is embarrassingly parallel;
-* a warm ``cache_dir`` run must skip the Mine stage and spend (almost)
-  nothing re-mining.
+* a warm ``cache_dir`` run must *full-hit* (graph + widget set) and skip
+  Mine, Map, and Merge;
+* steady-state ``InterfaceSession.append()`` must beat re-generating the
+  interface from the accumulated log from scratch by at least 3x on a
+  200+-query log (in practice it is orders of magnitude), and the
+  incremental map+merge phase alone must beat a full remap.
+
+The append section also writes ``results/BENCH_incremental.json`` — the
+machine-readable perf-trajectory record CI's regression gate compares
+against ``benchmarks/baselines/bench_incremental_baseline.json``.  The
+gate compares *dimensionless speedups*, not absolute seconds, so it holds
+across hardware.
+
+Set ``REPRO_BENCH_BUDGET=tiny`` to shrink the workload (CI smoke); the
+absolute 3x assertion is skipped there because a tiny log has no steady
+state, but the JSON is still produced for the ratio gate.
 """
 
 import os
+import statistics
 import tempfile
 import time
 
-from repro.api import generate, generate_many
+from repro.api import InterfaceSession, generate, generate_many
+from repro.core.mapper import initialize, merge_widgets
 from repro.core.options import PipelineOptions
-from repro.logs import SDSSLogGenerator
+from repro.logs import AdhocLogGenerator, SDSSLogGenerator
 
-from helpers import emit, run_once
+from helpers import emit, emit_json, run_once
 
-N_CLIENTS = 8
-N_QUERIES = 200
+TINY = os.environ.get("REPRO_BENCH_BUDGET") == "tiny"
+
+N_CLIENTS = 2 if TINY else 8
+N_QUERIES = 40 if TINY else 200
 #: widen the window beyond the paper's default 2 so mining dominates and
 #: the sharding/caching effect is measured against real work
-WINDOW = 16
+WINDOW = 8 if TINY else 16
+
+#: append-path workload: warm up a session with most of the log, then
+#: measure steady-state appends of small batches
+APPEND_TOTAL = 60 if TINY else 240
+APPEND_WARMUP = 40 if TINY else 200
+APPEND_BATCH = 4
 
 
 def test_workers_and_cache(benchmark):
@@ -75,10 +100,11 @@ def test_workers_and_cache(benchmark):
                 "",
                 f"generate with cache_dir, {N_QUERIES}-query log",
                 f"  cold (mine + persist): {out['cold_seconds'] * 1000:.0f} ms",
-                f"  warm (cache hit):      {out['warm_seconds'] * 1000:.0f} ms  "
+                f"  warm (full cache hit): {out['warm_seconds'] * 1000:.0f} ms  "
                 f"(speedup x{cache_speedup:.2f})",
-                f"  warm mine skipped: "
-                f"{out['warm'].run.stage('mine').stats['skipped']}",
+                f"  warm skips: mine={out['warm'].run.stage('mine').stats['skipped']} "
+                f"map={out['warm'].run.stage('map').stats.get('skipped', False)} "
+                f"merge={out['warm'].run.stage('merge').stats.get('skipped', False)}",
             ]
         ),
     )
@@ -88,14 +114,123 @@ def test_workers_and_cache(benchmark):
     assert [r.interface.widget_summary() for r in sharded] == [
         r.interface.widget_summary() for r in serial
     ]
-    if (os.cpu_count() or 1) > 1:
+    if (os.cpu_count() or 1) > 1 and not TINY:
         assert out["sharded_seconds"] < out["serial_seconds"]
-    # the warm run skips mining entirely and compares zero pairs
+    # the warm run is a full hit: no mining, no mapping, no merging
     assert out["warm"].run.stage("cache").stats["hit"] is True
+    assert out["warm"].run.stage("cache").stats["widgets_hit"] is True
     assert out["warm"].run.stage("mine").stats["skipped"] is True
+    assert out["warm"].run.stage("map").stats["skipped"] is True
+    assert out["warm"].run.stage("merge").stats["skipped"] is True
     assert out["warm"].run.n_pairs_compared == 0
     assert out["warm_seconds"] < out["cold_seconds"]
     assert (
         out["warm"].interface.widget_summary()
         == out["cold"].interface.widget_summary()
     )
+
+
+def test_incremental_append(benchmark):
+    """Steady-state append cost vs the two non-incremental alternatives:
+    re-generating from scratch (what a system without sessions pays per
+    arrival) and a full remap of the accumulated graph (what the PR-2
+    session paid for its merge phase)."""
+    asts = AdhocLogGenerator(seed=2).student_log("S1", APPEND_TOTAL).asts()
+    options = PipelineOptions(window=WINDOW)
+
+    def run():
+        session = InterfaceSession(options=options)
+        session.append(asts[:APPEND_WARMUP])
+
+        append_seconds = []
+        remap_seconds = []
+        merge_component_reuse = []
+        for start in range(APPEND_WARMUP, APPEND_TOTAL, APPEND_BATCH):
+            t0 = time.perf_counter()
+            result = session.append(asts[start:start + APPEND_BATCH])
+            append_seconds.append(time.perf_counter() - t0)
+            run_stages = result.run
+            merge_component_reuse.append(
+                run_stages.stage("merge").stats.get("n_components_reused", 0)
+            )
+            # full remap of the same accumulated graph, from cold
+            diffs = sorted(
+                (d for d in session._graph.diffs), key=lambda d: (d.q1, d.q2)
+            )
+            t1 = time.perf_counter()
+            widgets = initialize(diffs, options.library, options.annotations)
+            merge_widgets(
+                widgets,
+                options.library,
+                options.annotations,
+                leaf_diffs=[d for d in diffs if d.is_leaf],
+            )
+            remap_seconds.append(time.perf_counter() - t1)
+
+        # one re-generation from scratch over the final accumulated log —
+        # the per-arrival cost of a system with no incremental path
+        t2 = time.perf_counter()
+        full = generate(asts, options=options)
+        regenerate_seconds = time.perf_counter() - t2
+        return {
+            "session": session,
+            "full": full,
+            "append_seconds": append_seconds,
+            "remap_seconds": remap_seconds,
+            "regenerate_seconds": regenerate_seconds,
+            "merge_component_reuse": merge_component_reuse,
+        }
+
+    out = run_once(benchmark, run)
+    steady_append = statistics.median(out["append_seconds"])
+    full_remap = statistics.median(out["remap_seconds"])
+    regenerate = out["regenerate_seconds"]
+    speedup_vs_regenerate = regenerate / max(steady_append, 1e-9)
+    speedup_vs_remap = full_remap / max(steady_append, 1e-9)
+
+    payload = {
+        "workload": {
+            "family": "adhoc",
+            "n_queries": APPEND_TOTAL,
+            "warmup": APPEND_WARMUP,
+            "batch": APPEND_BATCH,
+            "window": WINDOW,
+            "tiny_budget": TINY,
+        },
+        "steady_append_seconds": steady_append,
+        "full_remap_seconds": full_remap,
+        "full_regenerate_seconds": regenerate,
+        "speedup_vs_regenerate": speedup_vs_regenerate,
+        "speedup_vs_remap": speedup_vs_remap,
+        "append_seconds": out["append_seconds"],
+    }
+    emit_json("BENCH_incremental", payload)
+    emit(
+        "incremental_append",
+        "\n".join(
+            [
+                f"session over {APPEND_TOTAL} adhoc queries "
+                f"(warmup {APPEND_WARMUP}, batch {APPEND_BATCH}, "
+                f"window={WINDOW})",
+                f"  steady-state append:     {steady_append * 1000:8.1f} ms",
+                f"  full remap (map+merge):  {full_remap * 1000:8.1f} ms  "
+                f"(x{speedup_vs_remap:.1f})",
+                f"  full regenerate:         {regenerate * 1000:8.1f} ms  "
+                f"(x{speedup_vs_regenerate:.1f})",
+                f"  merge components reused per append: "
+                f"{out['merge_component_reuse']}",
+            ]
+        ),
+    )
+
+    # the session must stay result-equivalent to one-shot generation
+    assert (
+        out["session"].interface.widget_summary()
+        == out["full"].interface.widget_summary()
+    )
+    # incrementality must actually pay: appends beat the full pipeline by
+    # 3x or better on a 200+-query log (tiny smoke logs have no steady
+    # state, so the ratio is only gated on the full workload)
+    if not TINY:
+        assert speedup_vs_regenerate >= 3.0, payload
+        assert speedup_vs_remap > 1.0, payload

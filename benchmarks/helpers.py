@@ -9,7 +9,9 @@ pytest's capture.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -20,6 +22,15 @@ def emit(name: str, text: str) -> None:
     banner = f"\n=== {name} ===\n{text}\n"
     print(banner)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(name: str, payload: dict[str, Any]) -> Path:
+    """Persist machine-readable results under benchmarks/results/<name>.json
+    (the perf-trajectory files CI's regression gate reads)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def run_once(benchmark, fn):

@@ -12,12 +12,14 @@ Quickstart (staged pipeline API)::
     print(result.interface.describe())
     print(result.run.total_seconds, result.run.stage("mine").stats)
 
-Batch and incremental workloads::
+Batch, incremental, and streaming workloads::
 
     from repro import generate_many, InterfaceSession
     results = generate_many([log_a, log_b])
     session = InterfaceSession()
     session.append_sql(first_batch)       # later appends only mine new pairs
+    for snapshot in session.stream(more_batches):
+        ...                               # a GenerationResult per batch
 """
 
 from repro.api import (
@@ -32,16 +34,16 @@ from repro.api import (
     generate_segmented,
 )
 from repro.cache import GraphStore
+from repro.core.closure import ClosureCache
 from repro.core.interface import Interface
 from repro.core.options import PipelineOptions
-from repro.core.pipeline import PrecisionInterfaces
 from repro.errors import ReproError
 from repro.paths import Path
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.parser import parse_sql
 from repro.sqlparser.render import render_sql
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "generate",
@@ -52,10 +54,10 @@ __all__ = [
     "Pipeline",
     "PipelineObserver",
     "StageReport",
-    "PrecisionInterfaces",
     "PipelineOptions",
     "GraphStore",
     "PipelineRun",
+    "ClosureCache",
     "Interface",
     "Node",
     "Path",

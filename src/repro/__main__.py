@@ -7,15 +7,19 @@ Subcommands:
   Multiple log files shard across a process pool with ``--workers``.
 * ``recall``  — train/hold-out recall for a log file.
 * ``check``   — closure-membership check of one query against a log.
+* ``cache``   — manage a persistent cache directory: ``cache stats``
+  reports occupancy, ``cache prune`` evicts least-recently-used entries
+  down to ``--max-bytes``/``--max-entries``, ``cache clear`` empties it.
 
 ``mine`` and ``recall`` accept ``--json`` to dump the run's
 :class:`~repro.api.result.GenerationResult` statistics as machine-readable
 JSON (consumed by the benchmarks and dashboards).
 
-All subcommands accept ``--cache-dir``: mined interaction graphs are
-persisted there (a :class:`~repro.cache.store.GraphStore`), and a repeat
-run over an unchanged log skips the mining work entirely — the ``--json``
-output's ``cache``/``mine`` stage stats show the hit.
+The generation subcommands accept ``--cache-dir``: mined interaction
+graphs *and* widget sets are persisted there (a
+:class:`~repro.cache.store.GraphStore`), and a repeat run over an
+unchanged log skips mining, mapping, and merging entirely — the ``--json``
+output's ``cache``/``mine``/``merge`` stage stats show the hits.
 
 Example::
 
@@ -23,6 +27,8 @@ Example::
     python -m repro mine mylog.sql --json --cache-dir .repro-cache
     python -m repro mine clientA.sql clientB.sql clientC.sql --workers 2
     python -m repro check mylog.sql "SELECT * FROM t WHERE x = 5"
+    python -m repro cache stats --cache-dir .repro-cache --json
+    python -m repro cache prune --cache-dir .repro-cache --max-entries 100
 """
 
 from __future__ import annotations
@@ -160,6 +166,49 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.cache.store import GraphStore
+
+    # maintenance must not invent directories: a typo'd --cache-dir should
+    # error out, not report a plausible empty store (and leave litter)
+    if not Path(args.cache_dir).is_dir():
+        raise ReproError(f"cache directory {args.cache_dir} does not exist")
+    store = GraphStore(args.cache_dir)
+    if args.cache_command == "stats":
+        payload = store.stats()
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"{payload['n_keys']} key(s): {payload['n_graphs']} graph(s), "
+                f"{payload['n_widget_sets']} widget set(s), "
+                f"{payload['total_bytes']} bytes"
+            )
+        return 0
+    if args.cache_command == "prune":
+        if args.max_bytes is None and args.max_entries is None:
+            raise ReproError(
+                "cache prune needs --max-bytes and/or --max-entries"
+            )
+        try:
+            removed = store.prune(
+                max_bytes=args.max_bytes, max_entries=args.max_entries
+            )
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    else:  # clear
+        removed = store.clear()
+    payload = {"removed": removed, **store.stats()}
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"removed {removed} key(s); {payload['n_keys']} left, "
+            f"{payload['total_bytes']} bytes"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, dispatch the subcommand, and return the exit code
     (0 success, 1 negative ``check`` verdict, 2 for any library error)."""
@@ -193,6 +242,25 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(check)
     check.add_argument("query", help="SQL statement to test")
     check.set_defaults(fn=_cmd_check)
+
+    cache = commands.add_parser("cache", help="manage a cache directory")
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    for sub_name, sub_help in (
+        ("stats", "report the cache directory's occupancy"),
+        ("prune", "evict least-recently-used entries down to the caps"),
+        ("clear", "remove every cached entry"),
+    ):
+        sub = cache_commands.add_parser(sub_name, help=sub_help)
+        sub.add_argument("--cache-dir", required=True,
+                         help="the GraphStore directory to manage")
+        sub.add_argument("--json", action="store_true",
+                         help="dump the result as JSON")
+        if sub_name == "prune":
+            sub.add_argument("--max-bytes", type=int,
+                             help="keep at most this many bytes of entries")
+            sub.add_argument("--max-entries", type=int,
+                             help="keep at most this many cached keys")
+        sub.set_defaults(fn=_cmd_cache)
 
     args = parser.parse_args(argv)
     try:

@@ -105,7 +105,10 @@ class Pipeline:
         When ``options.cache_dir`` is set, a
         :class:`~repro.api.stages.CacheStage` is inserted before the Mine
         stage: a second run over the same log restores the interaction
-        graph from disk and the Mine stage reports ``skipped=True``.
+        graph from disk and the Mine stage reports ``skipped=True``; when
+        the store also holds the key's widget set (a *full* hit), Map and
+        Merge report ``skipped=True`` too and the warm run does no
+        pairwise diffing or widget solving at all.
         """
         options = options or PipelineOptions()
         stages: list[Stage] = [ParseStage()]

@@ -1,19 +1,23 @@
-"""Incremental generation sessions.
+"""Incremental generation sessions, including a streaming surface.
 
 Production logs grow; re-mining the whole log on every arrival is
 ``O(|Q| * window)`` tree alignments *per append*.  An
 :class:`InterfaceSession` keeps the interaction graph built so far and, on
 each append, aligns only the pairs that involve a new query — the already
 compared pairs (and their diff records) are reused as-is.  Mapping is
-incremental too: the session keeps a per-path widget memo, so Initialize
-(Algorithm 1) re-solves only the diff partitions this append actually
-touched instead of the whole accumulated table.
+incremental end to end: the session's :class:`~repro.core.mapper.MapCache`
+maintains a partition index over the growing diffs table, Initialize
+(Algorithm 1) re-solves only the diff partitions an append actually
+touched, and the Merge fixed point (Algorithm 3) runs partition-scoped —
+only the merge components incident to the new pairs re-merge, the rest
+replay their memoised result.  Steady-state append cost is therefore
+O(touched partitions), not O(accumulated log).
 
-The session is result-equivalent to batch generation: after any sequence of
-appends, the widget set matches a one-shot
-:func:`repro.api.generate` over the concatenated log, because the pair set
-is identical and the diffs table is normalised to the full build's
-``(q1, q2)``-lexicographic order before mapping.
+The session is result-equivalent to batch generation: after any sequence
+of appends, the widget set matches a one-shot :func:`repro.api.generate`
+over the concatenated log, because the pair set is identical and the
+partition index maintains the full build's ``(q1, q2)``-lexicographic
+diff order.
 
 Sessions are also durable.  :meth:`InterfaceSession.save` snapshots the
 accumulated graph (via :mod:`repro.cache.serialize`) and
@@ -21,7 +25,9 @@ accumulated graph (via :mod:`repro.cache.serialize`) and
 re-mining a single pair; when ``options.cache_dir`` is set the session
 additionally reads and writes the shared
 :class:`~repro.cache.store.GraphStore`, so a session can adopt a graph a
-previous ``generate()`` run already mined.
+previous ``generate()`` run already mined, and
+:meth:`InterfaceSession.flush_to_store` publishes both the accumulated
+graph and the current widget set for later runs to full-hit on.
 
 Usage::
 
@@ -29,7 +35,10 @@ Usage::
     session.append_sql(morning_statements)
     result = session.append_sql(afternoon_statements)
     result.run.n_pairs_compared     # pairs aligned by THIS append only
-    session.interface.expresses(q)
+    session.expresses("SELECT ...")  # memoised closure membership
+
+    for snapshot in session.stream(batches_of_statements):
+        print(snapshot.run.stage("merge").stats["n_components_reused"])
 
     session.save("session.jsonl")
     # ... later, in a different process ...
@@ -39,8 +48,9 @@ Usage::
 
 from __future__ import annotations
 
+import asyncio
 from pathlib import Path as FilePath
-from typing import Any, Iterable
+from typing import Any, AsyncIterator, Iterable, Iterator
 
 from repro.api.pipeline import (
     PipelineObserver,
@@ -49,9 +59,11 @@ from repro.api.pipeline import (
 )
 from repro.api.result import GenerationResult, StageReport
 from repro.api.stages import MapStage, MergeStage, MineStage, PipelineState
-from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.fingerprint import LogFingerprinter, options_fingerprint
 from repro.cache.serialize import load_graph, save_graph
 from repro.cache.store import GraphStore
+from repro.core.closure import ClosureCache
+from repro.core.mapper import MapCache
 from repro.core.options import PipelineOptions
 from repro.errors import CacheError, LogError
 from repro.graph.build import BuildStats, extend_interaction_graph
@@ -71,10 +83,11 @@ class InterfaceSession:
             the session shares the :class:`~repro.cache.store.GraphStore`
             with one-shot ``generate()`` runs: the first append adopts a
             cached graph of the same batch if one exists, and
-            :meth:`flush_to_store` publishes the accumulated graph for
-            later runs to reuse (explicit, because serialising the whole
-            graph on *every* append would cost O(accumulated log) — the
-            very thing the incremental session avoids).
+            :meth:`flush_to_store` publishes the accumulated graph and
+            widget set for later runs to reuse (explicit, because
+            serialising the whole graph on *every* append would cost
+            O(accumulated log) — the very thing the incremental session
+            avoids).
         observers: hooks notified by the mapping pipeline of every append.
     """
 
@@ -89,9 +102,15 @@ class InterfaceSession:
         self._stats = BuildStats()
         self._n_appends = 0
         self._last: GenerationResult | None = None
-        # per-path widget memo threaded into MapStage (see
-        # initialize_incremental); keyed by path, valued (signature, widget)
-        self._map_cache: dict = {}
+        # partition index + per-path and per-component memos threaded into
+        # MapStage/MergeStage (see repro.core.mapper.MapCache)
+        self._map_cache = MapCache()
+        # accumulated-log fingerprint, maintained per append so store
+        # adoption/publication never re-hashes the whole log
+        self._fingerprinter = LogFingerprinter()
+        # positive closure proofs reused across expresses() calls while
+        # the widget set is unchanged
+        self._closure_cache = ClosureCache()
         self._store = (
             GraphStore(self.options.cache_dir)
             if self.options.cache_dir is not None
@@ -124,6 +143,23 @@ class InterfaceSession:
     def interface(self):
         """The latest interface, if any append happened yet."""
         return self._last.interface if self._last else None
+
+    def expresses(self, query: Node | str) -> bool:
+        """Closure membership of ``query`` in the current interface.
+
+        Reuses positive cover proofs across calls (and across appends
+        whose merge components were all clean), so repeated membership
+        checks against a steady interface are much cheaper than
+        ``session.interface.expresses(...)`` from cold.
+
+        Raises:
+            LogError: when nothing has been appended yet.
+        """
+        if self._last is None:
+            raise LogError("cannot test expressibility before the first append")
+        if isinstance(query, str):
+            query = parse_sql(query)
+        return self._last.interface.expresses(query, cache=self._closure_cache)
 
     # ------------------------------------------------------------------
     # persistence
@@ -197,6 +233,7 @@ class InterfaceSession:
         session._graph = graph
         session._stats = stats
         session._n_appends = int(session_meta.get("n_appends", 1))
+        session._fingerprinter.update(graph.queries)
         if graph.queries:
             session._last = session._remap(BuildStats(), resumed=True)
         return session
@@ -237,11 +274,69 @@ class InterfaceSession:
                 annotations=self.options.annotations,
                 stats=append_stats,
             )
+            self._fingerprinter.update(queries)
         self._stats.n_pairs_compared += append_stats.n_pairs_compared
         self._stats.mining_seconds += append_stats.mining_seconds
         self._n_appends += 1
         self._last = self._remap(append_stats, cache_hit=cache_hit)
         return self._last
+
+    def _append_batch(self, batch: Any) -> GenerationResult:
+        """Append one stream element: a statement, an AST, or a batch of
+        either (mixing strings and ASTs within one batch is allowed)."""
+        if isinstance(batch, str):
+            return self.append_sql([batch])
+        if isinstance(batch, Node):
+            return self.append([batch])
+        items = list(batch)
+        if not items:
+            raise LogError("cannot append an empty batch of queries")
+        return self.append(
+            [parse_sql(item) if isinstance(item, str) else item for item in items]
+        )
+
+    def stream(self, batches: Iterable[Any]) -> Iterator[GenerationResult]:
+        """Consume an iterable of batches, yielding a result per batch.
+
+        Each element of ``batches`` may be a raw SQL string, a parsed
+        :class:`~repro.sqlparser.astnodes.Node`, or an iterable of either
+        (one append per element).  Yields the refreshed
+        :class:`GenerationResult` snapshot after every append — the same
+        object :meth:`append` would return, per-append stage reports
+        included — so a consumer can watch recall, cost, and incremental
+        counters evolve while the log is still arriving.  Lazy: batches
+        are pulled one at a time, making it safe to pass an unbounded
+        generator (e.g. a tailed log file).
+
+        Raises:
+            LogError: for an empty batch (an empty *iterable* of batches
+                yields nothing).
+            SQLSyntaxError: if any raw statement fails to parse.
+        """
+        for batch in batches:
+            yield self._append_batch(batch)
+
+    async def astream(self, batches: Any) -> AsyncIterator[GenerationResult]:
+        """Async :meth:`stream`: consume a sync or async iterable of
+        batches, yielding a result snapshot per batch.
+
+        Each append runs in a worker thread (``asyncio.to_thread``), so an
+        event loop serving other traffic is not blocked by the mining and
+        mapping work.  Appends are sequential — the session is not
+        re-entrant — but the loop stays responsive between and during
+        them.
+
+        Usage::
+
+            async for snapshot in session.astream(queue_reader()):
+                publish(snapshot.to_dict())
+        """
+        if hasattr(batches, "__aiter__"):
+            async for batch in batches:
+                yield await asyncio.to_thread(self._append_batch, batch)
+        else:
+            for batch in batches:
+                yield await asyncio.to_thread(self._append_batch, batch)
 
     # ------------------------------------------------------------------
     # shared graph store
@@ -256,13 +351,15 @@ class InterfaceSession:
         """
         if self._store is None or self._graph.queries:
             return False
+        probe = LogFingerprinter().update(queries)
         cached = self._store.load(
-            log_fingerprint(queries), options_fingerprint(self.options)
+            probe.hexdigest(), options_fingerprint(self.options)
         )
         if cached is None:
             return False
         graph, mined_stats = cached
         self._graph = graph
+        self._fingerprinter = probe
         # the alignments were paid for by whoever populated the store;
         # count them into the session totals to keep the "equal to one
         # full build" invariant of n_pairs_compared
@@ -270,19 +367,21 @@ class InterfaceSession:
         return True
 
     def flush_to_store(self) -> None:
-        """Publish the accumulated graph to the shared store.
+        """Publish the accumulated graph and widget set to the store.
 
         Keyed by the *accumulated* log's fingerprint, so both a one-shot
         ``generate()`` over the concatenated log and a future session fed
-        the same batches will hit.  The *normalised* graph is what gets
-        written: store consumers map straight off the stored diff order,
-        and the greedy merge is order-sensitive, so entries must always be
-        in full-build ``(q1, q2)``-lexicographic order.
+        the same batches will hit — and, with the widget set alongside,
+        full-hit (Mine, Map, and Merge all skipped).  The *normalised*
+        graph is what gets written: store consumers map straight off the
+        stored diff order, and the greedy merge is order-sensitive, so
+        entries must always be in full-build ``(q1, q2)``-lexicographic
+        order.
 
-        Explicit rather than automatic: serialising and fingerprinting the
-        whole graph costs O(accumulated log), so the caller decides when
-        that is worth paying (typically once, after the last append of a
-        batch window).  A no-op when no ``cache_dir`` is configured.
+        Explicit rather than automatic: serialising the whole graph costs
+        O(accumulated log), so the caller decides when that is worth
+        paying (typically once, after the last append of a batch window).
+        A no-op when no ``cache_dir`` is configured.
 
         Raises:
             LogError: when nothing has been appended yet.
@@ -291,12 +390,14 @@ class InterfaceSession:
             return
         if not self._graph.queries:
             raise LogError("cannot flush a session before the first append")
-        self._store.save(
-            log_fingerprint(self._graph.queries),
-            options_fingerprint(self.options),
-            self._normalised_graph(),
-            self._stats,
-        )
+        log_fp = self._fingerprinter.hexdigest()
+        opts_fp = options_fingerprint(self.options)
+        normalised = self._normalised_graph()
+        self._store.save(log_fp, opts_fp, normalised, self._stats)
+        if self._last is not None:
+            self._store.save_widget_set(
+                log_fp, opts_fp, self._last.interface.widgets, normalised
+            )
 
     # ------------------------------------------------------------------
     # mapping over the accumulated graph
@@ -305,10 +406,10 @@ class InterfaceSession:
         """The accumulated graph with edges/diffs in full-build order.
 
         ``extend_interaction_graph`` appends in arrival order; the mapper's
-        greedy merge is order-sensitive, so we normalise to the
+        greedy merge is order-sensitive, so persistence normalises to the
         ``(q1, q2)``-lexicographic order :func:`build_interaction_graph`
-        produces — this is what makes the session result-equivalent to a
-        one-shot generation.
+        produces — the in-memory remap gets the same order from the
+        :class:`~repro.core.mapper.PartitionIndex` without sorting.
         """
         return InteractionGraph(
             queries=list(self._graph.queries),
@@ -322,19 +423,21 @@ class InterfaceSession:
         cache_hit: bool = False,
         resumed: bool = False,
     ) -> GenerationResult:
-        graph = self._normalised_graph()
+        # the raw (arrival-order) graph is enough here: MapStage/MergeStage
+        # consume the diffs through the MapCache's partition index, which
+        # maintains full-build order incrementally
         state = PipelineState(
             options=self.options,
-            queries=list(graph.queries),
-            graph=graph,
+            queries=list(self._graph.queries),
+            graph=self._graph,
             source=f"session#{self._n_appends}",
             map_cache=self._map_cache,
         )
         mine_stats: dict[str, Any] = {
             "n_pairs_compared": append_stats.n_pairs_compared,
             "n_pairs_compared_total": self._stats.n_pairs_compared,
-            "n_edges": graph.n_edges,
-            "n_diffs": graph.n_diffs,
+            "n_edges": self._graph.n_edges,
+            "n_diffs": self._graph.n_diffs,
             "incremental": True,
         }
         if cache_hit:

@@ -14,8 +14,10 @@ The bracketed step is optional: when ``options.cache_dir`` is set, the
 default pipeline inserts a :class:`CacheStage` that consults a persistent
 :class:`~repro.cache.store.GraphStore` keyed by (log, options)
 fingerprints.  On a hit the mined graph is restored from disk and
-:class:`MineStage` skips its ``O(|Q| * window)`` tree alignments — the
-skip is visible in the run's stage reports (``mine.stats["skipped"]``).
+:class:`MineStage` skips its ``O(|Q| * window)`` tree alignments; on a
+*full* hit (the store also holds the key's widget set) :class:`MapStage`
+and :class:`MergeStage` skip as well — every skip is visible in the run's
+stage reports (``stats["skipped"]``).
 
 Stages record their counters with :meth:`PipelineState.record`; the
 :class:`~repro.api.pipeline.Pipeline` wraps each ``run`` with wall-clock
@@ -31,10 +33,12 @@ from typing import Any
 from repro.cache.fingerprint import log_fingerprint, options_fingerprint
 from repro.cache.store import GraphStore
 from repro.core.mapper import (
+    MapCache,
     MapperStats,
     initialize,
-    initialize_incremental,
+    initialize_indexed,
     merge_widgets,
+    merge_widgets_incremental,
 )
 from repro.core.options import PipelineOptions
 from repro.errors import CacheError, LogError
@@ -75,11 +79,15 @@ class PipelineState:
             using, set by :class:`CacheStage` (``None`` = caching off).
         cache_key: the run's ``(log_fingerprint, options_fingerprint)``
             pair, set by :class:`CacheStage`; :class:`MineStage` saves a
-            freshly mined graph under it.
-        map_cache: per-path widget memo for incremental mapping, owned by
-            a long-lived caller (the session); when set,
-            :class:`MapStage` rebuilds only the partitions whose diff
-            lists changed since the previous run.
+            freshly mined graph under it and :class:`MergeStage` a freshly
+            merged widget set.
+        map_cache: the :class:`~repro.core.mapper.MapCache` of a
+            long-lived caller (the session); when set, :class:`MapStage`
+            rebuilds only the partitions whose diff lists changed since
+            the previous run and :class:`MergeStage` re-runs only the
+            merge components incident to them.
+        widgets_from_cache: set by :class:`CacheStage` on a widget-set
+            hit; tells :class:`MapStage` and :class:`MergeStage` to skip.
     """
 
     options: PipelineOptions
@@ -92,7 +100,8 @@ class PipelineState:
     records: dict[str, dict[str, Any]] = field(default_factory=dict)
     cache_store: GraphStore | None = None
     cache_key: tuple[str, str] | None = None
-    map_cache: dict | None = None
+    map_cache: MapCache | None = None
+    widgets_from_cache: bool = False
 
     def record(self, stage_name: str, **stats: Any) -> None:
         """Merge counters into the named stage's record."""
@@ -165,22 +174,27 @@ class SegmentStage(Stage):
 
 
 class CacheStage(Stage):
-    """Look up the run's interaction graph in a persistent store.
+    """Look up the run's interaction graph — and widget set — in a
+    persistent store.
 
     Fingerprints the parsed log and the options, then consults the
     :class:`~repro.cache.store.GraphStore` under ``options.cache_dir``.
-    On a hit the cached graph becomes ``state.graph`` and the downstream
-    :class:`MineStage` has nothing to do; on a miss the store and key are
-    left on the state so :class:`MineStage` persists what it mines.  With
-    no ``cache_dir`` configured the stage records ``enabled=False`` and
-    passes the state through untouched.
+    On a graph hit the cached graph becomes ``state.graph`` and the
+    downstream :class:`MineStage` has nothing to do; on a *full* hit the
+    key's widget-set entry decodes against the loaded graph into
+    ``state.widgets`` and :class:`MapStage`/:class:`MergeStage` skip too —
+    the warm path performs no pairwise diffing and no widget solving at
+    all.  On a miss the store and key are left on the state so
+    :class:`MineStage` (and :class:`MergeStage`) persist what they
+    compute.  With no ``cache_dir`` configured the stage records
+    ``enabled=False`` and passes the state through untouched.
     """
 
     name = "cache"
 
     def run(self, state: PipelineState) -> PipelineState:
-        """Fill ``state.graph`` from the store on a hit; otherwise arm
-        ``state.cache_store``/``state.cache_key`` for :class:`MineStage`."""
+        """Fill ``state.graph`` (and ``state.widgets``) from the store on
+        a hit; otherwise arm ``state.cache_store``/``state.cache_key``."""
         if state.options.cache_dir is None:
             state.record(self.name, enabled=False, hit=False)
             return state
@@ -205,10 +219,17 @@ class CacheStage(Stage):
             return state
         graph, mined_stats = cached
         state.graph = graph
+        widgets = store.load_widget_set(
+            log_fp, opts_fp, graph, state.options.library, state.options.annotations
+        )
+        if widgets is not None:
+            state.widgets = widgets
+            state.widgets_from_cache = True
         state.record(
             self.name,
             enabled=True,
             hit=True,
+            widgets_hit=widgets is not None,
             key=key,
             n_pairs_compared_original=mined_stats.n_pairs_compared,
         )
@@ -269,9 +290,12 @@ class MineStage(Stage):
 class MapStage(Stage):
     """Initialize (Algorithm 1): one cheapest widget per diff partition.
 
-    When the state carries a ``map_cache`` (the incremental session's
-    per-path memo), only partitions whose diff lists changed since the
-    previous run are re-solved; untouched partitions reuse their widget.
+    When the state carries a :class:`~repro.core.mapper.MapCache` (the
+    incremental session's memo), the stage feeds the graph's new diffs to
+    the cache's partition index and re-solves only the partitions whose
+    revision moved; untouched partitions reuse their widget.  When
+    :class:`CacheStage` already restored a cached widget set, the stage
+    skips entirely (``skipped=True``).
     """
 
     name = "map"
@@ -282,18 +306,32 @@ class MapStage(Stage):
             raise LogError("map stage needs a mined interaction graph")
         options = state.options
         diffs = state.graph.diffs
+        if state.widgets_from_cache and state.widgets is not None:
+            state.record(
+                self.name,
+                skipped=True,
+                n_partitions=len({d.path for d in diffs}),
+                n_initial_widgets=len(state.widgets),
+                initial_cost=sum(w.cost for w in state.widgets),
+            )
+            return state
         if state.map_cache is not None:
-            state.widgets, n_reused, n_rebuilt = initialize_incremental(
-                diffs, options.library, options.annotations, state.map_cache
+            cache = state.map_cache
+            cache.index.update(diffs)
+            state.widgets, n_reused, n_rebuilt = initialize_indexed(
+                cache, options.library, options.annotations
             )
             state.record(
-                self.name, n_partitions_reused=n_reused, n_partitions_rebuilt=n_rebuilt
+                self.name,
+                n_partitions_reused=n_reused,
+                n_partitions_rebuilt=n_rebuilt,
+                n_partitions=len(cache.index.by_path),
             )
         else:
             state.widgets = initialize(diffs, options.library, options.annotations)
+            state.record(self.name, n_partitions=len({d.path for d in diffs}))
         state.record(
             self.name,
-            n_partitions=len({d.path for d in diffs}),
             n_initial_widgets=len(state.widgets),
             initial_cost=sum(w.cost for w in state.widgets),
         )
@@ -302,7 +340,17 @@ class MapStage(Stage):
 
 class MergeStage(Stage):
     """Merge (Algorithm 3) to a fixed point; identity when merging is
-    disabled in the options (the ablation configuration)."""
+    disabled in the options (the ablation configuration).
+
+    With a :class:`~repro.core.mapper.MapCache` on the state, the fixed
+    point runs partition-scoped: only merge components whose partitions
+    changed since the previous run re-merge, the rest replay their
+    memoised result (result-equivalent to the global fixed point).  When
+    :class:`CacheStage` restored a cached widget set, the stage skips.
+    After a fresh merge the widget set is persisted through
+    ``state.cache_store`` when a :class:`CacheStage` armed one, making the
+    next run over this key a full hit.
+    """
 
     name = "merge"
 
@@ -311,17 +359,42 @@ class MergeStage(Stage):
         if state.widgets is None or state.graph is None:
             raise LogError("merge stage needs mapped widgets")
         options = state.options
+        if state.widgets_from_cache:
+            state.record(
+                self.name,
+                skipped=True,
+                merged=options.merge,
+                n_merge_rounds=0,
+                n_widgets=len(state.widgets),
+                final_cost=sum(w.cost for w in state.widgets),
+            )
+            return state
         rounds = 0
         if options.merge and state.widgets:
             stats = MapperStats()
-            leaf_diffs = [d for d in state.graph.diffs if d.is_leaf]
-            state.widgets = merge_widgets(
-                state.widgets,
-                options.library,
-                options.annotations,
-                stats=stats,
-                leaf_diffs=leaf_diffs,
-            )
+            if state.map_cache is not None:
+                state.widgets, n_reused, n_merged = merge_widgets_incremental(
+                    state.widgets,
+                    options.library,
+                    options.annotations,
+                    state.map_cache,
+                    stats=stats,
+                )
+                state.record(
+                    self.name,
+                    n_components=stats.extra.get("n_components", 0),
+                    n_components_reused=n_reused,
+                    n_components_merged=n_merged,
+                )
+            else:
+                leaf_diffs = [d for d in state.graph.diffs if d.is_leaf]
+                state.widgets = merge_widgets(
+                    state.widgets,
+                    options.library,
+                    options.annotations,
+                    stats=stats,
+                    leaf_diffs=leaf_diffs,
+                )
             rounds = stats.n_merge_rounds
         state.record(
             self.name,
@@ -330,4 +403,13 @@ class MergeStage(Stage):
             n_widgets=len(state.widgets),
             final_cost=sum(w.cost for w in state.widgets),
         )
+        if state.cache_store is not None and state.cache_key is not None:
+            try:
+                state.cache_store.save_widget_set(
+                    *state.cache_key, state.widgets, state.graph
+                )
+            except (CacheError, OSError) as exc:
+                # the merge already succeeded; a failed persist must not
+                # destroy the run — surface it in the stage stats instead
+                state.record(self.name, cache_save_error=str(exc))
         return state

@@ -6,28 +6,42 @@ of (parsed log, options).  This package makes that artefact durable:
 * :mod:`repro.cache.serialize` — versioned JSON/JSONL encoding of
   :class:`~repro.graph.interaction.InteractionGraph` +
   :class:`~repro.graph.build.BuildStats` (``graph_to_dict`` /
-  ``save_graph`` and their inverses);
+  ``save_graph`` and their inverses), plus the derived *widget set*
+  (``widgets_to_dict`` / ``save_widgets``: widgets encode as diff-table
+  indices and decode by re-running the deterministic ``pickWidget``);
 * :mod:`repro.cache.fingerprint` — process-stable SHA-256 fingerprints of
-  a parsed log and of the mining-relevant options;
+  a parsed log and of the mining-relevant options, with
+  :class:`LogFingerprinter` for incrementally growing logs;
 * :mod:`repro.cache.store` — :class:`GraphStore`, a content-addressed
-  directory of cached graphs keyed by ``(log_fingerprint,
-  options_fingerprint)`` with load/save/invalidate.
+  directory holding two tables per ``(log_fingerprint,
+  options_fingerprint)`` key — the graph and the widget set — with
+  load/save/invalidate and optional LRU size caps
+  (``max_bytes``/``max_entries``, ``stats()``, ``prune()``).
 
 The pipeline consumes it through ``PipelineOptions.cache_dir`` (see
-:class:`~repro.api.stages.CacheStage`): on a hit the Mine stage is skipped
-entirely, and :meth:`repro.api.session.InterfaceSession.resume` restores a
+:class:`~repro.api.stages.CacheStage`): on a graph hit the Mine stage is
+skipped, on a full hit (graph + widget set) Map and Merge are skipped
+too, and :meth:`repro.api.session.InterfaceSession.resume` restores a
 session in a new process from a saved snapshot.
 """
 
-from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.fingerprint import (
+    LogFingerprinter,
+    log_fingerprint,
+    options_fingerprint,
+)
 from repro.cache.serialize import (
     FORMAT_VERSION,
     graph_from_dict,
     graph_to_dict,
     load_graph,
+    load_widgets,
     node_from_dict,
     node_to_dict,
     save_graph,
+    save_widgets,
+    widgets_from_dict,
+    widgets_to_dict,
 )
 from repro.cache.store import GraphStore
 
@@ -38,8 +52,13 @@ __all__ = [
     "graph_from_dict",
     "save_graph",
     "load_graph",
+    "widgets_to_dict",
+    "widgets_from_dict",
+    "save_widgets",
+    "load_widgets",
     "node_to_dict",
     "node_from_dict",
+    "LogFingerprinter",
     "log_fingerprint",
     "options_fingerprint",
 ]

@@ -22,7 +22,7 @@ from typing import Any, Iterable
 from repro.cache.serialize import FORMAT_VERSION, node_to_dict
 from repro.sqlparser.astnodes import Node
 
-__all__ = ["log_fingerprint", "options_fingerprint"]
+__all__ = ["LogFingerprinter", "log_fingerprint", "options_fingerprint"]
 
 
 def _digest(payload: Any) -> str:
@@ -45,6 +45,39 @@ def _rule_name(rule: Any) -> str:
     return f"{kind.__module__}.{kind.__qualname__}"
 
 
+class LogFingerprinter:
+    """Incrementally maintained :func:`log_fingerprint` of a growing log.
+
+    The log hash is a plain sequential digest, so a log that only ever
+    *appends* queries — an :class:`~repro.api.session.InterfaceSession` —
+    can keep one hasher alive and feed it each batch, instead of paying
+    ``O(accumulated log)`` to re-fingerprint from scratch every time the
+    accumulated fingerprint is needed (store adoption, ``flush_to_store``).
+    ``hexdigest()`` may be read at any point; it equals
+    ``log_fingerprint(everything consumed so far)``.
+    """
+
+    def __init__(self) -> None:
+        self._hasher = hashlib.sha256()
+        self._hasher.update(f"v{FORMAT_VERSION}".encode("ascii"))
+        self.n_queries = 0
+
+    def update(self, queries: Iterable[Node]) -> "LogFingerprinter":
+        """Consume an appended batch (log order); returns self."""
+        for query in queries:
+            canonical = json.dumps(
+                node_to_dict(query), sort_keys=True, separators=(",", ":")
+            )
+            self._hasher.update(b"\x00")
+            self._hasher.update(canonical.encode("utf-8"))
+            self.n_queries += 1
+        return self
+
+    def hexdigest(self) -> str:
+        """The fingerprint of everything consumed so far."""
+        return self._hasher.copy().hexdigest()
+
+
 def log_fingerprint(queries: Iterable[Node]) -> str:
     """SHA-256 over the canonical encoding of a parsed log, in log order.
 
@@ -52,15 +85,7 @@ def log_fingerprint(queries: Iterable[Node]) -> str:
     structurally-equal ASTs — whitespace and comment differences in the
     raw SQL do not matter, query order does.
     """
-    hasher = hashlib.sha256()
-    hasher.update(f"v{FORMAT_VERSION}".encode("ascii"))
-    for query in queries:
-        canonical = json.dumps(
-            node_to_dict(query), sort_keys=True, separators=(",", ":")
-        )
-        hasher.update(b"\x00")
-        hasher.update(canonical.encode("utf-8"))
-    return hasher.hexdigest()
+    return LogFingerprinter().update(queries).hexdigest()
 
 
 def options_fingerprint(options: Any) -> str:

@@ -59,6 +59,10 @@ __all__ = [
     "graph_from_dict",
     "save_graph",
     "load_graph",
+    "widgets_to_dict",
+    "widgets_from_dict",
+    "save_widgets",
+    "load_widgets",
 ]
 
 #: Bump on any incompatible change to the encoded layout.  Loaders refuse
@@ -436,3 +440,130 @@ def load_graph(
         raise CacheError(f"{file_path} is truncated (record counts disagree)")
     graph = _decode_graph(tree_payloads, query_refs, diff_payloads, edge_payloads)
     return graph, _stats_from(header.get("stats")), header.get("extra", {})
+
+
+# ----------------------------------------------------------------------
+# widget sets
+# ----------------------------------------------------------------------
+#
+# A widget set is *derived* state: every widget the mapper ever produces —
+# initial or merged — is ``pickWidget(D)`` for its diff subset ``D``
+# (Initialize builds it that way, and every merge rebuild goes through
+# ``pickWidget`` again).  So the durable encoding of a widget is just the
+# indices of its ``D`` in the owning graph's diffs table, plus the picked
+# type's name as an integrity check; decoding re-runs the deterministic
+# ``pickWidget`` against the loaded graph.  This keeps the payload tiny,
+# guarantees the decoded widgets share diff-object identity with the graph
+# (the property the merge phase and the session rely on), and makes a
+# stale file impossible to half-trust: a library/rule change re-picks a
+# different type and the name check turns the entry into a miss.
+
+def widgets_to_dict(widgets: list, graph: InteractionGraph) -> dict[str, Any]:
+    """Encode a mapped widget set against its graph's diffs table.
+
+    Raises:
+        CacheError: when a widget references a diff that is not in the
+            graph's diffs table (the widgets belong to a different graph).
+    """
+    diff_index = {id(d): i for i, d in enumerate(graph.diffs)}
+    encoded = []
+    for widget in widgets:
+        try:
+            refs = [diff_index[id(d)] for d in widget.D]
+        except KeyError as exc:
+            raise CacheError(
+                f"widget at {widget.path} references a diff that is not in "
+                "the graph's diffs table"
+            ) from exc
+        encoded.append({"type": widget.widget_type.name, "diffs": refs})
+    return {"version": FORMAT_VERSION, "widgets": encoded}
+
+
+def widgets_from_dict(
+    payload: dict[str, Any],
+    graph: InteractionGraph,
+    library: list,
+    annotations: Any,
+) -> list:
+    """Decode a :func:`widgets_to_dict` payload against a loaded graph.
+
+    Re-runs ``pickWidget`` over the referenced diff subsets, so the
+    returned widgets are bit-equivalent to what the mapper produced and
+    share diff-object identity with ``graph``.
+
+    Raises:
+        CacheError: on a version mismatch, an out-of-range diff reference,
+            or when re-picking yields a different widget type than the one
+            recorded (a stale payload for the current library).
+    """
+    from repro.core.mapper import pick_widget
+    from repro.errors import MappingError
+
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise CacheError(
+            f"unsupported widget-set format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    widgets = []
+    for record in payload.get("widgets", ()):
+        try:
+            refs = record["diffs"]
+            expected = record["type"]
+        except (KeyError, TypeError) as exc:
+            raise CacheError(f"malformed widget record: {record!r}") from exc
+        diffs = [_at(graph.diffs, index, "diff") for index in refs]
+        try:
+            widget = pick_widget(diffs, library, annotations)
+        except MappingError as exc:
+            raise CacheError(
+                "cached widget set no longer maps under the current widget "
+                "library"
+            ) from exc
+        if widget is None or widget.widget_type.name != expected:
+            picked = widget.widget_type.name if widget else None
+            raise CacheError(
+                f"cached widget record expected type {expected!r} but the "
+                f"current library picks {picked!r}"
+            )
+        widgets.append(widget)
+    return widgets
+
+
+def save_widgets(path: str | FilePath, widgets: list, graph: InteractionGraph) -> None:
+    """Atomically write a widget-set payload next to its graph entry."""
+    target = FilePath(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(widgets_to_dict(widgets, graph), handle)
+            handle.write("\n")
+        tmp.replace(target)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_widgets(
+    path: str | FilePath,
+    graph: InteractionGraph,
+    library: list,
+    annotations: Any,
+) -> list:
+    """Read a :func:`save_widgets` file back against its loaded graph.
+
+    Raises:
+        CacheError: on unreadable files, bad JSON, or any
+            :func:`widgets_from_dict` failure.
+    """
+    file_path = FilePath(path)
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CacheError(f"cannot read widget-set file {file_path}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CacheError(f"bad JSON in widget-set file {file_path}") from exc
+    if not isinstance(payload, dict):
+        raise CacheError(f"{file_path} is not a widget-set payload")
+    return widgets_from_dict(payload, graph, library, annotations)

@@ -1,12 +1,30 @@
-"""Content-addressed on-disk store for mined interaction graphs.
+"""Content-addressed on-disk store for mined graphs and widget sets.
 
-A :class:`GraphStore` is a directory of :func:`~repro.cache.serialize.
-save_graph` files keyed by ``(log fingerprint, options fingerprint)``.
+A :class:`GraphStore` is a directory of cache entries keyed by
+``(log fingerprint, options fingerprint)``.  Each key owns up to two
+files — two content-addressed tables over the same key space:
+
+* ``<key>.graph.jsonl`` — the mined interaction graph
+  (:func:`~repro.cache.serialize.save_graph`), skipping the Mine stage on
+  a hit;
+* ``<key>.widgets.json`` — the mapped-and-merged widget set
+  (:func:`~repro.cache.serialize.save_widgets`), skipping Map and Merge
+  too.  Widget entries are only meaningful next to their graph entry
+  (they reference its diffs table by index), so :meth:`load_widget_set`
+  takes the loaded graph.
+
 The key is content-addressed, so there is no explicit invalidation
 protocol for correctness: a changed log or changed options simply hashes
 to a different entry and misses.  :meth:`GraphStore.invalidate` and
 :meth:`GraphStore.clear` exist for space management and for forcing a
 re-mine after a code change.
+
+Space management is optional and LRU: construct the store with
+``max_bytes`` and/or ``max_entries`` and every save evicts the
+least-recently-*used* keys (loads touch an entry's mtime) until the caps
+hold; :meth:`prune` applies caps on demand and :meth:`stats` reports
+occupancy.  Eviction is per-key — a key's graph and widget files leave
+together, never orphaning a widget set.
 
 Concurrency: saves are atomic (write-then-rename, see ``save_graph``), so
 any number of processes — the sharded ``generate_many`` workers in
@@ -16,10 +34,16 @@ key race benignly: both write the same content and the second rename wins.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path as FilePath
-from typing import Iterator
+from typing import Any, Iterator
 
-from repro.cache.serialize import load_graph, save_graph
+from repro.cache.serialize import (
+    load_graph,
+    load_widgets,
+    save_graph,
+    save_widgets,
+)
 from repro.errors import CacheError
 from repro.graph.build import BuildStats
 from repro.graph.interaction import InteractionGraph
@@ -32,17 +56,33 @@ __all__ = ["GraphStore"]
 _KEY_DIGITS = 16
 
 _SUFFIX = ".graph.jsonl"
+_WIDGETS_SUFFIX = ".widgets.json"
 
 
 class GraphStore:
-    """Load/save/invalidate cached interaction graphs under one directory.
+    """Load/save/invalidate cached graphs and widget sets under one
+    directory.
 
     Args:
         root: the cache directory; created (with parents) if missing.
+        max_bytes: optional cap on the total size of all entry files;
+            exceeding saves evict least-recently-used keys.
+        max_entries: optional cap on the number of distinct keys.
     """
 
-    def __init__(self, root: str | FilePath):
+    def __init__(
+        self,
+        root: str | FilePath,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
         self.root = FilePath(root)
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
         self.root.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -54,15 +94,24 @@ class GraphStore:
         return f"{log_fingerprint[:_KEY_DIGITS]}-{options_fingerprint[:_KEY_DIGITS]}"
 
     def path_for(self, log_fingerprint: str, options_fingerprint: str) -> FilePath:
-        """Where the entry for this key lives (whether or not it exists)."""
+        """Where the graph entry for this key lives (whether or not it
+        exists)."""
         return self.root / (self.key(log_fingerprint, options_fingerprint) + _SUFFIX)
 
+    def widgets_path_for(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> FilePath:
+        """Where the widget-set entry for this key lives."""
+        return self.root / (
+            self.key(log_fingerprint, options_fingerprint) + _WIDGETS_SUFFIX
+        )
+
     # ------------------------------------------------------------------
-    # access
+    # graph table
     # ------------------------------------------------------------------
     def has(self, log_fingerprint: str, options_fingerprint: str) -> bool:
-        """True when an entry exists for this key (it may still fail to
-        load if written by an incompatible version)."""
+        """True when a graph entry exists for this key (it may still fail
+        to load if written by an incompatible version)."""
         return self.path_for(log_fingerprint, options_fingerprint).exists()
 
     def load(
@@ -72,7 +121,8 @@ class GraphStore:
 
         A missing entry, a version mismatch, or a corrupt file all load as
         ``None`` (a miss): the caller re-mines and overwrites, which is
-        always safe because the store is content-addressed.
+        always safe because the store is content-addressed.  A successful
+        load touches the entry (LRU recency for eviction).
         """
         path = self.path_for(log_fingerprint, options_fingerprint)
         if not path.exists():
@@ -81,6 +131,7 @@ class GraphStore:
             graph, stats, _extra = load_graph(path)
         except CacheError:
             return None
+        _touch(path)
         return graph, stats
 
     def save(
@@ -93,14 +144,64 @@ class GraphStore:
         """Persist a mined graph under this key; returns the entry path."""
         path = self.path_for(log_fingerprint, options_fingerprint)
         save_graph(path, graph, stats)
+        self._enforce_caps()
+        return path
+
+    # ------------------------------------------------------------------
+    # widget-set table
+    # ------------------------------------------------------------------
+    def load_widget_set(
+        self,
+        log_fingerprint: str,
+        options_fingerprint: str,
+        graph: InteractionGraph,
+        library: list,
+        annotations: Any,
+    ) -> list | None:
+        """Return the cached widget set for this key decoded against
+        ``graph``, or ``None``.
+
+        ``graph`` must be the graph loaded from the *same* key — widget
+        records reference its diffs table by index.  Any decode failure
+        (foreign version, stale library, corruption) is a miss.
+        """
+        path = self.widgets_path_for(log_fingerprint, options_fingerprint)
+        if not path.exists():
+            return None
+        try:
+            widgets = load_widgets(path, graph, library, annotations)
+        except CacheError:
+            return None
+        _touch(path)
+        return widgets
+
+    def save_widget_set(
+        self,
+        log_fingerprint: str,
+        options_fingerprint: str,
+        widgets: list,
+        graph: InteractionGraph,
+    ) -> FilePath:
+        """Persist a mapped widget set under this key; returns the path.
+
+        Raises:
+            CacheError: when the widgets do not belong to ``graph``.
+        """
+        path = self.widgets_path_for(log_fingerprint, options_fingerprint)
+        save_widgets(path, widgets, graph)
+        self._enforce_caps()
         return path
 
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def entries(self) -> list[FilePath]:
-        """All entry files currently in the store, sorted by name."""
+        """All graph entry files currently in the store, sorted by name."""
         return sorted(self.root.glob("*" + _SUFFIX))
+
+    def widget_entries(self) -> list[FilePath]:
+        """All widget-set entry files currently in the store, sorted."""
+        return sorted(self.root.glob("*" + _WIDGETS_SUFFIX))
 
     def __len__(self) -> int:
         return len(self.entries())
@@ -108,34 +209,126 @@ class GraphStore:
     def __iter__(self) -> Iterator[FilePath]:
         return iter(self.entries())
 
+    def _files_by_key(self) -> dict[str, list[FilePath]]:
+        """Group every entry file under its store key."""
+        by_key: dict[str, list[FilePath]] = {}
+        for path in self.entries():
+            by_key.setdefault(path.name[: -len(_SUFFIX)], []).append(path)
+        for path in self.widget_entries():
+            by_key.setdefault(path.name[: -len(_WIDGETS_SUFFIX)], []).append(path)
+        return by_key
+
+    def stats(self) -> dict[str, Any]:
+        """Occupancy counters: entry/file counts, total bytes, and caps."""
+        by_key = self._files_by_key()
+        total_bytes = 0
+        n_files = 0
+        for files in by_key.values():
+            for path in files:
+                try:
+                    total_bytes += path.stat().st_size
+                    n_files += 1
+                except OSError:
+                    continue
+        return {
+            "n_keys": len(by_key),
+            "n_graphs": len(self.entries()),
+            "n_widget_sets": len(self.widget_entries()),
+            "n_files": n_files,
+            "total_bytes": total_bytes,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+        }
+
+    def prune(
+        self, max_bytes: int | None = None, max_entries: int | None = None
+    ) -> int:
+        """Evict least-recently-used keys until the caps hold.
+
+        Explicit caps override the store's own; with neither configured
+        nor given, this is a no-op.  Returns the number of keys removed.
+
+        Raises:
+            ValueError: for negative caps (use ``clear()`` to empty the
+                store deliberately).
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        max_bytes = max_bytes if max_bytes is not None else self.max_bytes
+        max_entries = max_entries if max_entries is not None else self.max_entries
+        if max_bytes is None and max_entries is None:
+            return 0
+        ranked: list[tuple[float, int, str, list[FilePath]]] = []
+        for key, files in self._files_by_key().items():
+            recency = 0.0
+            size = 0
+            for path in files:
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                recency = max(recency, stat.st_mtime)
+                size += stat.st_size
+            ranked.append((recency, size, key, files))
+        ranked.sort()  # oldest recency first
+        n_keys = len(ranked)
+        total = sum(size for _, size, _, _ in ranked)
+        removed = 0
+        for recency, size, _key, files in ranked:
+            over_entries = max_entries is not None and n_keys > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not over_entries and not over_bytes:
+                break
+            for path in files:
+                path.unlink(missing_ok=True)
+            n_keys -= 1
+            total -= size
+            removed += 1
+        return removed
+
+    def _enforce_caps(self) -> None:
+        """Apply the store's own caps after a save (no-op when uncapped)."""
+        if self.max_bytes is not None or self.max_entries is not None:
+            self.prune()
+
     def invalidate(
         self,
         log_fingerprint: str | None = None,
         options_fingerprint: str | None = None,
     ) -> int:
-        """Remove entries matching either fingerprint prefix.
+        """Remove keys matching either fingerprint prefix.
 
-        With both arguments, removes the single exact entry; with one,
-        removes every entry sharing that side of the key; with neither,
-        removes everything (same as :meth:`clear`).  Returns the number of
-        entries removed.
+        With both arguments, removes the single exact key; with one,
+        removes every key sharing that side; with neither, removes
+        everything (same as :meth:`clear`).  A key's graph and widget-set
+        files are removed together.  Returns the number of keys removed.
         """
         removed = 0
         log_part = log_fingerprint[:_KEY_DIGITS] if log_fingerprint else None
         opts_part = (
             options_fingerprint[:_KEY_DIGITS] if options_fingerprint else None
         )
-        for path in self.entries():
-            name = path.name[: -len(_SUFFIX)]
-            entry_log, _, entry_opts = name.partition("-")
+        for key, files in self._files_by_key().items():
+            entry_log, _, entry_opts = key.partition("-")
             if log_part is not None and entry_log != log_part:
                 continue
             if opts_part is not None and entry_opts != opts_part:
                 continue
-            path.unlink(missing_ok=True)
+            for path in files:
+                path.unlink(missing_ok=True)
             removed += 1
         return removed
 
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
+        """Remove every key; returns how many were removed."""
         return self.invalidate()
+
+
+def _touch(path: FilePath) -> None:
+    """Best-effort mtime bump (LRU recency); racing deletes are fine."""
+    try:
+        os.utime(path)
+    except OSError:
+        pass

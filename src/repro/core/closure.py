@@ -38,28 +38,62 @@ from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
 from repro.treediff.diff import extract_diffs
 from repro.widgets.base import Widget
 
-__all__ = ["expresses", "enumerate_closure", "apply_widget_choice"]
+__all__ = ["ClosureCache", "expresses", "enumerate_closure", "apply_widget_choice"]
 
 _MAX_DEPTH = 5           # recursion guard for ancestor substitution chains
 _WORK_BUDGET = 4000      # max _cover invocations per membership query
 _MAX_ENTRY_TRIES = 12    # candidate domain entries tried per widget
 
 
+class ClosureCache:
+    """Cover proofs reusable across membership queries — and appends.
+
+    A membership search memoises ``(current, target, base) -> bool``
+    triples, but a *negative* entry can be a budget artefact (the search
+    gave up, not proved impossibility), so only **positive** entries are
+    safe to carry from one query to the next.  This cache keeps exactly
+    those, keyed to the identity of the widget set they were proved
+    against: the incremental session's clean merge components return the
+    *same* widget objects append after append, so steady-state appends keep
+    their accumulated proofs, while any rebuilt widget resets the cache
+    (a proof against an old domain must not outlive it).
+    """
+
+    def __init__(self) -> None:
+        self._signature: tuple | None = None
+        self._proven: dict[tuple[int, int, Path], bool] = {}
+
+    def proven_for(self, widgets: list[Widget]) -> dict[tuple[int, int, Path], bool]:
+        """The positive-proof memo for exactly this widget set (identity
+        signature); a different set clears and re-arms the cache."""
+        signature = tuple(sorted((str(w.path), id(w)) for w in widgets))
+        if signature != self._signature:
+            self._proven = {}
+            self._signature = signature
+        return self._proven
+
+    def __len__(self) -> int:
+        return len(self._proven)
+
+
 class _Search:
     """Shared state for one membership query."""
 
-    __slots__ = ("by_path", "annotations", "budget", "memo")
+    __slots__ = ("by_path", "annotations", "budget", "memo", "proven")
 
     def __init__(
         self,
         by_path: dict[Path, Widget],
         annotations: GrammarAnnotations,
+        proven: dict[tuple[int, int, Path], bool] | None = None,
     ):
         self.by_path = by_path
         self.annotations = annotations
         self.budget = _WORK_BUDGET
         # (current_fp, target_fp, base) -> bool
         self.memo: dict[tuple[int, int, Path], bool] = {}
+        # positive entries shared across queries via ClosureCache
+        self.proven = proven if proven is not None else {}
 
 
 def expresses(
@@ -67,8 +101,15 @@ def expresses(
     initial_query: Node,
     target: Node,
     annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+    cache: ClosureCache | None = None,
 ) -> bool:
-    """Is ``target`` within the closure of ``(widgets, initial_query)``?"""
+    """Is ``target`` within the closure of ``(widgets, initial_query)``?
+
+    ``cache`` optionally carries positive cover proofs between calls (see
+    :class:`ClosureCache`); repeated membership tests against the same
+    widget set — the recall suites, the session's per-append checks —
+    skip re-deriving covers they have already found.
+    """
     by_path: dict[Path, Widget] = {}
     for widget in widgets:
         # Initialization produces one widget per path; if a caller passes
@@ -76,7 +117,8 @@ def expresses(
         kept = by_path.get(widget.path)
         if kept is None or widget.domain.size > kept.domain.size:
             by_path[widget.path] = widget
-    search = _Search(by_path, annotations)
+    proven = cache.proven_for(widgets) if cache is not None else None
+    search = _Search(by_path, annotations, proven=proven)
     return _cover(search, initial_query, target, Path.root(), depth=0)
 
 
@@ -107,11 +149,15 @@ def _cover(
         return False
     key = (current.fingerprint, target.fingerprint, base)
     cached = search.memo.get(key)
+    if cached is None:
+        cached = search.proven.get(key)
     if cached is not None:
         return cached
     search.budget -= 1
     result = _cover_uncached(search, current, target, base, depth)
     search.memo[key] = result
+    if result:
+        search.proven[key] = True
     return result
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.core.closure import enumerate_closure, expresses
+from repro.core.closure import ClosureCache, enumerate_closure, expresses
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
 from repro.sqlparser.render import render_sql
@@ -55,16 +55,28 @@ class Interface:
     def n_widgets(self) -> int:
         return len(self.widgets)
 
-    def expresses(self, query: Node) -> bool:
-        """Closure membership for one query."""
-        return expresses(self.widgets, self.initial_query, query, self.annotations)
+    def expresses(self, query: Node, cache: ClosureCache | None = None) -> bool:
+        """Closure membership for one query.
 
-    def expressiveness(self, queries: list[Node]) -> float:
+        ``cache`` optionally carries positive cover proofs between calls
+        (see :class:`~repro.core.closure.ClosureCache`) — worthwhile for
+        repeated membership tests against the same widget set.
+        """
+        return expresses(
+            self.widgets, self.initial_query, query, self.annotations, cache=cache
+        )
+
+    def expressiveness(
+        self, queries: list[Node], cache: ClosureCache | None = None
+    ) -> float:
         """``|closure ∩ Q| / |Q|`` over the given log (a.k.a. recall when
-        the log is a hold-out set)."""
+        the log is a hold-out set).  Shares one membership-proof cache
+        across the whole suite (callers may pass their own longer-lived
+        :class:`~repro.core.closure.ClosureCache`)."""
         if not queries:
             return 1.0
-        hits = sum(1 for query in queries if self.expresses(query))
+        cache = cache if cache is not None else ClosureCache()
+        hits = sum(1 for query in queries if self.expresses(query, cache=cache))
         return hits / len(queries)
 
     def closure(self, limit: int = 100_000, slider_samples: int = 3) -> Iterator[Node]:

@@ -13,12 +13,26 @@ the mapper runs the paper's two-phase graph-contraction heuristic:
   diffs — those whose incident queries are expressed by both sides — and
   remove the overlap from whichever side yields the larger cost reduction.
   Iterate to a fixed point.
+
+For long-lived append-only logs the merge fixed point is also available in
+*partition-scoped* form (:func:`merge_widgets_incremental`): widgets are
+grouped into **prefix components** — the connected components of the
+path-prefix relation over widget paths, which are exactly the units a
+merge step can read — and each component runs its own fixed point, memoised
+by a content signature over the diff partitions it reads.  An append dirties
+only the components incident to its new pairs; clean components replay
+their memoised result.  The decomposition is lossless: a merge step only
+ever pairs an ancestor with its prefix-descendants, so no candidate merge
+crosses a component boundary and the union of per-component fixed points
+equals the global fixed point (asserted by the parity suite).
 """
 
 from __future__ import annotations
 
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import MappingError
 from repro.paths import Path
@@ -30,10 +44,14 @@ from repro.widgets.library import default_library
 
 __all__ = [
     "MapperStats",
+    "MapCache",
+    "PartitionIndex",
     "pick_widget",
     "initialize",
     "initialize_incremental",
+    "initialize_indexed",
     "merge_widgets",
+    "merge_widgets_incremental",
     "map_interactions",
 ]
 
@@ -50,6 +68,102 @@ class MapperStats:
     initial_cost: float = 0.0
     final_cost: float = 0.0
     extra: dict = field(default_factory=dict)
+
+
+class PartitionIndex:
+    """Incrementally maintained path-partitions of a growing diffs table.
+
+    The mapper consumes the diffs table partitioned by path and ordered by
+    ``(q1, q2)`` within each partition (the full build's order, which the
+    result-equivalence guarantee is defined against).  Re-deriving that
+    from the flat table costs ``O(|W|)`` per append — this index instead
+    consumes only the table's *new suffix* (the session's diffs table is
+    append-only in arrival order) and keeps every partition sorted by
+    insertion, so a steady-state append costs ``O(new diffs)``.
+
+    Each partition carries a revision counter, bumped once per update that
+    adds diffs to it.  Revisions are what make dirtiness O(1) to test: a
+    memo entry recorded at revision ``r`` is valid exactly while the
+    partition is still at ``r``.
+    """
+
+    def __init__(self) -> None:
+        self.by_path: dict[Path, list[Diff]] = {}
+        self.leaf_by_path: dict[Path, list[Diff]] = {}
+        self.rev: dict[Path, int] = {}
+        self.n_consumed = 0
+
+    def update(self, diffs: list[Diff]) -> set[Path]:
+        """Consume the table's new suffix; returns the paths it touched.
+
+        ``diffs`` must be the same ever-growing arrival-order list on
+        every call (enforced by the consumed-count check): previously
+        consumed entries must not change, because partitions hold
+        references into them.
+        """
+        if len(diffs) < self.n_consumed:
+            raise MappingError(
+                "diffs table shrank between updates; the partition index "
+                "only supports append-only tables (reset the MapCache to "
+                "re-index from scratch)"
+            )
+        new = diffs[self.n_consumed :]
+        self.n_consumed = len(diffs)
+        touched: set[Path] = set()
+        for diff in new:
+            partition = self.by_path.setdefault(diff.path, [])
+            # insort keeps the (q1, q2) order of a full build; same-pair
+            # runs arrive together, so bisect_right preserves their
+            # arrival order exactly like a stable sort would
+            position = bisect_right(
+                partition, (diff.q1, diff.q2), key=lambda d: (d.q1, d.q2)
+            )
+            partition.insert(position, diff)
+            if diff.is_leaf:
+                leaves = self.leaf_by_path.setdefault(diff.path, [])
+                position = bisect_right(
+                    leaves, (diff.q1, diff.q2), key=lambda d: (d.q1, d.q2)
+                )
+                leaves.insert(position, diff)
+            touched.add(diff.path)
+        for path in touched:
+            self.rev[path] = self.rev.get(path, 0) + 1
+        return touched
+
+
+@dataclass
+class MapCache:
+    """Memo carried by long-lived callers (the incremental session) so the
+    mapping phase only re-solves what an append actually touched.
+
+    Attributes:
+        index: the partition index over the owning graph's diffs table.
+        paths: per-path widget memo for Initialize —
+            ``path -> (revision, widget)``; valid while the partition is
+            still at that revision.
+        merge: per-component merge memo for the partition-scoped fixed
+            point — ``component root path -> (signature, merged widgets)``
+            where the signature is the revision vector of every partition
+            in the component's subtree (see
+            :func:`merge_widgets_incremental`).
+    """
+
+    index: PartitionIndex = field(default_factory=PartitionIndex)
+    paths: dict[Path, tuple[int, Widget | None]] = field(default_factory=dict)
+    merge: dict[Path, tuple[tuple, list[Widget]]] = field(default_factory=dict)
+    #: pickWidget memo shared by the merge fixed points —
+    #: ``(path, diff-identity tuple) -> widget``; sound because diff
+    #: objects live exactly as long as the owning graph.  Bounded by
+    #: :data:`_PICK_MEMO_CAP` (cleared wholesale when exceeded).
+    pick: dict[tuple, Widget | None] = field(default_factory=dict)
+
+    def clear(self) -> None:
+        """Drop the index and all memos (forces a full re-index and
+        re-map on the next run)."""
+        self.index = PartitionIndex()
+        self.paths.clear()
+        self.merge.clear()
+        self.pick.clear()
 
 
 def pick_widget(
@@ -137,6 +251,11 @@ def initialize_incremental(
     re-running ``pickWidget``); the rest are re-solved and re-cached, and
     paths that vanished from the table are evicted.
 
+    Long-lived callers get cheaper dirtiness tracking from the
+    index-based twin (:func:`initialize_indexed` over a
+    :class:`PartitionIndex`), which replaces per-partition id-signatures
+    with revision counters.
+
     Returns ``(widgets, n_reused, n_rebuilt)``.
     """
     partitions: dict[Path, list[Diff]] = {}
@@ -147,8 +266,8 @@ def initialize_incremental(
     n_rebuilt = 0
     for path in sorted(partitions):
         partition = partitions[path]
-        signature = tuple(id(d) for d in partition)
         cached = cache.get(path)
+        signature = tuple(id(d) for d in partition)
         if cached is not None and cached[0] == signature:
             n_reused += 1
             widget = cached[1]
@@ -175,12 +294,30 @@ def _incident_queries(diffs: list[Diff]) -> set[int]:
     return out
 
 
+def _leaf_diffs_by_pair(leaf_diffs: list[Diff]) -> dict[tuple[int, int], list[Diff]]:
+    """Index the leaf diffs by their ``(q1, q2)`` edge.
+
+    ``_merge_step``'s edge-coverage guard only ever looks leaf diffs up by
+    pair; building the index once per fixed point replaces an
+    ``O(|leaf diffs|)`` scan per candidate diff with a dict hit.
+    """
+    by_pair: dict[tuple[int, int], list[Diff]] = {}
+    for diff in leaf_diffs:
+        by_pair.setdefault((diff.q1, diff.q2), []).append(diff)
+    return by_pair
+
+
+#: Entry cap for the shared pickWidget memo; exceeded → cleared wholesale.
+_PICK_MEMO_CAP = 65536
+
+
 def _merge_step(
     ancestor: Widget,
     descendants: list[Widget],
     library: list[WidgetType],
     annotations: GrammarAnnotations,
-    leaf_diffs: list[Diff],
+    leaf_by_pair: dict[tuple[int, int], list[Diff]],
+    pick_memo: dict[tuple, Widget | None],
 ) -> tuple[Widget | None, list[Widget | None], float] | None:
     """Algorithm 3 for one (ancestor, descendant-set) pair.
 
@@ -211,9 +348,8 @@ def _merge_step(
         lies under the ancestor's path?"""
         required = [
             d
-            for d in leaf_diffs
-            if (d.q1, d.q2) == pair
-            and ancestor.path.is_strict_prefix_of(d.path)
+            for d in leaf_by_pair.get(pair, ())
+            if ancestor.path.is_strict_prefix_of(d.path)
         ]
         if not required:
             return False
@@ -242,7 +378,15 @@ def _merge_step(
             return widget
         removed_ids = {id(d) for d in removed}
         kept = [d for d in widget.D if id(d) not in removed_ids]
-        return pick_widget(kept, library, annotations)
+        # memoised: successive rounds (and appends) re-evaluate the same
+        # candidate removals, and pickWidget's domain construction is the
+        # single hottest part of the fixed point
+        key = (widget.path, tuple(id(d) for d in kept))
+        if key in pick_memo:
+            return pick_memo[key]
+        result = pick_widget(kept, library, annotations)
+        pick_memo[key] = result
+        return result
 
     def cost_of(widget: Widget | None) -> float:
         return 0.0 if widget is None else widget.cost
@@ -273,14 +417,21 @@ def merge_widgets(
     annotations: GrammarAnnotations = SQL_ANNOTATIONS,
     stats: MapperStats | None = None,
     leaf_diffs: list[Diff] | None = None,
+    pick_memo: dict[tuple, Widget | None] | None = None,
 ) -> list[Widget]:
     """Iterate Algorithm 3 to a fixed point.
 
     Each round scans ancestor widgets shallow-to-deep; a round that reduces
-    total cost triggers another round.
+    total cost triggers another round.  ``pick_memo`` optionally shares
+    rebuilt-widget lookups across calls (see :class:`MapCache`); by
+    default the memo lives only for this fixed point, which already
+    de-duplicates the re-evaluation successive rounds do.
     """
     if leaf_diffs is None:
         leaf_diffs = [d for w in widgets for d in w.D if d.is_leaf]
+    leaf_by_pair = _leaf_diffs_by_pair(leaf_diffs)
+    if pick_memo is None:
+        pick_memo = {}
     current = list(widgets)
     rounds = 0
     while True:
@@ -296,7 +447,8 @@ def merge_widgets(
             if not descendants:
                 continue
             result = _merge_step(
-                ancestor, descendants, library, annotations, leaf_diffs
+                ancestor, descendants, library, annotations, leaf_by_pair,
+                pick_memo,
             )
             if result is None:
                 continue
@@ -323,6 +475,179 @@ def merge_widgets(
     if stats is not None:
         stats.n_merge_rounds = rounds
     return current
+
+
+def _component_roots(paths: list[Path]) -> dict[Path, Path]:
+    """Map each widget path to the root of its prefix component.
+
+    Two widget paths interact during merging only when one is a (strict)
+    prefix of the other, directly or through a chain of present widget
+    paths; the components of that relation are prefix trees, each with a
+    unique shallowest member (its *root*).  Because merging only rebuilds
+    or removes widgets — never moves one to a new path — the components of
+    the initial widget set are closed under every merge step.
+    """
+    roots: dict[Path, Path] = {}
+    for path in sorted(paths, key=lambda p: (p.depth, p)):
+        root = path
+        probe = path
+        while not probe.is_root():
+            probe = probe.parent()
+            if probe in roots:
+                # ancestors are shallower, so they are already assigned
+                root = roots[probe]
+                break
+        roots[path] = root
+    return roots
+
+
+def initialize_indexed(
+    cache: MapCache,
+    library: list[WidgetType],
+    annotations: GrammarAnnotations = SQL_ANNOTATIONS,
+) -> tuple[list[Widget], int, int]:
+    """Algorithm 1 over a :class:`PartitionIndex` with revision reuse.
+
+    The index-based twin of :func:`initialize_incremental`: partitions are
+    already grouped and ordered by the index, and a partition is re-solved
+    only when its revision moved past the one its memoised widget was
+    built at — a steady-state append re-runs ``pickWidget`` for exactly
+    the partitions the new pairs touched.
+
+    Returns ``(widgets, n_reused, n_rebuilt)``.
+    """
+    index = cache.index
+    widgets: list[Widget] = []
+    n_reused = 0
+    n_rebuilt = 0
+    for path in sorted(index.by_path):
+        revision = index.rev[path]
+        cached = cache.paths.get(path)
+        if cached is not None and cached[0] == revision:
+            n_reused += 1
+            widget = cached[1]
+        else:
+            n_rebuilt += 1
+            try:
+                widget = pick_widget(index.by_path[path], library, annotations)
+            except MappingError:
+                widget = None
+            cache.paths[path] = (revision, widget)
+        if widget is not None:
+            widgets.append(widget)
+    return widgets, n_reused, n_rebuilt
+
+
+def _component_paths(
+    roots: dict[Path, Path], partition_paths: Iterable[Path]
+) -> dict[Path, list[Path]]:
+    """Assign every diff-partition path to the component reading it.
+
+    A merge step reads exactly the leaf diffs strictly under its ancestor
+    widget's path, and every member path of a component is under the
+    component root — so a component's merges can only ever read partitions
+    under its root.  A partition path maps to the component of its nearest
+    widget-path ancestor (or itself, when a widget sits on it); paths with
+    no widget on their ancestor chain are read by no merge step and are
+    dropped.  Roots are pairwise prefix-incomparable, so the assignment is
+    unambiguous.
+    """
+    by_root: dict[Path, list[Path]] = {}
+    for path in partition_paths:
+        owner = roots.get(path)
+        probe = path
+        while owner is None and not probe.is_root():
+            probe = probe.parent()
+            owner = roots.get(probe)
+        if owner is not None:
+            by_root.setdefault(owner, []).append(path)
+    return by_root
+
+
+def merge_widgets_incremental(
+    widgets: list[Widget],
+    library: list[WidgetType],
+    annotations: GrammarAnnotations,
+    cache: MapCache,
+    stats: MapperStats | None = None,
+) -> tuple[list[Widget], int, int]:
+    """Partition-scoped Algorithm 3: per-component fixed points with reuse.
+
+    The widget set is decomposed into prefix components (see
+    :func:`_component_roots`); each component's fixed point is computed by
+    the reference :func:`merge_widgets` over only its members and the leaf
+    diffs in the partitions under its root, and memoised under the
+    revision vector of exactly those partitions.  On the next call —
+    typically the next append of an
+    :class:`~repro.api.session.InterfaceSession` — components whose
+    revisions are unchanged (the *clean* set) replay their memoised
+    result; only components incident to new diffs (the *dirty* worklist)
+    re-run their fixed point.
+
+    Result-equivalence to the global fixed point holds because a merge
+    step only ever pairs an ancestor with its prefix-descendants — no
+    candidate merge crosses a component boundary — and the global round
+    order restricted to one component equals that component's own round
+    order; the output is normalised to the global ``(depth, path)``
+    widget order.  The parity suite asserts this on every log family.
+
+    Returns ``(merged_widgets, n_components_reused, n_components_merged)``.
+    """
+    index = cache.index
+    memo = cache.merge
+    roots = _component_roots([w.path for w in widgets])
+    components: dict[Path, list[Widget]] = {}
+    for widget in widgets:
+        components.setdefault(roots[widget.path], []).append(widget)
+    paths_by_root = _component_paths(roots, index.by_path)
+
+    merged: list[Widget] = []
+    n_reused = 0
+    n_merged = 0
+    max_rounds = 0
+    dirty: list[str] = []
+    for root in sorted(components, key=lambda p: (p.depth, p)):
+        member_paths = paths_by_root.get(root, [])
+        signature = tuple(
+            sorted((str(p), index.rev[p]) for p in member_paths)
+        )
+        cached = memo.get(root)
+        if cached is not None and cached[0] == signature:
+            n_reused += 1
+            merged.extend(cached[1])
+            continue
+        n_merged += 1
+        dirty.append(str(root))
+        leaf_diffs = [
+            diff
+            for path in member_paths
+            if root.is_strict_prefix_of(path)
+            for diff in index.leaf_by_path.get(path, ())
+        ]
+        if len(cache.pick) > _PICK_MEMO_CAP:
+            cache.pick.clear()
+        component_stats = MapperStats()
+        result = merge_widgets(
+            components[root],
+            library,
+            annotations,
+            stats=component_stats,
+            leaf_diffs=leaf_diffs,
+            pick_memo=cache.pick,
+        )
+        memo[root] = (signature, result)
+        merged.extend(result)
+        max_rounds = max(max_rounds, component_stats.n_merge_rounds)
+    for stale in set(memo) - set(components):
+        del memo[stale]
+    # normalise to the global fixed point's (depth, path) output order
+    merged.sort(key=lambda w: (w.path.depth, w.path))
+    if stats is not None:
+        stats.n_merge_rounds = max_rounds
+        stats.extra["n_components"] = len(components)
+        stats.extra["n_components_reused"] = n_reused
+        stats.extra["dirty_components"] = dirty
+    return merged, n_reused, n_merged
 
 
 def map_interactions(

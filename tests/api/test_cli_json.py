@@ -72,3 +72,52 @@ class TestCheckJson:
         assert main(["check", log_file, "--json", query]) == 0
         payload = _json_out(capsys)
         assert payload == {"query": query, "expressible": True}
+
+
+class TestCacheCli:
+    def test_stats_prune_clear_round_trip(self, log_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = _json_out(capsys)
+        assert stats["n_keys"] == 1
+        assert stats["n_graphs"] == 1
+        assert stats["n_widget_sets"] == 1
+        assert stats["total_bytes"] > 0
+
+        assert main(["cache", "prune", "--cache-dir", cache_dir,
+                     "--max-entries", "0", "--json"]) == 0
+        pruned = _json_out(capsys)
+        assert pruned["removed"] == 1
+        assert pruned["n_keys"] == 0
+
+    def test_prune_requires_a_cap(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        store.mkdir()
+        assert main(["cache", "prune", "--cache-dir", str(store)]) == 2
+        assert "max-bytes" in capsys.readouterr().err
+
+    def test_clear_empties_the_store(self, log_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir", cache_dir, "--json"]) == 0
+        assert _json_out(capsys)["n_keys"] == 0
+
+    def test_full_hit_visible_in_json(self, log_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        stages = {s["name"]: s["stats"] for s in _json_out(capsys)["run"]["stages"]}
+        assert stages["cache"]["widgets_hit"] is True
+        assert stages["mine"]["skipped"] is True
+        assert stages["map"]["skipped"] is True
+        assert stages["merge"]["skipped"] is True
+
+    def test_missing_cache_dir_is_an_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["cache", "stats", "--cache-dir", str(missing)]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()  # maintenance must not create it

@@ -1,11 +1,11 @@
-"""Staged pipeline API: composition, observers, immutable results, shim."""
+"""Staged pipeline API: composition, observers, immutable results."""
 
 import dataclasses
 import json
 
 import pytest
 
-from repro import PrecisionInterfaces, parse_sql
+from repro import parse_sql
 from repro.api import (
     GenerationResult,
     MapStage,
@@ -151,40 +151,15 @@ class TestImmutableResults:
         ]
 
 
-class TestDeprecationShim:
-    def test_generate_warns_and_matches_new_api(self):
-        queries = listing_4_log(10).asts()
-        with pytest.warns(DeprecationWarning):
-            legacy = PrecisionInterfaces().generate(queries)
-        fresh = generate(queries).interface
-        assert legacy.widget_summary() == fresh.widget_summary()
+class TestShimRemoved:
+    def test_precision_interfaces_facade_is_gone(self):
+        """The pre-1.1 ``PrecisionInterfaces``/``last_run`` facade was a
+        one-release deprecation shim; 1.2 removes it for good."""
+        import repro
 
-    def test_generate_from_sql_warns(self):
-        with pytest.warns(DeprecationWarning):
-            PrecisionInterfaces().generate_from_sql(list(LISTING_6))
-
-    def test_last_run_warns_and_is_populated(self):
-        system = PrecisionInterfaces()
-        with pytest.warns(DeprecationWarning):
-            system.generate_from_sql(list(LISTING_6))
-        with pytest.warns(DeprecationWarning):
-            run = system.last_run
-        assert run.n_queries == 3
-        assert run.total_seconds > 0
-
-    def test_shim_still_rejects_empty_logs(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(LogError):
-                PrecisionInterfaces().generate([])
-
-    def test_shim_result_is_frozen_run(self):
-        system = PrecisionInterfaces()
-        with pytest.warns(DeprecationWarning):
-            system.generate_from_sql(list(LISTING_6))
-        with pytest.warns(DeprecationWarning):
-            run = system.last_run
-        with pytest.raises(dataclasses.FrozenInstanceError):
-            run.n_queries = 0
+        assert not hasattr(repro, "PrecisionInterfaces")
+        with pytest.raises(ImportError):
+            from repro.core.pipeline import PrecisionInterfaces  # noqa: F401
 
 
 class TestGenerateInputs:

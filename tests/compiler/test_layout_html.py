@@ -2,15 +2,17 @@
 
 import pytest
 
-from repro import PrecisionInterfaces, parse_sql
+from tests.helpers import generate_iface
+from repro import parse_sql
 from repro.compiler import Database, Table, compile_html, describe_layout, grid_layout
 from repro.errors import CompileError
 from repro.logs import LISTING_6
 
 
+
 @pytest.fixture
 def interface():
-    return PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+    return generate_iface(list(LISTING_6))
 
 
 class TestLayout:
@@ -72,7 +74,7 @@ class TestHtmlCompiler:
     def test_results_embedded_with_database(self):
         db = Database()
         db.add(Table("t", ["a", "b"], [(1, 10), (2, 20)]))
-        iface = PrecisionInterfaces().generate_from_sql(
+        iface = generate_iface(
             ["SELECT a FROM t WHERE b = 10", "SELECT a FROM t WHERE b = 20"]
         )
         page = compile_html(iface, database=db, limit=64)
@@ -84,12 +86,12 @@ class TestHtmlCompiler:
         assert len(small) < len(big)
 
     def test_empty_interface_rejected(self):
-        iface = PrecisionInterfaces().generate_from_sql(["SELECT a"] * 2)
+        iface = generate_iface(["SELECT a"] * 2)
         with pytest.raises(CompileError):
             compile_html(iface)
 
     def test_html_escaping(self):
-        iface = PrecisionInterfaces().generate_from_sql(
+        iface = generate_iface(
             ["SELECT a FROM t WHERE c = '<x>'", "SELECT a FROM t WHERE c = '<y>'"]
         )
         page = compile_html(iface, title="<script>")

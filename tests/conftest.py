@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PrecisionInterfaces, parse_sql
+from tests.helpers import generate_iface
+from repro import parse_sql
 from repro.logs import LISTING_6, LISTING_7, QueryLog
+
 
 
 @pytest.fixture
@@ -19,13 +21,13 @@ def simple_pair():
 @pytest.fixture
 def listing6_interface():
     """Interface mined from Listing 6 (TOP toggle + limit)."""
-    return PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+    return generate_iface(list(LISTING_6))
 
 
 @pytest.fixture
 def listing7_interface():
     """Interface mined from Listing 7 (subquery toggle)."""
-    return PrecisionInterfaces().generate_from_sql(list(LISTING_7))
+    return generate_iface(list(LISTING_7))
 
 
 @pytest.fixture

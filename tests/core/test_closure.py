@@ -1,9 +1,11 @@
 """Closure membership and enumeration tests."""
 
-from repro import PrecisionInterfaces, parse_sql
+from tests.helpers import generate_iface
+from repro import parse_sql
 from repro.core.closure import apply_widget_choice, enumerate_closure
 from repro.logs import LISTING_6, LISTING_7
 from repro.sqlparser.render import render_sql
+
 
 
 class TestMembershipListing6(object):
@@ -68,7 +70,7 @@ class TestEnumeration:
 
 class TestApplyWidgetChoice:
     def _interface(self):
-        return PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+        return generate_iface(list(LISTING_6))
 
     def test_replace(self):
         interface = self._interface()

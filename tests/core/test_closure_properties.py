@@ -8,8 +8,9 @@ closure agree), and the initial query is always a member.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import PrecisionInterfaces
+from tests.helpers import generate_iface
 from repro.sqlparser.render import render_sql
+
 
 _TABLES = ["SpecLineIndex", "XCRedshift"]
 _VALUES = [1, 2, 5, 9]
@@ -30,7 +31,7 @@ def structured_logs(draw):
 @settings(max_examples=30, deadline=None)
 @given(structured_logs())
 def test_enumerated_closure_members_are_expressible(statements):
-    interface = PrecisionInterfaces().generate_from_sql(statements)
+    interface = generate_iface(statements)
     for query in interface.closure(limit=40):
         assert interface.expresses(query), render_sql(query)
 
@@ -38,7 +39,7 @@ def test_enumerated_closure_members_are_expressible(statements):
 @settings(max_examples=30, deadline=None)
 @given(structured_logs())
 def test_initial_query_always_in_closure(statements):
-    interface = PrecisionInterfaces().generate_from_sql(statements)
+    interface = generate_iface(statements)
     assert interface.expresses(interface.initial_query)
 
 
@@ -48,7 +49,7 @@ def test_log_queries_expressible(statements):
     """g = 1: the generated interface expresses its own log."""
     from repro import parse_sql
 
-    interface = PrecisionInterfaces().generate_from_sql(statements)
+    interface = generate_iface(statements)
     for sql in statements:
         assert interface.expresses(parse_sql(sql)), sql
 
@@ -56,7 +57,7 @@ def test_log_queries_expressible(statements):
 @settings(max_examples=25, deadline=None)
 @given(structured_logs(), st.integers(min_value=0, max_value=3))
 def test_expressiveness_between_zero_and_one(statements, seed):
-    interface = PrecisionInterfaces().generate_from_sql(statements)
+    interface = generate_iface(statements)
     from repro import parse_sql
 
     probes = [parse_sql(s) for s in statements] + [

@@ -1,11 +1,13 @@
 """Interface model tests (Section 4.4 metrics and presentation)."""
 
-from repro import PrecisionInterfaces, parse_sql
+from tests.helpers import generate_iface
+from repro import parse_sql
 from repro.logs import LISTING_6
 
 
+
 def make_interface():
-    return PrecisionInterfaces().generate_from_sql(list(LISTING_6))
+    return generate_iface(list(LISTING_6))
 
 
 class TestMetrics:

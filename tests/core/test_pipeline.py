@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro import PipelineOptions, PrecisionInterfaces, parse_sql
+from tests.helpers import generate_iface
+from repro import PipelineOptions, generate, parse_sql
 from repro.errors import LogError, MappingError
 from repro.logs import (
     LISTING_6,
@@ -11,6 +12,7 @@ from repro.logs import (
     listing_5_large,
     listing_5_small,
 )
+
 
 
 def widget_names(interface):
@@ -22,21 +24,21 @@ class TestFigure5Scenarios:
         """Listing 4: a drop-down for the customer name, a slider for the
         numeric offset — interface complexity tracks the *changes*, not the
         query complexity."""
-        interface = PrecisionInterfaces().generate(listing_4_log(20).asts())
+        interface = generate_iface(listing_4_log(20).asts())
         names = widget_names(interface)
         assert "slider" in names
         assert "dropdown" in names
         assert interface.n_widgets == 2
 
     def test_fig5b_small_log_compact_widgets(self):
-        interface = PrecisionInterfaces().generate(listing_5_small().asts())
+        interface = generate_iface(listing_5_small().asts())
         assert interface.n_widgets <= 2
         assert interface.expressiveness(listing_5_small().asts()) == 1.0
 
     def test_fig5c_larger_log_splits_widgets(self):
         """With 13 queries, separate widgets for the function name and its
         argument beat one big option list."""
-        interface = PrecisionInterfaces().generate(listing_5_large().asts())
+        interface = generate_iface(listing_5_large().asts())
         names = widget_names(interface)
         assert "dropdown" in names
         assert interface.expressiveness(listing_5_large().asts()) == 1.0
@@ -66,8 +68,8 @@ class TestOptions:
         """Section 6/Appendix B: the optimisations do not change the output
         interface on systematically-changing logs."""
         log = listing_4_log(20).asts()
-        narrow = PrecisionInterfaces(PipelineOptions(window=2)).generate(log)
-        full = PrecisionInterfaces(PipelineOptions(window=None)).generate(log)
+        narrow = generate_iface(log, PipelineOptions(window=2))
+        full = generate_iface(log, PipelineOptions(window=None))
         assert widget_names(narrow) == widget_names(full)
         assert {str(w.path) for w in narrow.widgets} == {
             str(w.path) for w in full.widgets
@@ -78,8 +80,8 @@ class TestOptions:
         (the greedy is order-sensitive), but both interfaces must express
         the entire log, and pruning must not *increase* the diff count."""
         log = [parse_sql(s) for s in LISTING_6]
-        pruned = PrecisionInterfaces(PipelineOptions(lca_pruning=True)).generate(log)
-        unpruned = PrecisionInterfaces(PipelineOptions(lca_pruning=False)).generate(log)
+        pruned = generate_iface(log, PipelineOptions(lca_pruning=True))
+        unpruned = generate_iface(log, PipelineOptions(lca_pruning=False))
         assert pruned.expressiveness(log) == 1.0
         assert unpruned.expressiveness(log) == 1.0
         assert pruned.metadata["n_diffs"] <= unpruned.metadata["n_diffs"]
@@ -94,16 +96,12 @@ class TestOptions:
 
     def test_empty_log_rejected(self):
         with pytest.raises(LogError):
-            PrecisionInterfaces().generate([])
-        with pytest.raises(LogError):
-            PrecisionInterfaces().generate_from_sql([])
+            generate_iface([])
 
 
 class TestRunRecord:
-    def test_last_run_populated(self):
-        system = PrecisionInterfaces()
-        system.generate_from_sql(list(LISTING_6))
-        run = system.last_run
+    def test_run_record_populated(self):
+        run = generate(list(LISTING_6)).run
         assert run.n_queries == 3
         assert run.n_edges == 2
         assert run.total_seconds > 0
@@ -114,7 +112,7 @@ class TestRunRecord:
         assert listing6_interface.metadata["lca_pruning"] is True
 
     def test_identical_log_yields_zero_widgets(self):
-        interface = PrecisionInterfaces().generate_from_sql(
+        interface = generate_iface(
             ["SELECT a FROM t"] * 4
         )
         assert interface.n_widgets == 0

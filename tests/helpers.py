@@ -1,0 +1,8 @@
+"""Shared helpers for the test suite."""
+
+from repro import generate
+
+
+def generate_iface(log, options=None):
+    """One-shot mine, unwrapped to the bare Interface."""
+    return generate(log, options=options).interface

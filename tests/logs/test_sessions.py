@@ -59,10 +59,12 @@ class TestCluster:
     def test_segmented_analyses_mine_cleanly(self):
         """End-to-end: segmentation turns a mixed log into per-analysis
         logs whose interfaces fully express their own queries."""
-        from repro import PrecisionInterfaces, parse_sql
+        from repro import parse_sql
 
         log = QueryLog.from_statements(ANALYSIS_A + ANALYSIS_B + ANALYSIS_A)
         for analysis in segment_log(log):
             asts = [parse_sql(s) for s in analysis.statements()]
-            interface = PrecisionInterfaces().generate(asts)
+            from repro import generate
+
+            interface = generate(asts).interface
             assert interface.expressiveness(asts) == 1.0

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro import PrecisionInterfaces, parse_sql
+from tests.helpers import generate_iface
+from repro import parse_sql
 from repro.errors import SchemaError
 from repro.schema import (
     ONTIME_CATALOG,
@@ -11,6 +12,7 @@ from repro.schema import (
     closure_precision,
     validate_query,
 )
+
 
 
 class TestCatalog:
@@ -101,7 +103,7 @@ class TestClosurePrecision:
             "SELECT ra FROM SpecObj WHERE z > 3",
             "SELECT ra FROM SpecObj WHERE z > 4",
         ]
-        return PrecisionInterfaces().generate_from_sql(log)
+        return generate_iface(log)
 
     def test_unfiltered_precision_below_one(self):
         interface = self._mixed_interface()
@@ -121,6 +123,6 @@ class TestClosurePrecision:
         log = [
             f"SELECT ra FROM PhotoObj WHERE objID = {hex(16 + i)}" for i in range(6)
         ]
-        interface = PrecisionInterfaces().generate_from_sql(log)
+        interface = generate_iface(log)
         precision, _count = closure_precision(interface, SDSS_CATALOG, limit=5000)
         assert precision == 1.0

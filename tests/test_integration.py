@@ -1,10 +1,12 @@
 """Cross-module integration tests: log generators → pipeline → closure →
 schema/compiler, mirroring the paper's end-to-end flows at small scale."""
 
-from repro import PrecisionInterfaces, parse_sql
+from tests.helpers import generate_iface
+from repro import generate, parse_sql
 from repro.compiler import compile_html
 from repro.logs import OLAPLogGenerator, SDSSLogGenerator
 from repro.schema import SDSS_CATALOG, closure_precision, validate_query
+
 
 
 class TestSDSSFlow:
@@ -13,21 +15,21 @@ class TestSDSSFlow:
         the session (the Figure 6a behaviour)."""
         log = SDSSLogGenerator(seed=0).client_log("C1", "object_lookup", 120)
         asts = log.asts()
-        interface = PrecisionInterfaces().generate(asts[:15])
+        interface = generate_iface(asts[:15])
         assert interface.expressiveness(asts[15:]) == 1.0
 
     def test_interface_widgets_match_figure_6b(self):
         """Client C1's interface: widgets for the table, and the object id
         (the paper's Figure 6b shows table/attribute/id controls)."""
         log = SDSSLogGenerator(seed=0).client_log("C1", "object_lookup", 100)
-        interface = PrecisionInterfaces().generate(log.asts())
+        interface = generate_iface(log.asts())
         names = {w.widget_type.name for w in interface.widgets}
         assert "slider" in names          # numeric object id
         assert names & {"toggle_button", "dropdown", "radio_button"}  # table
 
     def test_generated_interface_closure_is_schema_valid(self):
         log = SDSSLogGenerator(seed=0).client_log("C1", "object_lookup", 60)
-        interface = PrecisionInterfaces().generate(log.asts())
+        interface = generate_iface(log.asts())
         precision, count = closure_precision(interface, SDSS_CATALOG, limit=2000)
         assert count > 0
         assert precision == 1.0
@@ -35,9 +37,9 @@ class TestSDSSFlow:
     def test_mixed_clients_lower_precision(self):
         gen = SDSSLogGenerator(seed=0)
         mixed = gen.interleaved(3, n_queries=40)
-        interface = PrecisionInterfaces().generate(mixed.asts())
+        interface = generate_iface(mixed.asts())
         precision, _ = closure_precision(interface, SDSS_CATALOG, limit=3000)
-        single = PrecisionInterfaces().generate(
+        single = generate_iface(
             gen.client_log("C1", "object_lookup", 40).asts()
         )
         single_precision, _ = closure_precision(single, SDSS_CATALOG, limit=3000)
@@ -48,7 +50,7 @@ class TestOLAPFlow:
     def test_interface_has_figure_6d_shape(self):
         """Drop-downs for aggregation/grouping, sliders for predicates."""
         log = OLAPLogGenerator(seed=1).generate(100)
-        interface = PrecisionInterfaces().generate(log.asts())
+        interface = generate_iface(log.asts())
         names = {w.widget_type.name for w in interface.widgets}
         assert "slider" in names
         assert names & {"dropdown", "checkbox_list", "radio_button"}
@@ -57,7 +59,7 @@ class TestOLAPFlow:
         from repro.sqlparser import render_sql
 
         log = OLAPLogGenerator(seed=1).generate(40)
-        interface = PrecisionInterfaces().generate(log.asts())
+        interface = generate_iface(log.asts())
         for query in interface.closure(limit=100):
             assert parse_sql(render_sql(query)) == query
 
@@ -65,7 +67,7 @@ class TestOLAPFlow:
 class TestCompilerFlow:
     def test_html_from_generated_interface(self):
         log = SDSSLogGenerator(seed=0).client_log("C1", "object_lookup", 40)
-        interface = PrecisionInterfaces().generate(log.asts())
+        interface = generate_iface(log.asts())
         page = compile_html(interface, title="SDSS C1", limit=256)
         assert "<select" in page
 
