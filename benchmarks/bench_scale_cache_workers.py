@@ -33,6 +33,7 @@ from repro.api import InterfaceSession, generate, generate_many
 from repro.core.mapper import initialize, merge_widgets
 from repro.core.options import PipelineOptions
 from repro.logs import AdhocLogGenerator, SDSSLogGenerator
+from repro.service import SessionPool
 
 from helpers import emit, emit_json, run_once
 
@@ -49,6 +50,14 @@ WINDOW = 8 if TINY else 16
 APPEND_TOTAL = 60 if TINY else 240
 APPEND_WARMUP = 40 if TINY else 200
 APPEND_BATCH = 4
+
+#: pool-throughput workload: per-client session logs served through a
+#: SessionPool, batches interleaved round-robin across clients
+POOL_CLIENTS = 2 if TINY else 8
+POOL_QUERIES = 24 if TINY else 120
+POOL_BATCH = 6
+POOL_WORKERS = max(2, min(4, os.cpu_count() or 1))
+POOL_QUEUE_DEPTH = 8
 
 
 def test_workers_and_cache(benchmark):
@@ -128,6 +137,107 @@ def test_workers_and_cache(benchmark):
         out["warm"].interface.widget_summary()
         == out["cold"].interface.widget_summary()
     )
+
+
+def test_pool_throughput(benchmark):
+    """Sessions/sec of a SessionPool at 1 worker vs POOL_WORKERS workers.
+
+    The same interleaved multi-client arrival stream is served by a
+    single-worker pool (every session queues behind every other — the
+    serialised-appends world this layer replaces) and by a sharded pool.
+    Independent sessions are embarrassingly parallel, so on a multi-core
+    host the sharded pool must finish the same work in less wall-clock —
+    the >1x ``speedup_pool_workers`` that ``BENCH_pool.json`` records and
+    CI's regression gate watches.
+    """
+    generator = SDSSLogGenerator(seed=7)
+    logs = {
+        f"client-{index}": log.asts()
+        for index, log in enumerate(
+            generator.clients(POOL_CLIENTS, n_queries=POOL_QUERIES).values()
+        )
+    }
+    options = PipelineOptions(window=WINDOW)
+    arrivals = []
+    pending = {client: list(asts) for client, asts in logs.items()}
+    while pending:
+        for client in list(pending):
+            batch = pending[client][:POOL_BATCH]
+            pending[client] = pending[client][POOL_BATCH:]
+            arrivals.append((client, batch))
+            if not pending[client]:
+                del pending[client]
+
+    def run():
+        timings = {}
+        results_by_size = {}
+        for pool_size in (1, POOL_WORKERS):
+            with SessionPool(
+                options=options,
+                pool_size=pool_size,
+                queue_depth=POOL_QUEUE_DEPTH,
+            ) as pool:
+                t0 = time.perf_counter()
+                for client, batch in arrivals:
+                    pool.submit(client, batch)
+                results = pool.drain()
+                timings[pool_size] = time.perf_counter() - t0
+                results_by_size[pool_size] = results
+        return {"timings": timings, "results": results_by_size}
+
+    out = run_once(benchmark, run)
+    seconds_1 = out["timings"][1]
+    seconds_n = out["timings"][POOL_WORKERS]
+    throughput_1 = POOL_CLIENTS / max(seconds_1, 1e-9)
+    throughput_n = POOL_CLIENTS / max(seconds_n, 1e-9)
+    speedup = throughput_n / max(throughput_1, 1e-9)
+
+    payload = {
+        "workload": {
+            "family": "sdss",
+            "n_clients": POOL_CLIENTS,
+            "n_queries_per_client": POOL_QUERIES,
+            "batch": POOL_BATCH,
+            "window": WINDOW,
+            "pool_workers": POOL_WORKERS,
+            "queue_depth": POOL_QUEUE_DEPTH,
+            "n_cores": os.cpu_count(),
+            "tiny_budget": TINY,
+        },
+        "pool_1_seconds": seconds_1,
+        "pool_n_seconds": seconds_n,
+        "sessions_per_second_1_worker": throughput_1,
+        "sessions_per_second_n_workers": throughput_n,
+        "speedup_pool_workers": speedup,
+    }
+    emit_json("BENCH_pool", payload)
+    emit(
+        "pool_throughput",
+        "\n".join(
+            [
+                f"SessionPool over {POOL_CLIENTS} SDSS clients x "
+                f"{POOL_QUERIES} queries (batch {POOL_BATCH}, "
+                f"window={WINDOW}, queue_depth={POOL_QUEUE_DEPTH})",
+                f"  1 worker:  {seconds_1:6.2f}s  "
+                f"({throughput_1:.2f} sessions/s)",
+                f"  {POOL_WORKERS} workers: {seconds_n:6.2f}s  "
+                f"({throughput_n:.2f} sessions/s)  (speedup x{speedup:.2f})",
+            ]
+        ),
+    )
+
+    # sharding is plumbing, not approximation: per-client parity with
+    # one-shot generation at every pool size
+    for client, asts in logs.items():
+        expected = generate(asts, options=options).interface.widget_summary()
+        for pool_size, results in out["results"].items():
+            assert results[client].interface.widget_summary() == expected, (
+                client,
+                pool_size,
+            )
+    # the wall-clock win needs real cores to exist
+    if (os.cpu_count() or 1) > 1 and not TINY:
+        assert speedup > 1.0, payload
 
 
 def test_incremental_append(benchmark):

@@ -35,6 +35,7 @@ from repro.api import (
 )
 from repro.cache import GraphStore
 from repro.core.closure import ClosureCache
+from repro.service import SessionPool
 from repro.core.interface import Interface
 from repro.core.options import PipelineOptions
 from repro.errors import ReproError
@@ -58,6 +59,7 @@ __all__ = [
     "GraphStore",
     "PipelineRun",
     "ClosureCache",
+    "SessionPool",
     "Interface",
     "Node",
     "Path",

@@ -7,9 +7,17 @@ Subcommands:
   Multiple log files shard across a process pool with ``--workers``.
 * ``recall``  — train/hold-out recall for a log file.
 * ``check``   — closure-membership check of one query against a log.
+* ``serve``   — replay a (multi-client) query log through a
+  :class:`~repro.service.SessionPool`: per-client batches shard across
+  ``--pool-size`` worker processes behind bounded ``--queue-depth``
+  queues, and the drained per-client interfaces are reported.  With
+  ``--cache-dir`` the workers share one graph store and publish their
+  graphs, widget sets, and closure proofs on drain.
 * ``cache``   — manage a persistent cache directory: ``cache stats``
   reports occupancy, ``cache prune`` evicts least-recently-used entries
   down to ``--max-bytes``/``--max-entries``, ``cache clear`` empties it.
+  Both exit cleanly (code 0) on a store directory that exists but holds
+  no entries.
 
 ``mine`` and ``recall`` accept ``--json`` to dump the run's
 :class:`~repro.api.result.GenerationResult` statistics as machine-readable
@@ -26,6 +34,7 @@ Example::
     python -m repro mine mylog.sql --html out.html
     python -m repro mine mylog.sql --json --cache-dir .repro-cache
     python -m repro mine clientA.sql clientB.sql clientC.sql --workers 2
+    python -m repro serve multiclient.jsonl --pool-size 4 --queue-depth 8
     python -m repro check mylog.sql "SELECT * FROM t WHERE x = 5"
     python -m repro cache stats --cache-dir .repro-cache --json
     python -m repro cache prune --cache-dir .repro-cache --max-entries 100
@@ -166,6 +175,66 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SessionPool
+
+    if args.batch_size < 1:
+        raise ReproError(f"--batch-size must be >= 1, got {args.batch_size}")
+    log = load_log(args.log)
+    by_client = log.by_client()
+    # round-robin interleave of per-client batches: the arrival pattern a
+    # live deployment sees, and the pattern that exercises the shards
+    arrivals: list[tuple[str, list[str]]] = []
+    pending = {
+        client: client_log.statements() for client, client_log in by_client.items()
+    }
+    while pending:
+        for client in list(pending):
+            statements = pending[client]
+            arrivals.append((client, statements[: args.batch_size]))
+            rest = statements[args.batch_size:]
+            if rest:
+                pending[client] = rest
+            else:
+                del pending[client]
+    with SessionPool(
+        options=_options(args),
+        pool_size=args.pool_size,
+        queue_depth=args.queue_depth,
+    ) as pool:
+        for client, batch in arrivals:
+            pool.submit(client, batch)
+        results = pool.drain()
+        stats = pool.stats()
+    payload = {
+        "pool": {
+            "pool_size": stats.pool_size,
+            "queue_depth": stats.queue_depth,
+            "n_batches": stats.n_submitted,
+            "n_clients": stats.n_clients,
+        },
+        "clients": {
+            client: {
+                "n_queries": result.provenance["n_queries"],
+                "n_widgets": len(result.interface.widgets),
+                "cost": sum(w.cost for w in result.interface.widgets),
+            }
+            for client, result in sorted(results.items())
+        },
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"served {stats.n_submitted} batch(es) from "
+            f"{stats.n_clients} client(s) across {stats.pool_size} worker(s)"
+        )
+        for client, result in sorted(results.items()):
+            print(f"# {client}: {result.provenance['n_queries']} queries")
+            print(result.interface.describe())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from repro.cache.store import GraphStore
 
@@ -187,6 +256,17 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     if args.cache_command == "prune":
         if args.max_bytes is None and args.max_entries is None:
+            # an empty store prunes to an empty store under any cap — a
+            # clean no-op report, not a usage error (scripted maintenance
+            # over fresh directories must not trip on them)
+            if not store.stats()["n_keys"]:
+                removed = 0
+                payload = {"removed": removed, **store.stats()}
+                if args.json:
+                    print(json.dumps(payload, indent=2))
+                else:
+                    print("store is empty; nothing to prune")
+                return 0
             raise ReproError(
                 "cache prune needs --max-bytes and/or --max-entries"
             )
@@ -229,6 +309,22 @@ def main(argv: list[str] | None = None) -> int:
                       help="shard multiple logs (or segments) across this "
                            "many worker processes")
     mine.set_defaults(fn=_cmd_mine)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a multi-client log through a cross-process session pool",
+    )
+    serve.add_argument("log", help="query log file; .jsonl rows carry a "
+                                   "'client' field, plain text is one client")
+    _add_common(serve)
+    serve.add_argument("--pool-size", type=int, default=2,
+                       help="number of session worker processes (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=8,
+                       help="bounded per-worker queue depth in batches; "
+                            "submits block when a shard is full (default 8)")
+    serve.add_argument("--batch-size", type=int, default=8,
+                       help="statements per submitted batch (default 8)")
+    serve.set_defaults(fn=_cmd_serve)
 
     recall = commands.add_parser("recall", help="train/holdout recall")
     recall.add_argument("log", help="query log file, one statement per line")

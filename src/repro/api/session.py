@@ -111,6 +111,10 @@ class InterfaceSession:
         # positive closure proofs reused across expresses() calls while
         # the widget set is unchanged
         self._closure_cache = ClosureCache()
+        # accumulated-log fingerprint for which persisted proofs were
+        # already probed in the store (probe once per interface revision)
+        self._proofs_probed: str | None = None
+        self._proofs_adopted = 0
         self._store = (
             GraphStore(self.options.cache_dir)
             if self.options.cache_dir is not None
@@ -150,7 +154,11 @@ class InterfaceSession:
         Reuses positive cover proofs across calls (and across appends
         whose merge components were all clean), so repeated membership
         checks against a steady interface are much cheaper than
-        ``session.interface.expresses(...)`` from cold.
+        ``session.interface.expresses(...)`` from cold.  With a shared
+        store configured, the first check against each interface revision
+        additionally adopts any proofs a previous session (or pool
+        worker) published for the same accumulated log — memos survive
+        session death.
 
         Raises:
             LogError: when nothing has been appended yet.
@@ -159,6 +167,7 @@ class InterfaceSession:
             raise LogError("cannot test expressibility before the first append")
         if isinstance(query, str):
             query = parse_sql(query)
+        self._adopt_cached_proofs()
         return self._last.interface.expresses(query, cache=self._closure_cache)
 
     # ------------------------------------------------------------------
@@ -281,9 +290,17 @@ class InterfaceSession:
         self._last = self._remap(append_stats, cache_hit=cache_hit)
         return self._last
 
-    def _append_batch(self, batch: Any) -> GenerationResult:
-        """Append one stream element: a statement, an AST, or a batch of
-        either (mixing strings and ASTs within one batch is allowed)."""
+    def append_batch(self, batch: Any) -> GenerationResult:
+        """Append one polymorphic batch: a statement, an AST, or an
+        iterable of either (mixing strings and ASTs within one batch is
+        allowed).  This is the element contract of :meth:`stream` /
+        :meth:`astream` — and of one :class:`~repro.service.SessionPool`
+        ``submit()`` — exposed directly.
+
+        Raises:
+            LogError: for an empty batch.
+            SQLSyntaxError: if any raw statement fails to parse.
+        """
         if isinstance(batch, str):
             return self.append_sql([batch])
         if isinstance(batch, Node):
@@ -314,7 +331,7 @@ class InterfaceSession:
             SQLSyntaxError: if any raw statement fails to parse.
         """
         for batch in batches:
-            yield self._append_batch(batch)
+            yield self.append_batch(batch)
 
     async def astream(self, batches: Any) -> AsyncIterator[GenerationResult]:
         """Async :meth:`stream`: consume a sync or async iterable of
@@ -333,10 +350,10 @@ class InterfaceSession:
         """
         if hasattr(batches, "__aiter__"):
             async for batch in batches:
-                yield await asyncio.to_thread(self._append_batch, batch)
+                yield await asyncio.to_thread(self.append_batch, batch)
         else:
             for batch in batches:
-                yield await asyncio.to_thread(self._append_batch, batch)
+                yield await asyncio.to_thread(self.append_batch, batch)
 
     # ------------------------------------------------------------------
     # shared graph store
@@ -365,6 +382,33 @@ class InterfaceSession:
         # full build" invariant of n_pairs_compared
         self._stats.n_pairs_compared += mined_stats.n_pairs_compared
         return True
+
+    def _adopt_cached_proofs(self) -> None:
+        """Arm the closure cache with persisted proofs for the current
+        accumulated log, once per interface revision.
+
+        Proofs live in the store's third table under the same
+        content-addressed key as the graph and widget set; they were
+        proved against the key's deterministic widget set, which the
+        session's current widgets match whenever the accumulated
+        fingerprints match.  Negative results are never persisted (see
+        :class:`~repro.core.closure.ClosureCache`), so adopting can only
+        skip work, not change answers.
+        """
+        if self._store is None or self._last is None:
+            return
+        log_fp = self._fingerprinter.hexdigest()
+        if self._proofs_probed == log_fp:
+            return
+        self._proofs_probed = log_fp
+        triples = self._store.load_proof_triples(
+            log_fp, options_fingerprint(self.options)
+        )
+        if triples is None:
+            return
+        self._proofs_adopted += self._closure_cache.import_proofs(
+            self._last.interface.widgets, triples
+        )
 
     def flush_to_store(self) -> None:
         """Publish the accumulated graph and widget set to the store.
@@ -397,6 +441,11 @@ class InterfaceSession:
         if self._last is not None:
             self._store.save_widget_set(
                 log_fp, opts_fp, self._last.interface.widgets, normalised
+            )
+            # proofs accumulated by expresses() ride along so the next
+            # session over this log starts with a warm closure cache
+            self._store.save_closure_proofs(
+                log_fp, opts_fp, self._closure_cache, self._last.interface.widgets
             )
 
     # ------------------------------------------------------------------

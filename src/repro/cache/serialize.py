@@ -63,6 +63,10 @@ __all__ = [
     "widgets_from_dict",
     "save_widgets",
     "load_widgets",
+    "proofs_to_dict",
+    "proofs_from_dict",
+    "save_proofs",
+    "load_proofs",
 ]
 
 #: Bump on any incompatible change to the encoded layout.  Loaders refuse
@@ -567,3 +571,100 @@ def load_widgets(
     if not isinstance(payload, dict):
         raise CacheError(f"{file_path} is not a widget-set payload")
     return widgets_from_dict(payload, graph, library, annotations)
+
+
+# ----------------------------------------------------------------------
+# closure proofs
+# ----------------------------------------------------------------------
+#
+# A positive cover proof is a ``(current, target, base)`` triple: "these
+# widgets can transform subtree *current* (rooted at absolute path *base*)
+# into subtree *target*".  The in-memory key fingerprints the two subtrees
+# with ``Node.fingerprint``, which is process-salted, so the durable form
+# stores the subtrees themselves (interned — proof sets over one interface
+# share most of their trees) and the loader re-fingerprints them.  Only
+# positives are ever persisted: a negative memo can be a budget artefact,
+# and ``ClosureCache`` never exports one.
+
+def proofs_to_dict(triples: list[tuple[Node, Node, "Path"]]) -> dict[str, Any]:
+    """Encode exported closure proofs (see
+    :meth:`~repro.core.closure.ClosureCache.export_proofs`)."""
+    interner = _TreeInterner()
+    encoded = [
+        {
+            "c": interner.index_of(current),
+            "t": interner.index_of(target),
+            "base": str(base),
+        }
+        for current, target, base in triples
+    ]
+    return {
+        "version": FORMAT_VERSION,
+        "trees": [node_to_dict(t) for t in interner.trees],
+        "proofs": encoded,
+    }
+
+
+def proofs_from_dict(payload: dict[str, Any]) -> list[tuple[Node, Node, "Path"]]:
+    """Decode a :func:`proofs_to_dict` payload back into proof triples,
+    ready for :meth:`~repro.core.closure.ClosureCache.import_proofs`.
+
+    Raises:
+        CacheError: on a version mismatch or malformed records.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise CacheError(
+            f"unsupported proof-set format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    try:
+        trees = [node_from_dict(t) for t in payload.get("trees", ())]
+        triples = []
+        for record in payload.get("proofs", ()):
+            triples.append(
+                (
+                    _at(trees, record["c"], "tree"),
+                    _at(trees, record["t"], "tree"),
+                    Path.parse(record["base"]),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError("malformed proof-set payload") from exc
+    return triples
+
+
+def save_proofs(
+    path: str | FilePath, triples: list[tuple[Node, Node, "Path"]]
+) -> None:
+    """Atomically write a proof-set payload next to its graph entry."""
+    target = FilePath(path)
+    tmp = target.with_name(f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(proofs_to_dict(triples), handle)
+            handle.write("\n")
+        tmp.replace(target)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def load_proofs(path: str | FilePath) -> list[tuple[Node, Node, "Path"]]:
+    """Read a :func:`save_proofs` file back.
+
+    Raises:
+        CacheError: on unreadable files, bad JSON, or any
+            :func:`proofs_from_dict` failure.
+    """
+    file_path = FilePath(path)
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CacheError(f"cannot read proof-set file {file_path}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CacheError(f"bad JSON in proof-set file {file_path}") from exc
+    if not isinstance(payload, dict):
+        raise CacheError(f"{file_path} is not a proof-set payload")
+    return proofs_from_dict(payload)

@@ -1,8 +1,9 @@
-"""Content-addressed on-disk store for mined graphs and widget sets.
+"""Content-addressed on-disk store for mined graphs, widget sets, and
+closure proofs.
 
 A :class:`GraphStore` is a directory of cache entries keyed by
-``(log fingerprint, options fingerprint)``.  Each key owns up to two
-files — two content-addressed tables over the same key space:
+``(log fingerprint, options fingerprint)``.  Each key owns up to three
+files — three content-addressed tables over the same key space:
 
 * ``<key>.graph.jsonl`` — the mined interaction graph
   (:func:`~repro.cache.serialize.save_graph`), skipping the Mine stage on
@@ -11,7 +12,14 @@ files — two content-addressed tables over the same key space:
   (:func:`~repro.cache.serialize.save_widgets`), skipping Map and Merge
   too.  Widget entries are only meaningful next to their graph entry
   (they reference its diffs table by index), so :meth:`load_widget_set`
-  takes the loaded graph.
+  takes the loaded graph;
+* ``<key>.proofs.json`` — positive closure-cover proofs
+  (:func:`~repro.cache.serialize.save_proofs`), so ``expresses()`` memos
+  survive session death and are shared across
+  :class:`~repro.service.SessionPool` workers.  Proofs are valid exactly
+  against the key's deterministic widget set, so
+  :meth:`load_closure_proofs` takes the decoded widgets and arms a
+  :class:`~repro.core.closure.ClosureCache` for them.
 
 The key is content-addressed, so there is no explicit invalidation
 protocol for correctness: a changed log or changed options simply hashes
@@ -23,13 +31,22 @@ Space management is optional and LRU: construct the store with
 ``max_bytes`` and/or ``max_entries`` and every save evicts the
 least-recently-*used* keys (loads touch an entry's mtime) until the caps
 hold; :meth:`prune` applies caps on demand and :meth:`stats` reports
-occupancy.  Eviction is per-key — a key's graph and widget files leave
-together, never orphaning a widget set.
+occupancy.  Eviction is per-key — a key's graph, widget, and proof files
+leave together, never orphaning a derived entry.
 
-Concurrency: saves are atomic (write-then-rename, see ``save_graph``), so
-any number of processes — the sharded ``generate_many`` workers in
-particular — can share one store directory.  Two workers mining the same
-key race benignly: both write the same content and the second rename wins.
+Concurrency: the store is the shared backing of every worker process —
+``generate_many`` shards, :class:`~repro.service.SessionPool` workers,
+concurrent CLI invocations.  Single-file saves are atomic
+(write-then-rename, see ``save_graph``): two workers mining the same key
+race benignly — both write the same content and the second rename wins.
+Multi-file invariants (a key's files evict as one unit; a derived file is
+never written for a key whose graph entry is gone) are guarded by an
+advisory :class:`~repro.cache.lock.StoreLock` on ``<root>/.lock``:
+:meth:`prune`, :meth:`invalidate`, and the derived-table saves take it,
+so concurrent pruners cannot interleave scans (no double-eviction
+accounting) and a pruner cannot slip between a worker's graph save and
+widget save to orphan the latter.  Loads are deliberately lock-free — a
+reader racing an eviction simply misses.
 """
 
 from __future__ import annotations
@@ -38,12 +55,16 @@ import os
 from pathlib import Path as FilePath
 from typing import Any, Iterator
 
+from repro.cache.lock import StoreLock
 from repro.cache.serialize import (
     load_graph,
+    load_proofs,
     load_widgets,
     save_graph,
+    save_proofs,
     save_widgets,
 )
+from repro.core.closure import ClosureCache
 from repro.errors import CacheError
 from repro.graph.build import BuildStats
 from repro.graph.interaction import InteractionGraph
@@ -57,6 +78,11 @@ _KEY_DIGITS = 16
 
 _SUFFIX = ".graph.jsonl"
 _WIDGETS_SUFFIX = ".widgets.json"
+_PROOFS_SUFFIX = ".proofs.json"
+
+#: Suffixes of the derived tables — files that are only meaningful next
+#: to their key's graph entry.
+_DERIVED_SUFFIXES = (_WIDGETS_SUFFIX, _PROOFS_SUFFIX)
 
 
 class GraphStore:
@@ -84,6 +110,7 @@ class GraphStore:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = StoreLock(self.root)
 
     # ------------------------------------------------------------------
     # keys
@@ -104,6 +131,14 @@ class GraphStore:
         """Where the widget-set entry for this key lives."""
         return self.root / (
             self.key(log_fingerprint, options_fingerprint) + _WIDGETS_SUFFIX
+        )
+
+    def proofs_path_for(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> FilePath:
+        """Where the closure-proof entry for this key lives."""
+        return self.root / (
+            self.key(log_fingerprint, options_fingerprint) + _PROOFS_SUFFIX
         )
 
     # ------------------------------------------------------------------
@@ -184,11 +219,93 @@ class GraphStore:
     ) -> FilePath:
         """Persist a mapped widget set under this key; returns the path.
 
+        Taken under the store lock so a concurrent pruner cannot evict the
+        key's graph entry between our check and our write: if the graph
+        entry is gone (evicted since the caller loaded/saved it), it is
+        re-saved together with the widgets — the caller holds the graph in
+        hand — so a widget file never exists without its graph.
+
         Raises:
             CacheError: when the widgets do not belong to ``graph``.
         """
         path = self.widgets_path_for(log_fingerprint, options_fingerprint)
-        save_widgets(path, widgets, graph)
+        with self._lock.held():
+            if not self.path_for(log_fingerprint, options_fingerprint).exists():
+                save_graph(
+                    self.path_for(log_fingerprint, options_fingerprint), graph
+                )
+            save_widgets(path, widgets, graph)
+        self._enforce_caps()
+        return path
+
+    # ------------------------------------------------------------------
+    # closure-proof table
+    # ------------------------------------------------------------------
+    def load_proof_triples(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> list | None:
+        """Return this key's decoded proof triples, or ``None``.
+
+        The triples are only sound for the key's own (deterministic)
+        widget set; feed them to
+        :meth:`~repro.core.closure.ClosureCache.import_proofs` against
+        exactly those widgets.  Any decode failure is a miss.
+        """
+        path = self.proofs_path_for(log_fingerprint, options_fingerprint)
+        if not path.exists():
+            return None
+        try:
+            triples = load_proofs(path)
+        except CacheError:
+            return None
+        _touch(path)
+        return triples
+
+    def load_closure_proofs(
+        self,
+        log_fingerprint: str,
+        options_fingerprint: str,
+        widgets: list,
+    ) -> ClosureCache | None:
+        """Return a :class:`~repro.core.closure.ClosureCache` armed for
+        ``widgets`` with this key's persisted proofs, or ``None``.
+
+        ``widgets`` must be the widget set belonging to the *same* key —
+        the content-addressed key is what makes a persisted proof sound
+        for them.
+        """
+        triples = self.load_proof_triples(log_fingerprint, options_fingerprint)
+        if triples is None:
+            return None
+        cache = ClosureCache()
+        cache.import_proofs(widgets, triples)
+        return cache
+
+    def save_closure_proofs(
+        self,
+        log_fingerprint: str,
+        options_fingerprint: str,
+        cache: ClosureCache,
+        widgets: list,
+    ) -> FilePath | None:
+        """Persist the cache's positive proofs for ``widgets`` under this
+        key; returns the path, or ``None`` when nothing was written.
+
+        Nothing is written when the cache holds no proofs for exactly this
+        widget set, or when the key's graph entry no longer exists (a
+        pruner evicted it): proofs are a pure accelerator, and unlike
+        :meth:`save_widget_set` the caller cannot re-create the graph
+        entry from what it holds, so the save is skipped rather than
+        orphaning a proof file.
+        """
+        triples = cache.export_proofs(widgets)
+        if not triples:
+            return None
+        path = self.proofs_path_for(log_fingerprint, options_fingerprint)
+        with self._lock.held():
+            if not self.path_for(log_fingerprint, options_fingerprint).exists():
+                return None
+            save_proofs(path, triples)
         self._enforce_caps()
         return path
 
@@ -203,6 +320,10 @@ class GraphStore:
         """All widget-set entry files currently in the store, sorted."""
         return sorted(self.root.glob("*" + _WIDGETS_SUFFIX))
 
+    def proof_entries(self) -> list[FilePath]:
+        """All closure-proof entry files currently in the store, sorted."""
+        return sorted(self.root.glob("*" + _PROOFS_SUFFIX))
+
     def __len__(self) -> int:
         return len(self.entries())
 
@@ -214,26 +335,45 @@ class GraphStore:
         by_key: dict[str, list[FilePath]] = {}
         for path in self.entries():
             by_key.setdefault(path.name[: -len(_SUFFIX)], []).append(path)
-        for path in self.widget_entries():
-            by_key.setdefault(path.name[: -len(_WIDGETS_SUFFIX)], []).append(path)
+        for suffix in _DERIVED_SUFFIXES:
+            for path in sorted(self.root.glob("*" + suffix)):
+                by_key.setdefault(path.name[: -len(suffix)], []).append(path)
         return by_key
 
     def stats(self) -> dict[str, Any]:
-        """Occupancy counters: entry/file counts, total bytes, and caps."""
-        by_key = self._files_by_key()
+        """Occupancy counters: entry/file counts, total bytes, and caps.
+
+        Lock-free and therefore a *snapshot*: concurrent writers can move
+        the numbers between two calls, but every individual report is
+        internally consistent (files are stat'ed once, counters never go
+        negative, ``n_files`` covers exactly the files ``total_bytes``
+        sums).
+        """
         total_bytes = 0
         n_files = 0
-        for files in by_key.values():
+        counts = {_SUFFIX: 0, _WIDGETS_SUFFIX: 0, _PROOFS_SUFFIX: 0}
+        surviving_keys = set()
+        for key, files in self._files_by_key().items():
             for path in files:
                 try:
                     total_bytes += path.stat().st_size
-                    n_files += 1
                 except OSError:
+                    # racing delete between glob and stat: the file is
+                    # gone, so it must not count anywhere — deriving every
+                    # counter from surviving files is what keeps each
+                    # snapshot internally consistent under concurrency
                     continue
+                n_files += 1
+                surviving_keys.add(key)
+                for suffix in counts:
+                    if path.name.endswith(suffix):
+                        counts[suffix] += 1
+                        break
         return {
-            "n_keys": len(by_key),
-            "n_graphs": len(self.entries()),
-            "n_widget_sets": len(self.widget_entries()),
+            "n_keys": len(surviving_keys),
+            "n_graphs": counts[_SUFFIX],
+            "n_widget_sets": counts[_WIDGETS_SUFFIX],
+            "n_proof_sets": counts[_PROOFS_SUFFIX],
             "n_files": n_files,
             "total_bytes": total_bytes,
             "max_bytes": self.max_bytes,
@@ -248,6 +388,13 @@ class GraphStore:
         Explicit caps override the store's own; with neither configured
         nor given, this is a no-op.  Returns the number of keys removed.
 
+        Runs entirely under the store lock: concurrent pruners from other
+        processes serialise instead of interleaving their scans, so a key
+        is evicted (and counted) by exactly one of them, and a derived
+        save cannot land between the scan and the unlink.  Derived files
+        whose graph entry is gone (left by a crashed writer mid-key) are
+        swept as part of their keyless group.
+
         Raises:
             ValueError: for negative caps (use ``clear()`` to empty the
                 store deliberately).
@@ -260,33 +407,44 @@ class GraphStore:
         max_entries = max_entries if max_entries is not None else self.max_entries
         if max_bytes is None and max_entries is None:
             return 0
-        ranked: list[tuple[float, int, str, list[FilePath]]] = []
-        for key, files in self._files_by_key().items():
-            recency = 0.0
-            size = 0
-            for path in files:
-                try:
-                    stat = path.stat()
-                except OSError:
+        with self._lock.held():
+            ranked: list[tuple[float, int, str, list[FilePath]]] = []
+            for key, files in self._files_by_key().items():
+                recency = 0.0
+                size = 0
+                alive = []
+                has_graph = False
+                for path in files:
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue
+                    alive.append(path)
+                    recency = max(recency, stat.st_mtime)
+                    size += stat.st_size
+                    has_graph = has_graph or path.name.endswith(_SUFFIX)
+                if not alive:
                     continue
-                recency = max(recency, stat.st_mtime)
-                size += stat.st_size
-            ranked.append((recency, size, key, files))
-        ranked.sort()  # oldest recency first
-        n_keys = len(ranked)
-        total = sum(size for _, size, _, _ in ranked)
-        removed = 0
-        for recency, size, _key, files in ranked:
-            over_entries = max_entries is not None and n_keys > max_entries
-            over_bytes = max_bytes is not None and total > max_bytes
-            if not over_entries and not over_bytes:
-                break
-            for path in files:
-                path.unlink(missing_ok=True)
-            n_keys -= 1
-            total -= size
-            removed += 1
-        return removed
+                if not has_graph:
+                    # orphaned derived files (crashed writer): evict first,
+                    # regardless of recency — they can never hit
+                    recency = -1.0
+                ranked.append((recency, size, key, alive))
+            ranked.sort()  # oldest recency first (orphans lead)
+            n_keys = len(ranked)
+            total = sum(size for _, size, _, _ in ranked)
+            removed = 0
+            for recency, size, _key, files in ranked:
+                over_entries = max_entries is not None and n_keys > max_entries
+                over_bytes = max_bytes is not None and total > max_bytes
+                if not over_entries and not over_bytes and recency >= 0:
+                    break
+                for path in files:
+                    path.unlink(missing_ok=True)
+                n_keys -= 1
+                total -= size
+                removed += 1
+            return removed
 
     def _enforce_caps(self) -> None:
         """Apply the store's own caps after a save (no-op when uncapped)."""
@@ -310,15 +468,16 @@ class GraphStore:
         opts_part = (
             options_fingerprint[:_KEY_DIGITS] if options_fingerprint else None
         )
-        for key, files in self._files_by_key().items():
-            entry_log, _, entry_opts = key.partition("-")
-            if log_part is not None and entry_log != log_part:
-                continue
-            if opts_part is not None and entry_opts != opts_part:
-                continue
-            for path in files:
-                path.unlink(missing_ok=True)
-            removed += 1
+        with self._lock.held():
+            for key, files in self._files_by_key().items():
+                entry_log, _, entry_opts = key.partition("-")
+                if log_part is not None and entry_log != log_part:
+                    continue
+                if opts_part is not None and entry_opts != opts_part:
+                    continue
+                for path in files:
+                    path.unlink(missing_ok=True)
+                removed += 1
         return removed
 
     def clear(self) -> int:

@@ -72,3 +72,14 @@ class CacheError(ReproError):
     """Raised when a persisted graph or session snapshot cannot be
     decoded (version mismatch, truncation, malformed records) or does not
     match the options it is being resumed under."""
+
+
+class ServiceError(ReproError):
+    """Raised by the session-serving layer: misconfigured pools, submits
+    to a closed pool, worker crashes, or appends that failed inside a
+    worker (the per-client failure messages are carried in
+    :attr:`failures`)."""
+
+    def __init__(self, message: str, failures: list | None = None):
+        super().__init__(message)
+        self.failures = list(failures or [])

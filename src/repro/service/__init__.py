@@ -1,0 +1,14 @@
+"""Session-serving layer: concurrent multi-client ingestion.
+
+The pipeline (``repro.api``) mines one log; the cache (``repro.cache``)
+persists what was mined; this package *serves*: a
+:class:`~repro.service.pool.SessionPool` shards the incremental sessions
+of many independent clients across worker processes, all backed by one
+file-lock-guarded :class:`~repro.cache.store.GraphStore`.  See
+``docs/service.md`` for the lifecycle, the backpressure semantics, and
+the shared-store guarantees.
+"""
+
+from repro.service.pool import AppendAck, PoolStats, SessionPool
+
+__all__ = ["SessionPool", "AppendAck", "PoolStats"]

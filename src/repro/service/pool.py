@@ -1,0 +1,518 @@
+"""Cross-process concurrent session serving.
+
+One :class:`~repro.api.session.InterfaceSession` serialises its appends:
+even ``astream`` only moves the work off the event loop, every append
+still runs one after the other in one process.  Real interface-mining
+deployments ingest many *independent* client logs concurrently, and
+independent sessions have no reason to queue behind each other — they
+are embarrassingly parallel right up to the shared cache.
+
+A :class:`SessionPool` is that parallel layer:
+
+* it owns ``pool_size`` **worker processes**, each hosting the
+  :class:`InterfaceSession` objects of the clients sharded onto it
+  (stable client→worker hashing, so one client's batches always land on
+  the same worker in arrival order);
+* :meth:`submit` routes one ``(client_id, batch)`` to its shard through a
+  **bounded queue** — when a worker falls behind, ``submit`` blocks
+  instead of buffering unboundedly.  That is the backpressure contract:
+  producers slow to the pool's real throughput, memory stays flat;
+* :meth:`serve` is the async face of the same contract: it consumes a
+  sync or async stream of ``(client_id, batch)`` events, submitting via
+  a worker thread so a full shard queue never blocks the event loop;
+* :meth:`drain` is the synchronisation point: it waits until every
+  submitted batch is fully processed and returns the latest
+  :class:`~repro.api.result.GenerationResult` per client.
+
+With ``options.cache_dir`` set, all workers share one
+:class:`~repro.cache.store.GraphStore` (whose multi-file operations are
+file-lock guarded exactly for this): on :meth:`drain` each session
+publishes its accumulated graph, widget set, and closure proofs, so a
+later pool — or a one-shot ``generate`` — full-hits on the same log, and
+``expresses()`` memos survive the pool.
+
+Result equivalence: a pool is sharding, not approximation.  For every
+client, the drained result equals what one-shot
+:func:`~repro.api.generate` over the client's concatenated batches
+produces — the property-based parity suite in
+``tests/service/test_pool_properties.py`` holds this across random
+workloads.
+
+Usage::
+
+    from repro.service import SessionPool
+
+    with SessionPool(pool_size=4, queue_depth=8) as pool:
+        for client_id, batch in arriving_batches:
+            pool.submit(client_id, batch)          # blocks when saturated
+        results = pool.drain()                     # {client_id: GenerationResult}
+
+    async with SessionPool(pool_size=4) as pool:   # same pool, async face
+        results = await pool.serve(event_stream())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing as mp
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Iterable
+
+from repro.api.result import GenerationResult
+from repro.api.session import InterfaceSession
+from repro.core.options import PipelineOptions
+from repro.errors import ServiceError
+
+__all__ = ["SessionPool", "AppendAck", "PoolStats"]
+
+#: Default bound of each worker's inbox queue, in batches.  Deep enough
+#: to keep a worker busy while the producer parses the next arrivals,
+#: shallow enough that a stalled worker pushes back within a few batches.
+DEFAULT_QUEUE_DEPTH = 8
+
+_OP_APPEND = "append"
+_OP_DRAIN = "drain"
+_OP_RELEASE = "release"
+_OP_STOP = "stop"
+
+
+@dataclass(frozen=True)
+class AppendAck:
+    """One processed append, as reported back by a worker."""
+
+    client_id: str
+    seq: int
+    worker: int
+    n_queries: int
+    n_widgets: int
+    seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the append was applied to the client's session."""
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Counters over the pool's lifetime (monotonic until ``close``)."""
+
+    pool_size: int
+    queue_depth: int
+    n_submitted: int
+    n_completed: int
+    n_failed: int
+    n_clients: int
+
+
+def _worker_main(
+    worker_id: int,
+    options: PipelineOptions,
+    inbox: Any,
+    outbox: Any,
+) -> None:
+    """Worker-process loop: host sessions, apply appends, answer drains.
+
+    Module-level so it pickles by reference under every multiprocessing
+    start method.  Messages are processed strictly in queue order, which
+    is what makes per-client ordering and the drain barrier correct: a
+    drain sentinel enqueued after a client's batches is necessarily
+    handled after them.
+    """
+    sessions: dict[str, InterfaceSession] = {}
+    while True:
+        message = inbox.get()
+        op = message[0]
+        if op == _OP_APPEND:
+            _, seq, client_id, batch = message
+            started = time.perf_counter()
+            try:
+                session = sessions.get(client_id)
+                if session is None:
+                    session = InterfaceSession(options=options)
+                    sessions[client_id] = session
+                result = session.append_batch(batch)
+                outbox.put(
+                    AppendAck(
+                        client_id=client_id,
+                        seq=seq,
+                        worker=worker_id,
+                        n_queries=len(session),
+                        n_widgets=len(result.interface.widgets),
+                        seconds=time.perf_counter() - started,
+                    )
+                )
+            except BaseException as exc:  # the pool must survive bad batches
+                outbox.put(
+                    AppendAck(
+                        client_id=client_id,
+                        seq=seq,
+                        worker=worker_id,
+                        n_queries=len(sessions.get(client_id) or ()),
+                        n_widgets=0,
+                        seconds=time.perf_counter() - started,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+        elif op == _OP_DRAIN:
+            _, seq = message
+            results: dict[str, GenerationResult] = {}
+            flush_errors: list[str] = []
+            for client_id, session in sessions.items():
+                if session.result is None:
+                    continue
+                try:
+                    session.flush_to_store()  # no-op without a cache_dir
+                except Exception as exc:
+                    # publication is an optimisation; the results are not
+                    flush_errors.append(f"{client_id}: {exc}")
+                results[client_id] = session.result
+            outbox.put(("drained", worker_id, seq, results, flush_errors))
+        elif op == _OP_RELEASE:
+            _, client_ids = message
+            for client_id in client_ids:
+                sessions.pop(client_id, None)
+        elif op == _OP_STOP:
+            break
+
+
+def _shard_of(client_id: str, pool_size: int) -> int:
+    """Stable client→worker routing (process- and run-independent)."""
+    return zlib.crc32(client_id.encode("utf-8")) % pool_size
+
+
+class SessionPool:
+    """Serve many concurrent :class:`InterfaceSession` clients across
+    worker processes against one shared store.
+
+    Args:
+        options: pipeline configuration shared by every hosted session;
+            set ``options.cache_dir`` to back all workers by one
+            :class:`~repro.cache.store.GraphStore`.
+        pool_size: number of worker processes (>= 1).
+        queue_depth: per-worker inbox bound, in batches (>= 1); this is
+            the backpressure knob — :meth:`submit` blocks when the target
+            shard's queue is full.
+        mp_context: a :mod:`multiprocessing` start-method name
+            (``"fork"``/``"spawn"``/``"forkserver"``) or ``None`` for the
+            platform default.
+
+    The pool is a context manager; leaving the ``with`` block (or calling
+    :meth:`close`) stops the workers.  Observers are deliberately not
+    accepted: like ``generate_many(workers=N)``, hook objects hold
+    process-local state and cannot follow an append into a worker.
+    """
+
+    def __init__(
+        self,
+        options: PipelineOptions | None = None,
+        pool_size: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        mp_context: str | None = None,
+    ):
+        if pool_size < 1:
+            raise ServiceError(f"pool_size must be >= 1, got {pool_size}")
+        if queue_depth < 1:
+            raise ServiceError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.options = options or PipelineOptions()
+        self.pool_size = pool_size
+        self.queue_depth = queue_depth
+        self._ctx = mp.get_context(mp_context)
+        self._seq = itertools.count()
+        self._n_submitted = 0
+        self._acks: list[AppendAck] = []
+        # error acks not yet reported by a drain() (per-client consumption)
+        self._unreported_failures: list[AppendAck] = []
+        # non-ack messages (drain replies) popped by _collect_ready while
+        # a concurrent drain() was waiting for them — never discard these
+        self._stashed_replies: list[tuple] = []
+        self._flush_errors: list[str] = []
+        self._clients: set[str] = set()
+        self._closed = False
+        self._outbox = self._ctx.Queue()
+        self._inboxes = [
+            self._ctx.Queue(maxsize=queue_depth) for _ in range(pool_size)
+        ]
+        self._workers = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(worker_id, self.options, self._inboxes[worker_id], self._outbox),
+                daemon=True,
+                name=f"repro-session-worker-{worker_id}",
+            )
+            for worker_id in range(pool_size)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "SessionPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    async def __aenter__(self) -> "SessionPool":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await asyncio.to_thread(self.close)
+
+    def close(self) -> None:
+        """Stop every worker and release the queues.  Idempotent.
+
+        Pending (submitted but undrained) work is still processed — the
+        stop sentinel queues behind it — but its results are discarded;
+        call :meth:`drain` first to keep them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for inbox, worker in zip(self._inboxes, self._workers):
+            try:
+                # bounded put: a dead worker leaves its queue full forever,
+                # and close() must never hang on it
+                inbox.put((_OP_STOP,), timeout=5)
+            except Exception:  # queue.Full, or a queue already torn down
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=30)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=5)
+        for queue in (*self._inboxes, self._outbox):
+            queue.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the pool is closed")
+        dead = [w.name for w in self._workers if not w.is_alive()]
+        if dead:
+            raise ServiceError(f"worker process(es) died: {', '.join(dead)}")
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def submit(self, client_id: str, batch: Any) -> int:
+        """Enqueue one batch for one client; returns the submit sequence.
+
+        ``batch`` is anything :meth:`InterfaceSession.append_batch`
+        accepts: a raw SQL string, a parsed AST, or an iterable of either.
+        Batches of one client are applied in submit order (they share a
+        shard, and shards process in FIFO order).  **Blocks** while the
+        client's shard queue is full — that is the backpressure: a caller
+        reading from a firehose is throttled to what the workers sustain.
+
+        Raises:
+            ServiceError: when the pool is closed or a worker died.
+        """
+        self._require_open()
+        seq = next(self._seq)
+        shard = _shard_of(client_id, self.pool_size)
+        self._inboxes[shard].put((_OP_APPEND, seq, client_id, batch))
+        self._n_submitted += 1
+        self._clients.add(client_id)
+        return seq
+
+    def pending(self) -> int:
+        """Batches submitted but not yet acknowledged (approximate while
+        workers are mid-append; exact after :meth:`drain`)."""
+        self._collect_ready()
+        return self._n_submitted - len(self._acks)
+
+    def _record_ack(self, ack: AppendAck) -> None:
+        self._acks.append(ack)
+        if ack.error is not None:
+            self._unreported_failures.append(ack)
+
+    def _collect_ready(self) -> None:
+        """Drain the outbox of already-available acks without blocking.
+
+        A drain reply popped here (stats()/acks() racing a concurrent
+        :meth:`drain`, e.g. a monitor polling while ``serve`` drains in a
+        worker thread) is stashed, not dropped — the waiting drain would
+        otherwise hang forever on a reply that already left the queue.
+        """
+        import queue as queue_mod
+
+        while True:
+            try:
+                message = self._outbox.get_nowait()
+            except queue_mod.Empty:
+                return
+            if isinstance(message, AppendAck):
+                self._record_ack(message)
+            else:
+                self._stashed_replies.append(message)
+
+    # ------------------------------------------------------------------
+    # synchronisation
+    # ------------------------------------------------------------------
+    def drain(
+        self, strict: bool = True, clients: Iterable[str] | None = None
+    ) -> dict[str, GenerationResult]:
+        """Wait for every submitted batch, then return per-client results.
+
+        Sends a drain sentinel down each shard (FIFO guarantees it runs
+        after all pending appends) and gathers the workers' replies.  Each
+        worker also publishes its sessions to the shared store first, when
+        one is configured.  The pool stays usable afterwards — sessions
+        keep their state and later submits keep appending.
+
+        Args:
+            strict: raise :class:`ServiceError` if any *append* failed
+                (the per-client messages ride on the exception's
+                ``failures``).  With ``strict=False`` failures are only
+                visible through :meth:`acks` / :meth:`stats`.  Store-flush
+                failures never gate result delivery — publication is an
+                optimisation — and are reported via :meth:`flush_errors`.
+            clients: restrict *failure* reporting/consumption to these
+                client ids; other clients' failures stay pending for
+                their owner's drain (the ``generate_many(pool=...)``
+                contract on a shared pool).  Results are always the full
+                barrier's — every client's latest.
+
+        Returns:
+            The latest :class:`GenerationResult` per client, for every
+            client that has at least one successful append.
+
+        Raises:
+            ServiceError: per ``strict``, or when a worker died.
+        """
+        import queue as queue_mod
+
+        self._require_open()
+        drain_seq = next(self._seq)
+        for inbox in self._inboxes:
+            inbox.put((_OP_DRAIN, drain_seq))
+        results: dict[str, GenerationResult] = {}
+        replied = 0
+        while replied < self.pool_size:
+            if self._stashed_replies:
+                message: Any = self._stashed_replies.pop(0)
+            else:
+                try:
+                    message = self._outbox.get(timeout=1.0)
+                except queue_mod.Empty:
+                    # a dead worker mid-drain would otherwise hang us here
+                    self._require_open()
+                    continue
+            if isinstance(message, AppendAck):
+                self._record_ack(message)
+                continue
+            kind, _worker_id, seq, worker_results, worker_flush_errors = message
+            if kind == "drained" and seq == drain_seq:
+                replied += 1
+                results.update(worker_results)
+                self._flush_errors.extend(worker_flush_errors)
+            # a reply for an older drain (stashed after its waiter gave
+            # up) is obsolete; drop it
+        client_filter = set(clients) if clients is not None else None
+        reported = [
+            ack
+            for ack in self._unreported_failures
+            if client_filter is None or ack.client_id in client_filter
+        ]
+        self._unreported_failures = [
+            ack for ack in self._unreported_failures if ack not in reported
+        ]
+        if strict and reported:
+            raise ServiceError(
+                f"{len(reported)} append(s) failed in the pool",
+                failures=[
+                    f"{ack.client_id} (batch #{ack.seq}): {ack.error}"
+                    for ack in reported
+                ],
+            )
+        return results
+
+    def flush_errors(self) -> list[str]:
+        """Store-publication failures observed by drains so far.  These
+        never fail a drain (the results exist regardless); a caller that
+        needs durability checks here."""
+        return list(self._flush_errors)
+
+    def release(self, client_ids: Iterable[str]) -> None:
+        """Drop the named clients' sessions from their workers.
+
+        Freed memory, not a barrier: in-flight appends for a released
+        client that are still queued will transparently start a fresh
+        session.  Call after :meth:`drain` for a clean hand-off.
+        """
+        self._require_open()
+        ids = list(client_ids)
+        by_shard: dict[int, list[str]] = {}
+        for client_id in ids:
+            by_shard.setdefault(_shard_of(client_id, self.pool_size), []).append(
+                client_id
+            )
+        for shard, shard_ids in by_shard.items():
+            self._inboxes[shard].put((_OP_RELEASE, shard_ids))
+        self._clients.difference_update(ids)
+
+    # ------------------------------------------------------------------
+    # async serving
+    # ------------------------------------------------------------------
+    async def serve(
+        self, stream: Any, drain: bool = True, strict: bool = True
+    ) -> dict[str, GenerationResult]:
+        """Consume a stream of ``(client_id, batch)`` events and serve
+        them through the pool; the async replacement for per-session
+        ``astream`` loops.
+
+        ``stream`` may be a sync or an async iterable.  Every submit runs
+        in a worker thread, so when a shard queue is full the *stream* is
+        what stalls (bounded-queue backpressure) while the event loop
+        stays responsive for other tasks.  With ``drain=True`` (default)
+        the pool is drained after the stream ends and the per-client
+        results are returned; ``drain=False`` returns an empty dict and
+        leaves synchronisation to the caller.
+
+        Raises:
+            ServiceError: as :meth:`submit` / :meth:`drain`.
+        """
+        if hasattr(stream, "__aiter__"):
+            async for client_id, batch in stream:
+                await asyncio.to_thread(self.submit, client_id, batch)
+        else:
+            for client_id, batch in stream:
+                await asyncio.to_thread(self.submit, client_id, batch)
+        if not drain:
+            return {}
+        return await asyncio.to_thread(self.drain, strict)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def acks(self) -> list[AppendAck]:
+        """All append acknowledgements received so far (submit order is
+        not guaranteed across clients; per client it is)."""
+        self._collect_ready()
+        return list(self._acks)
+
+    def stats(self) -> PoolStats:
+        """Lifetime counters (see :class:`PoolStats`)."""
+        self._collect_ready()
+        n_failed = sum(1 for ack in self._acks if ack.error is not None)
+        return PoolStats(
+            pool_size=self.pool_size,
+            queue_depth=self.queue_depth,
+            n_submitted=self._n_submitted,
+            n_completed=len(self._acks) - n_failed,
+            n_failed=n_failed,
+            n_clients=len(self._clients),
+        )
+
+    def unique_client_id(self, prefix: str = "client") -> str:
+        """A client id no earlier submit of this pool has used (for
+        callers like ``generate_many`` that invent ids per call)."""
+        while True:
+            candidate = f"{prefix}-{next(self._seq)}"
+            if candidate not in self._clients:
+                return candidate

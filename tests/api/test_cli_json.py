@@ -74,6 +74,40 @@ class TestCheckJson:
         assert payload == {"query": query, "expressible": True}
 
 
+class TestServeJson:
+    def test_serves_a_multiclient_jsonl_log(self, tmp_path, capsys):
+        rows = [
+            {"sql": f"SELECT a FROM t WHERE x = {i}", "client": "alice", "sequence": i}
+            for i in range(4)
+        ] + [
+            {"sql": f"SELECT b FROM u WHERE y = {i}", "client": "bob", "sequence": i}
+            for i in range(3)
+        ]
+        path = tmp_path / "multi.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(row) for row in rows) + "\n", encoding="utf-8"
+        )
+        assert main(["serve", str(path), "--pool-size", "2",
+                     "--queue-depth", "4", "--batch-size", "2", "--json"]) == 0
+        payload = _json_out(capsys)
+        assert payload["pool"]["pool_size"] == 2
+        assert payload["pool"]["n_clients"] == 2
+        assert payload["clients"]["alice"]["n_queries"] == 4
+        assert payload["clients"]["bob"]["n_queries"] == 3
+        assert payload["clients"]["alice"]["n_widgets"] >= 1
+
+    def test_plain_text_log_is_one_client(self, log_file, capsys):
+        assert main(["serve", log_file, "--pool-size", "1", "--json"]) == 0
+        payload = _json_out(capsys)
+        assert payload["pool"]["n_clients"] == 1
+
+    def test_rejects_bad_pool_arguments(self, log_file, capsys):
+        assert main(["serve", log_file, "--pool-size", "0"]) == 2
+        assert "pool_size" in capsys.readouterr().err
+        assert main(["serve", log_file, "--batch-size", "0"]) == 2
+        assert "batch-size" in capsys.readouterr().err
+
+
 class TestCacheCli:
     def test_stats_prune_clear_round_trip(self, log_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "store")
@@ -92,11 +126,39 @@ class TestCacheCli:
         assert pruned["removed"] == 1
         assert pruned["n_keys"] == 0
 
-    def test_prune_requires_a_cap(self, tmp_path, capsys):
+    def test_prune_requires_a_cap_when_there_is_work(self, log_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "prune", "--cache-dir", cache_dir]) == 2
+        assert "max-bytes" in capsys.readouterr().err
+
+    def test_stats_on_empty_store_dir_exits_cleanly(self, tmp_path, capsys):
+        """Regression: an existing-but-empty store directory is a valid,
+        empty store — scripted maintenance must get code 0 and zeros."""
         store = tmp_path / "store"
         store.mkdir()
-        assert main(["cache", "prune", "--cache-dir", str(store)]) == 2
-        assert "max-bytes" in capsys.readouterr().err
+        assert main(["cache", "stats", "--cache-dir", str(store), "--json"]) == 0
+        stats = _json_out(capsys)
+        assert stats["n_keys"] == 0
+        assert stats["n_graphs"] == 0
+        assert stats["n_widget_sets"] == 0
+        assert stats["n_proof_sets"] == 0
+        assert stats["total_bytes"] == 0
+
+    def test_prune_on_empty_store_dir_exits_cleanly(self, tmp_path, capsys):
+        """Regression: pruning an empty store is a no-op report, with or
+        without caps — not a usage error."""
+        store = tmp_path / "store"
+        store.mkdir()
+        assert main(["cache", "prune", "--cache-dir", str(store)]) == 0
+        assert "nothing to prune" in capsys.readouterr().out
+        assert main(["cache", "prune", "--cache-dir", str(store), "--json"]) == 0
+        payload = _json_out(capsys)
+        assert payload["removed"] == 0 and payload["n_keys"] == 0
+        assert main(["cache", "prune", "--cache-dir", str(store),
+                     "--max-entries", "3", "--json"]) == 0
+        assert _json_out(capsys)["removed"] == 0
 
     def test_clear_empties_the_store(self, log_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "store")

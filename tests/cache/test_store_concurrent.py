@@ -1,0 +1,245 @@
+"""Multi-process GraphStore integrity under interleaved save/load/prune.
+
+Marked ``stress``: excluded from the default (tier-1) run by the
+``-m "not stress"`` addopts and executed by CI's dedicated stress job
+(``pytest -m stress``).
+
+Several worker processes hammer one store directory with a tight
+``max_bytes`` cap, so LRU eviction runs constantly while other workers
+are saving and loading the very same keys.  The invariants:
+
+* no corrupt entries — every file still present at the end decodes, and
+  every mid-run load either hits (a valid graph) or misses (``None``),
+  never raises;
+* no orphans — every ``.widgets.json`` / ``.proofs.json`` sits next to
+  its ``.graph.jsonl`` (eviction removes a key's files as one unit, and
+  the lock-guarded derived saves refuse to recreate them);
+* consistent ``stats()`` — every snapshot a concurrent observer takes is
+  internally coherent (no negative counters, file counts add up).
+"""
+
+import multiprocessing as mp
+import os
+import random
+import sys
+
+import pytest
+
+from repro import parse_sql
+from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.serialize import load_graph, load_proofs, load_widgets
+from repro.cache.store import GraphStore
+from repro.core.closure import ClosureCache, expresses
+from repro.core.mapper import initialize, merge_widgets
+from repro.core.options import PipelineOptions
+from repro.graph.build import BuildStats, build_interaction_graph
+
+pytestmark = [
+    pytest.mark.stress,
+    pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="fork-based stress harness"
+    ),
+]
+
+N_PROCESSES = 4
+N_OPS = 150
+N_KEYS = 6
+#: tight enough that only ~2-3 of the 6 keys fit -> constant eviction
+MAX_BYTES = 9_000
+
+
+def _payloads():
+    """Mine the shared key set: every worker derives the same (log,
+    options) keys, so all processes contend on the same entries."""
+    options = PipelineOptions()
+    payloads = []
+    for key_index in range(N_KEYS):
+        statements = [
+            f"SELECT a FROM t{key_index} WHERE x = {value}"
+            for value in (1, 2, 5, 9)
+        ]
+        queries = [parse_sql(s) for s in statements]
+        stats = BuildStats()
+        graph = build_interaction_graph(queries, window=2, stats=stats)
+        widgets = merge_widgets(
+            initialize(graph.diffs, options.library, options.annotations),
+            options.library,
+            options.annotations,
+            leaf_diffs=[d for d in graph.diffs if d.is_leaf],
+        )
+        cache = ClosureCache()
+        expresses(widgets, queries[0], queries[1], cache=cache)
+        payloads.append(
+            {
+                "log_fp": log_fingerprint(queries),
+                "opts_fp": options_fingerprint(options),
+                "graph": graph,
+                "stats": stats,
+                "widgets": widgets,
+                "proofs": cache,
+            }
+        )
+    return payloads
+
+
+def _hammer(root: str, seed: int, failures: "mp.Queue") -> None:
+    """One worker: N_OPS random interleaved store operations."""
+    rng = random.Random(seed)
+    try:
+        store = GraphStore(root, max_bytes=MAX_BYTES)
+        payloads = _payloads()
+        options = PipelineOptions()
+        for _ in range(N_OPS):
+            payload = rng.choice(payloads)
+            op = rng.choice(
+                ["save", "save", "widgets", "proofs", "load", "load_widgets", "prune"]
+            )
+            if op == "save":
+                store.save(
+                    payload["log_fp"], payload["opts_fp"],
+                    payload["graph"], payload["stats"],
+                )
+            elif op == "widgets":
+                store.save_widget_set(
+                    payload["log_fp"], payload["opts_fp"],
+                    payload["widgets"], payload["graph"],
+                )
+            elif op == "proofs":
+                store.save_closure_proofs(
+                    payload["log_fp"], payload["opts_fp"],
+                    payload["proofs"], payload["widgets"],
+                )
+            elif op == "load":
+                loaded = store.load(payload["log_fp"], payload["opts_fp"])
+                if loaded is not None:
+                    graph, _stats = loaded
+                    assert len(graph.queries) == len(payload["graph"].queries)
+            elif op == "load_widgets":
+                loaded = store.load(payload["log_fp"], payload["opts_fp"])
+                if loaded is not None:
+                    graph, _stats = loaded
+                    widgets = store.load_widget_set(
+                        payload["log_fp"], payload["opts_fp"],
+                        graph, options.library, options.annotations,
+                    )
+                    if widgets is not None:
+                        assert len(widgets) == len(payload["widgets"])
+            else:
+                store.prune()
+    except BaseException as exc:  # noqa: BLE001 - report, don't hang join
+        failures.put(f"worker {seed}: {type(exc).__name__}: {exc}")
+
+
+def _assert_stats_consistent(stats: dict) -> None:
+    assert stats["n_keys"] >= 0
+    assert stats["n_files"] >= 0
+    assert stats["total_bytes"] >= 0
+    assert (
+        stats["n_files"]
+        == stats["n_graphs"] + stats["n_widget_sets"] + stats["n_proof_sets"]
+    )
+    assert stats["n_keys"] <= stats["n_files"]
+    if stats["n_files"] == 0:
+        assert stats["total_bytes"] == 0
+
+
+def test_concurrent_save_load_prune_leaves_a_coherent_store(tmp_path):
+    root = tmp_path / "store"
+    ctx = mp.get_context("fork")
+    failures: mp.Queue = ctx.Queue()
+    processes = [
+        ctx.Process(target=_hammer, args=(str(root), seed, failures))
+        for seed in range(N_PROCESSES)
+    ]
+    for process in processes:
+        process.start()
+
+    # concurrent observer: every stats() snapshot must be coherent while
+    # the workers are mid-flight
+    observer = GraphStore(root)
+    while any(p.is_alive() for p in processes):
+        _assert_stats_consistent(observer.stats())
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+
+    reported = []
+    while not failures.empty():
+        reported.append(failures.get())
+    assert not reported, reported
+
+    store = GraphStore(root)
+    options = PipelineOptions()
+
+    # 1. no corrupt entries: everything still on disk decodes
+    for path in store.entries():
+        graph, _stats, _extra = load_graph(path)  # raises on corruption
+        assert graph.queries
+    graph_keys = {p.name[: -len(".graph.jsonl")] for p in store.entries()}
+
+    # 2. no orphaned derived files, and each decodes against its graph
+    for path in store.widget_entries():
+        key = path.name[: -len(".widgets.json")]
+        assert key in graph_keys, f"orphaned widget set {path.name}"
+        graph, _stats, _extra = load_graph(store.root / (key + ".graph.jsonl"))
+        assert load_widgets(path, graph, options.library, options.annotations)
+    for path in store.proof_entries():
+        key = path.name[: -len(".proofs.json")]
+        assert key in graph_keys, f"orphaned proof set {path.name}"
+        assert load_proofs(path)
+
+    # 3. final occupancy is coherent, and one more prune enforces the cap
+    final = store.stats()
+    _assert_stats_consistent(final)
+    store.prune(max_bytes=MAX_BYTES)
+    assert store.stats()["total_bytes"] <= MAX_BYTES
+
+
+def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path):
+    """All processes prune aggressively while two keep saving: the lock
+    serialises the scans, so caps hold and keys evict atomically."""
+    root = tmp_path / "store"
+    store = GraphStore(root)
+    payloads = _payloads()
+    for payload in payloads:
+        store.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+        store.save_widget_set(
+            payload["log_fp"], payload["opts_fp"],
+            payload["widgets"], payload["graph"],
+        )
+
+    def prune_hard(seed: int, failures: "mp.Queue") -> None:
+        try:
+            local = GraphStore(str(root))
+            rng = random.Random(seed)
+            for _ in range(30):
+                local.prune(max_entries=rng.choice([1, 2, 3]))
+        except BaseException as exc:  # noqa: BLE001
+            failures.put(f"pruner {seed}: {exc}")
+
+    ctx = mp.get_context("fork")
+    failures: mp.Queue = ctx.Queue()
+    pruners = [
+        ctx.Process(target=prune_hard, args=(seed, failures)) for seed in range(3)
+    ]
+    savers = [
+        ctx.Process(target=_hammer, args=(str(root), 100 + seed, failures))
+        for seed in range(2)
+    ]
+    for process in pruners + savers:
+        process.start()
+    for process in pruners + savers:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    reported = []
+    while not failures.empty():
+        reported.append(failures.get())
+    assert not reported, reported
+
+    graph_keys = {p.name[: -len(".graph.jsonl")] for p in store.entries()}
+    for path in store.widget_entries():
+        assert path.name[: -len(".widgets.json")] in graph_keys
+    for path in store.proof_entries():
+        assert path.name[: -len(".proofs.json")] in graph_keys
+    assert store.prune(max_entries=1) >= 0
+    assert store.stats()["n_keys"] <= 1

@@ -93,6 +93,91 @@ def predicates():
     return st.one_of(simple, between)
 
 
+# ----------------------------------------------------------------------
+# session workloads (service-layer parity suite)
+# ----------------------------------------------------------------------
+#
+# Real session logs are not arbitrary ASTs: they are *template traffic* —
+# the same handful of query shapes re-issued with different literals and
+# columns, which is exactly the structure interface mining exploits.
+# ``session_workloads`` generates that: per client, a random mix of
+# parametrised templates instantiated with random values, then split into
+# random contiguous batches (the arrival pattern).  The parity suite runs
+# each workload through one-shot ``generate``, ``InterfaceSession.stream``,
+# and a ``SessionPool`` and requires identical widget sets and closure
+# answers.
+
+_TABLE = st.sampled_from(["t", "orders", "runs", "ontime"])
+
+
+@st.composite
+def template_statements(draw, min_size: int = 4, max_size: int = 10) -> list[str]:
+    """A single client's log: template traffic over one table."""
+    table = draw(_TABLE)
+    shapes = draw(
+        st.lists(
+            st.sampled_from(["filter", "project", "group"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    statements = []
+    for _ in range(n):
+        shape = draw(st.sampled_from(shapes))
+        if shape == "filter":
+            value = draw(st.integers(min_value=0, max_value=40))
+            statements.append(f"SELECT a FROM {table} WHERE x = {value}")
+        elif shape == "project":
+            column = draw(st.sampled_from(["a", "b", "c"]))
+            value = draw(st.integers(min_value=0, max_value=9))
+            statements.append(
+                f"SELECT {column}, d FROM {table} WHERE y = {value}"
+            )
+        else:
+            agg = draw(st.sampled_from(["SUM", "AVG", "MIN"]))
+            statements.append(
+                f"SELECT g, {agg}(m) FROM {table} GROUP BY g"
+            )
+    return statements
+
+
+@st.composite
+def batch_splits(draw, statements: list[str]) -> list[list[str]]:
+    """A random partition of a log into contiguous non-empty batches."""
+    if len(statements) <= 1:
+        return [list(statements)]
+    cuts = draw(
+        st.sets(
+            st.integers(min_value=1, max_value=len(statements) - 1),
+            max_size=len(statements) - 1,
+        )
+    )
+    bounds = [0, *sorted(cuts), len(statements)]
+    return [
+        statements[start:stop]
+        for start, stop in zip(bounds, bounds[1:])
+        if stop > start
+    ]
+
+
+@st.composite
+def session_workloads(draw, max_clients: int = 3):
+    """A multi-client workload: ``{client_id: (statements, batches)}``.
+
+    ``batches`` concatenates back to exactly ``statements`` — the
+    invariant that makes one-shot/streamed/pooled runs comparable.
+    """
+    n_clients = draw(st.integers(min_value=1, max_value=max_clients))
+    workload = {}
+    for index in range(n_clients):
+        statements = draw(template_statements())
+        batches = draw(batch_splits(statements))
+        workload[f"client-{index}"] = (statements, batches)
+    return workload
+
+
 @st.composite
 def select_statements(draw) -> Node:
     """A random SELECT AST in canonical clause order."""

@@ -63,10 +63,15 @@ def test_diff_symmetry(a, b):
         if d.is_leaf and d.is_replacement
     }
     # replacements appear at the same paths in both directions when no
-    # structural insert/delete shifts indices
+    # structural insert/delete shifts indices.  The matcher may resolve
+    # *either* direction with insert+delete instead of a replacement when
+    # duplicate siblings make the alignment ambiguous (e.g. three equal
+    # conjuncts of which one changes), so both directions must be free of
+    # structural edits before the paths are required to agree.
     inserts_or_deletes = [
         d
-        for d in extract_diffs(a, b, prune=True)
+        for direction in (extract_diffs(a, b, prune=True), extract_diffs(b, a, prune=True))
+        for d in direction
         if d.is_leaf and not d.is_replacement
     ]
     if not inserts_or_deletes:
