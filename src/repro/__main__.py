@@ -251,8 +251,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(
                 f"{payload['n_keys']} key(s): {payload['n_graphs']} graph(s), "
                 f"{payload['n_widget_sets']} widget set(s), "
+                f"{payload['n_proof_sets']} proof set(s), "
+                f"{payload['n_diff_memos']} diff memo(s), "
                 f"{payload['total_bytes']} bytes"
             )
+            for table, n_bytes in payload["bytes_by_table"].items():
+                print(f"  {table}: {n_bytes} bytes")
         return 0
     if args.cache_command == "prune":
         if args.max_bytes is None and args.max_entries is None:

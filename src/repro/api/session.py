@@ -58,7 +58,13 @@ from repro.api.pipeline import (
     _assemble_result,
 )
 from repro.api.result import GenerationResult, StageReport
-from repro.api.stages import MapStage, MergeStage, MineStage, PipelineState
+from repro.api.stages import (
+    MapStage,
+    MergeStage,
+    MineStage,
+    PipelineState,
+    parse_deduplicated,
+)
 from repro.cache.fingerprint import LogFingerprinter, options_fingerprint
 from repro.cache.serialize import load_graph, save_graph
 from repro.cache.store import GraphStore
@@ -70,6 +76,7 @@ from repro.graph.build import BuildStats, extend_interaction_graph
 from repro.graph.interaction import InteractionGraph
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.parser import parse_sql
+from repro.treediff.memo import DiffMemo
 
 __all__ = ["InterfaceSession"]
 
@@ -105,6 +112,10 @@ class InterfaceSession:
         # partition index + per-path and per-component memos threaded into
         # MapStage/MergeStage (see repro.core.mapper.MapCache)
         self._map_cache = MapCache()
+        # skeleton-level alignment plans shared by every append: once a
+        # template shape has been aligned, later appends of that shape
+        # replay the plan and do zero alignment-DP work
+        self._diff_memo = DiffMemo()
         # accumulated-log fingerprint, maintained per append so store
         # adoption/publication never re-hashes the whole log
         self._fingerprinter = LogFingerprinter()
@@ -137,6 +148,17 @@ class InterfaceSession:
         """Total tree alignments across all appends — equal to what one
         full build over the same log would perform."""
         return self._stats.n_pairs_compared
+
+    @property
+    def n_alignments_memoised(self) -> int:
+        """Pairs answered by diff-memo plan replay across all appends
+        (no alignment DP was run for them)."""
+        return self._stats.n_alignments_memoised
+
+    @property
+    def n_alignments_full(self) -> int:
+        """Pairs that ran the full alignment across all appends."""
+        return self._stats.n_alignments_full
 
     @property
     def result(self) -> GenerationResult | None:
@@ -243,6 +265,13 @@ class InterfaceSession:
         session._stats = stats
         session._n_appends = int(session_meta.get("n_appends", 1))
         session._fingerprinter.update(graph.queries)
+        if session._store is not None and graph.queries:
+            # inherit the accumulated log's persisted alignment plans, if
+            # a previous incarnation flushed them: future appends of
+            # known template shapes then do zero alignment-DP work
+            session._adopt_cached_diff_memo(
+                session._fingerprinter.hexdigest(), actual
+            )
         if graph.queries:
             session._last = session._remap(BuildStats(), resumed=True)
         return session
@@ -253,6 +282,10 @@ class InterfaceSession:
     def append_sql(self, statements: Iterable[str]) -> GenerationResult:
         """Parse raw SQL statements and append them.
 
+        Byte-identical statements within the batch are parsed once and
+        share their (immutable) AST, mirroring the pipeline's
+        :class:`~repro.api.stages.ParseStage` de-duplication.
+
         Raises:
             LogError: for an empty batch.
             SQLSyntaxError: if any statement fails to parse.
@@ -260,7 +293,8 @@ class InterfaceSession:
         statements = list(statements)
         if not statements:
             raise LogError("cannot append an empty batch of queries")
-        return self.append([parse_sql(sql) for sql in statements])
+        queries, _hits = parse_deduplicated(statements)
+        return self.append(queries)
 
     def append(self, queries: Iterable[Node]) -> GenerationResult:
         """Append parsed queries, mine only the new pairs, and remap.
@@ -282,10 +316,13 @@ class InterfaceSession:
                 prune=self.options.lca_pruning,
                 annotations=self.options.annotations,
                 stats=append_stats,
+                memo=self._diff_memo,
             )
             self._fingerprinter.update(queries)
         self._stats.n_pairs_compared += append_stats.n_pairs_compared
         self._stats.mining_seconds += append_stats.mining_seconds
+        self._stats.n_alignments_memoised += append_stats.n_alignments_memoised
+        self._stats.n_alignments_full += append_stats.n_alignments_full
         self._n_appends += 1
         self._last = self._remap(append_stats, cache_hit=cache_hit)
         return self._last
@@ -363,15 +400,18 @@ class InterfaceSession:
 
         A previous ``generate()`` (or session) over exactly this batch
         under these options left its graph in the store; adopting it makes
-        the first append mine nothing.  Later appends never hit — their
+        the first append mine nothing.  The key's persisted diff memo —
+        the alignment plans that mine produced — is adopted alongside, so
+        *later* appends of known template shapes replay instead of
+        aligning.  Later appends never hit the graph table — their
         accumulated log is session-specific — so the lookup is skipped.
         """
         if self._store is None or self._graph.queries:
             return False
         probe = LogFingerprinter().update(queries)
-        cached = self._store.load(
-            probe.hexdigest(), options_fingerprint(self.options)
-        )
+        opts_fp = options_fingerprint(self.options)
+        self._adopt_cached_diff_memo(probe.hexdigest(), opts_fp)
+        cached = self._store.load(probe.hexdigest(), opts_fp)
         if cached is None:
             return False
         graph, mined_stats = cached
@@ -382,6 +422,22 @@ class InterfaceSession:
         # full build" invariant of n_pairs_compared
         self._stats.n_pairs_compared += mined_stats.n_pairs_compared
         return True
+
+    def _adopt_cached_diff_memo(self, log_fp: str, opts_fp: str) -> int:
+        """Warm the session's diff memo from the store's fourth table.
+
+        Each persisted representative pair is re-aligned once by the
+        current algorithm (see
+        :meth:`~repro.treediff.memo.DiffMemo.import_pairs`), so adoption
+        costs O(unique shapes) and can never change results.  Returns the
+        number of plans imported.
+        """
+        if self._store is None:
+            return 0
+        pairs = self._store.load_diff_memo_pairs(log_fp, opts_fp)
+        if not pairs:
+            return 0
+        return self._diff_memo.import_pairs(pairs)
 
     def _adopt_cached_proofs(self) -> None:
         """Arm the closure cache with persisted proofs for the current
@@ -438,6 +494,9 @@ class InterfaceSession:
         opts_fp = options_fingerprint(self.options)
         normalised = self._normalised_graph()
         self._store.save(log_fp, opts_fp, normalised, self._stats)
+        # the alignment plans ride along so the next session (or pool
+        # worker) over this log mines known templates by replay only
+        self._store.save_diff_memo(log_fp, opts_fp, self._diff_memo)
         if self._last is not None:
             self._store.save_widget_set(
                 log_fp, opts_fp, self._last.interface.widgets, normalised
@@ -485,6 +544,8 @@ class InterfaceSession:
         mine_stats: dict[str, Any] = {
             "n_pairs_compared": append_stats.n_pairs_compared,
             "n_pairs_compared_total": self._stats.n_pairs_compared,
+            "n_alignments_memoised": append_stats.n_alignments_memoised,
+            "n_alignments_full": append_stats.n_alignments_full,
             "n_edges": self._graph.n_edges,
             "n_diffs": self._graph.n_diffs,
             "incremental": True,

@@ -47,6 +47,7 @@ from repro.graph.interaction import InteractionGraph
 from repro.logs.sessions import segment_asts, validate_threshold
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.parser import parse_sql
+from repro.treediff.memo import DiffMemo
 from repro.widgets.base import Widget
 
 __all__ = [
@@ -58,7 +59,30 @@ __all__ = [
     "MineStage",
     "MapStage",
     "MergeStage",
+    "parse_deduplicated",
 ]
+
+
+def parse_deduplicated(statements: list[str]) -> tuple[list[Node], int]:
+    """Parse statements with byte-identical ones parsed once.
+
+    Replayed logs repeat identical statements constantly; since ASTs are
+    immutable, repeats can share one object (the cache loader aliases
+    identical queries the same way).  Returns ``(queries, n_hits)`` —
+    one AST per input statement, and how many reused a previous parse.
+    Shared by :class:`ParseStage` and the session's ``append_sql``.
+    """
+    parsed: dict[str, Node] = {}
+    queries: list[Node] = []
+    hits = 0
+    for sql in statements:
+        ast = parsed.get(sql)
+        if ast is None:
+            parsed[sql] = ast = parse_sql(sql)
+        else:
+            hits += 1
+        queries.append(ast)
+    return queries, hits
 
 
 @dataclass
@@ -88,6 +112,11 @@ class PipelineState:
             merge components incident to them.
         widgets_from_cache: set by :class:`CacheStage` on a widget-set
             hit; tells :class:`MapStage` and :class:`MergeStage` to skip.
+        diff_memo: the :class:`~repro.treediff.memo.DiffMemo` the Mine
+            stage aligns through.  A long-lived caller (the session) sets
+            it so memoised alignment plans survive across appends; when
+            unset, :class:`MineStage` creates a run-local memo, which
+            still collapses repeated shapes *within* one log.
     """
 
     options: PipelineOptions
@@ -102,6 +131,7 @@ class PipelineState:
     cache_key: tuple[str, str] | None = None
     map_cache: MapCache | None = None
     widgets_from_cache: bool = False
+    diff_memo: DiffMemo | None = None
 
     def record(self, stage_name: str, **stats: Any) -> None:
         """Merge counters into the named stage's record."""
@@ -127,7 +157,14 @@ class Stage:
 
 
 class ParseStage(Stage):
-    """Parse raw SQL statements into ASTs (no-op when ASTs were supplied)."""
+    """Parse raw SQL statements into ASTs (no-op when ASTs were supplied).
+
+    Replayed logs repeat byte-identical statements constantly, so parse
+    results are memoised per run keyed by the raw SQL: a repeated string
+    reuses the already-parsed AST object (ASTs are immutable, so sharing
+    is safe — the cache loader aliases identical queries the same way).
+    The stage reports the reuse as ``n_parse_hits``.
+    """
 
     name = "parse"
 
@@ -136,10 +173,12 @@ class ParseStage(Stage):
         if state.queries is None:
             if not state.statements:
                 raise LogError("cannot generate an interface from an empty log")
-            state.queries = [parse_sql(sql) for sql in state.statements]
-            state.record(self.name, n_parsed=len(state.queries))
+            state.queries, hits = parse_deduplicated(state.statements)
+            state.record(
+                self.name, n_parsed=len(state.queries), n_parse_hits=hits
+            )
         else:
-            state.record(self.name, n_parsed=0)
+            state.record(self.name, n_parsed=0, n_parse_hits=0)
         state.record(self.name, n_queries=len(state.queries))
         return state
 
@@ -238,13 +277,22 @@ class CacheStage(Stage):
 
 class MineStage(Stage):
     """Mine the interaction graph (Section 4.2 with the Section 6
-    sliding-window and LCA-pruning optimisations).
+    sliding-window and LCA-pruning optimisations, plus skeleton-level
+    diff memoisation).
+
+    Mining runs through a :class:`~repro.treediff.memo.DiffMemo` —
+    ``state.diff_memo`` when a long-lived caller (the session) provided
+    one, else a fresh run-local memo — so repeated query shapes replay
+    their alignment plan instead of re-running the alignment DP.  The
+    stage reports the split as ``n_alignments_memoised`` /
+    ``n_alignments_full``.
 
     When the state already carries a graph — a :class:`CacheStage` hit, or
     a caller that mined out-of-band — the stage skips the alignment work
     and records ``skipped=True`` with zero pairs compared.  After a fresh
-    mine it persists the graph through ``state.cache_store`` when a
-    :class:`CacheStage` armed one.
+    mine it persists the graph (and, when the store was armed by a
+    :class:`CacheStage`, the memo's representative pairs) through
+    ``state.cache_store``.
     """
 
     name = "mine"
@@ -264,22 +312,28 @@ class MineStage(Stage):
             raise LogError("cannot mine an empty query log")
         options = state.options
         stats = BuildStats()
+        if state.diff_memo is None:
+            state.diff_memo = DiffMemo()
         state.graph = build_interaction_graph(
             state.queries,
             window=options.window,
             prune=options.lca_pruning,
             annotations=options.annotations,
             stats=stats,
+            memo=state.diff_memo,
         )
         state.record(
             self.name,
             n_pairs_compared=stats.n_pairs_compared,
+            n_alignments_memoised=stats.n_alignments_memoised,
+            n_alignments_full=stats.n_alignments_full,
             n_edges=state.graph.n_edges,
             n_diffs=state.graph.n_diffs,
         )
         if state.cache_store is not None and state.cache_key is not None:
             try:
                 state.cache_store.save(*state.cache_key, state.graph, stats)
+                state.cache_store.save_diff_memo(*state.cache_key, state.diff_memo)
             except (CacheError, OSError) as exc:
                 # the mine already succeeded; a failed persist must not
                 # destroy the run — surface it in the stage stats instead

@@ -32,12 +32,16 @@ from repro.cache.fingerprint import (
 )
 from repro.cache.serialize import (
     FORMAT_VERSION,
+    diff_memo_from_dict,
+    diff_memo_to_dict,
     graph_from_dict,
     graph_to_dict,
+    load_diff_memo,
     load_graph,
     load_widgets,
     node_from_dict,
     node_to_dict,
+    save_diff_memo,
     save_graph,
     save_widgets,
     widgets_from_dict,
@@ -56,6 +60,10 @@ __all__ = [
     "widgets_from_dict",
     "save_widgets",
     "load_widgets",
+    "diff_memo_to_dict",
+    "diff_memo_from_dict",
+    "save_diff_memo",
+    "load_diff_memo",
     "node_to_dict",
     "node_from_dict",
     "LogFingerprinter",

@@ -67,6 +67,10 @@ __all__ = [
     "proofs_from_dict",
     "save_proofs",
     "load_proofs",
+    "diff_memo_to_dict",
+    "diff_memo_from_dict",
+    "save_diff_memo",
+    "load_diff_memo",
 ]
 
 #: Bump on any incompatible change to the encoded layout.  Loaders refuse
@@ -252,6 +256,8 @@ def _stats_payload(stats: BuildStats | None) -> dict[str, Any] | None:
     return {
         "n_pairs_compared": stats.n_pairs_compared,
         "mining_seconds": stats.mining_seconds,
+        "n_alignments_memoised": stats.n_alignments_memoised,
+        "n_alignments_full": stats.n_alignments_full,
     }
 
 
@@ -260,6 +266,8 @@ def _stats_from(payload: dict[str, Any] | None) -> BuildStats:
     return BuildStats(
         n_pairs_compared=int(payload.get("n_pairs_compared", 0)),
         mining_seconds=float(payload.get("mining_seconds", 0.0)),
+        n_alignments_memoised=int(payload.get("n_alignments_memoised", 0)),
+        n_alignments_full=int(payload.get("n_alignments_full", 0)),
     )
 
 
@@ -534,17 +542,23 @@ def widgets_from_dict(
     return widgets
 
 
-def save_widgets(path: str | FilePath, widgets: list, graph: InteractionGraph) -> None:
-    """Atomically write a widget-set payload next to its graph entry."""
+def _write_json_atomic(path: str | FilePath, payload: dict[str, Any]) -> None:
+    """Write one JSON document via a writer-unique temp file + rename, so
+    concurrent readers never observe a half-written derived table."""
     target = FilePath(path)
     tmp = target.with_name(f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp")
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(widgets_to_dict(widgets, graph), handle)
+            json.dump(payload, handle)
             handle.write("\n")
         tmp.replace(target)
     finally:
         tmp.unlink(missing_ok=True)
+
+
+def save_widgets(path: str | FilePath, widgets: list, graph: InteractionGraph) -> None:
+    """Atomically write a widget-set payload next to its graph entry."""
+    _write_json_atomic(path, widgets_to_dict(widgets, graph))
 
 
 def load_widgets(
@@ -638,15 +652,7 @@ def save_proofs(
     path: str | FilePath, triples: list[tuple[Node, Node, "Path"]]
 ) -> None:
     """Atomically write a proof-set payload next to its graph entry."""
-    target = FilePath(path)
-    tmp = target.with_name(f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp")
-    try:
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(proofs_to_dict(triples), handle)
-            handle.write("\n")
-        tmp.replace(target)
-    finally:
-        tmp.unlink(missing_ok=True)
+    _write_json_atomic(path, proofs_to_dict(triples))
 
 
 def load_proofs(path: str | FilePath) -> list[tuple[Node, Node, "Path"]]:
@@ -668,3 +674,92 @@ def load_proofs(path: str | FilePath) -> list[tuple[Node, Node, "Path"]]:
     if not isinstance(payload, dict):
         raise CacheError(f"{file_path} is not a proof-set payload")
     return proofs_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# diff memos
+# ----------------------------------------------------------------------
+#
+# A :class:`~repro.treediff.memo.DiffMemo` keys alignment plans by
+# skeleton hashes, which build on ``hash()`` and are therefore
+# process-salted — the keys cannot be persisted.  The durable form is the
+# memo's *representative pairs*: one concrete ``(a, b, prune)`` triple
+# per plan (trees interned — template shapes share most subtrees).
+# Loading re-aligns each representative once with the current algorithm
+# (O(unique shapes), exactly the steady-state cost the memo admits), so a
+# stale file can never poison results — plans are always rebuilt natively.
+
+def diff_memo_to_dict(pairs: list[tuple[Node, Node, bool]]) -> dict[str, Any]:
+    """Encode a memo's representative pairs (see
+    :meth:`~repro.treediff.memo.DiffMemo.export_pairs`)."""
+    interner = _TreeInterner()
+    encoded = [
+        {
+            "a": interner.index_of(a),
+            "b": interner.index_of(b),
+            "prune": bool(prune),
+        }
+        for a, b, prune in pairs
+    ]
+    return {
+        "version": FORMAT_VERSION,
+        "trees": [node_to_dict(t) for t in interner.trees],
+        "pairs": encoded,
+    }
+
+
+def diff_memo_from_dict(payload: dict[str, Any]) -> list[tuple[Node, Node, bool]]:
+    """Decode a :func:`diff_memo_to_dict` payload back into representative
+    pairs, ready for :meth:`~repro.treediff.memo.DiffMemo.import_pairs`.
+
+    Raises:
+        CacheError: on a version mismatch or malformed records.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise CacheError(
+            f"unsupported diff-memo format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    try:
+        trees = [node_from_dict(t) for t in payload.get("trees", ())]
+        pairs = []
+        for record in payload.get("pairs", ()):
+            pairs.append(
+                (
+                    _at(trees, record["a"], "tree"),
+                    _at(trees, record["b"], "tree"),
+                    bool(record["prune"]),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CacheError("malformed diff-memo payload") from exc
+    return pairs
+
+
+def save_diff_memo(
+    path: str | FilePath, pairs: list[tuple[Node, Node, bool]]
+) -> None:
+    """Atomically write a diff-memo payload next to its graph entry."""
+    _write_json_atomic(path, diff_memo_to_dict(pairs))
+
+
+def load_diff_memo(path: str | FilePath) -> list[tuple[Node, Node, bool]]:
+    """Read a :func:`save_diff_memo` file back.
+
+    Raises:
+        CacheError: on unreadable files, bad JSON, or any
+            :func:`diff_memo_from_dict` failure.
+    """
+    file_path = FilePath(path)
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CacheError(f"cannot read diff-memo file {file_path}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CacheError(f"bad JSON in diff-memo file {file_path}") from exc
+    if not isinstance(payload, dict):
+        raise CacheError(f"{file_path} is not a diff-memo payload")
+    return diff_memo_from_dict(payload)

@@ -1,9 +1,9 @@
-"""Content-addressed on-disk store for mined graphs, widget sets, and
-closure proofs.
+"""Content-addressed on-disk store for mined graphs, widget sets,
+closure proofs, and diff memos.
 
 A :class:`GraphStore` is a directory of cache entries keyed by
-``(log fingerprint, options fingerprint)``.  Each key owns up to three
-files — three content-addressed tables over the same key space:
+``(log fingerprint, options fingerprint)``.  Each key owns up to four
+files — four content-addressed tables over the same key space:
 
 * ``<key>.graph.jsonl`` — the mined interaction graph
   (:func:`~repro.cache.serialize.save_graph`), skipping the Mine stage on
@@ -19,7 +19,13 @@ files — three content-addressed tables over the same key space:
   :class:`~repro.service.SessionPool` workers.  Proofs are valid exactly
   against the key's deterministic widget set, so
   :meth:`load_closure_proofs` takes the decoded widgets and arms a
-  :class:`~repro.core.closure.ClosureCache` for them.
+  :class:`~repro.core.closure.ClosureCache` for them;
+* ``<key>.diffmemo.json`` — the Mine stage's skeleton-level alignment
+  plans as representative shape pairs
+  (:func:`~repro.cache.serialize.save_diff_memo`), so resumed sessions
+  and pool workers inherit a hot
+  :class:`~repro.treediff.memo.DiffMemo` and steady-state appends of
+  known templates do zero alignment-DP work.
 
 The key is content-addressed, so there is no explicit invalidation
 protocol for correctness: a changed log or changed options simply hashes
@@ -57,9 +63,11 @@ from typing import Any, Iterator
 
 from repro.cache.lock import StoreLock
 from repro.cache.serialize import (
+    load_diff_memo,
     load_graph,
     load_proofs,
     load_widgets,
+    save_diff_memo,
     save_graph,
     save_proofs,
     save_widgets,
@@ -68,6 +76,7 @@ from repro.core.closure import ClosureCache
 from repro.errors import CacheError
 from repro.graph.build import BuildStats
 from repro.graph.interaction import InteractionGraph
+from repro.treediff.memo import DiffMemo
 
 __all__ = ["GraphStore"]
 
@@ -79,10 +88,19 @@ _KEY_DIGITS = 16
 _SUFFIX = ".graph.jsonl"
 _WIDGETS_SUFFIX = ".widgets.json"
 _PROOFS_SUFFIX = ".proofs.json"
+_DIFFMEMO_SUFFIX = ".diffmemo.json"
 
 #: Suffixes of the derived tables — files that are only meaningful next
 #: to their key's graph entry.
-_DERIVED_SUFFIXES = (_WIDGETS_SUFFIX, _PROOFS_SUFFIX)
+_DERIVED_SUFFIXES = (_WIDGETS_SUFFIX, _PROOFS_SUFFIX, _DIFFMEMO_SUFFIX)
+
+#: stats() table names, keyed by entry-file suffix.
+_TABLE_NAMES = {
+    _SUFFIX: "graphs",
+    _WIDGETS_SUFFIX: "widget_sets",
+    _PROOFS_SUFFIX: "proof_sets",
+    _DIFFMEMO_SUFFIX: "diff_memos",
+}
 
 
 class GraphStore:
@@ -139,6 +157,14 @@ class GraphStore:
         """Where the closure-proof entry for this key lives."""
         return self.root / (
             self.key(log_fingerprint, options_fingerprint) + _PROOFS_SUFFIX
+        )
+
+    def diffmemo_path_for(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> FilePath:
+        """Where the diff-memo entry for this key lives."""
+        return self.root / (
+            self.key(log_fingerprint, options_fingerprint) + _DIFFMEMO_SUFFIX
         )
 
     # ------------------------------------------------------------------
@@ -310,6 +336,73 @@ class GraphStore:
         return path
 
     # ------------------------------------------------------------------
+    # diff-memo table
+    # ------------------------------------------------------------------
+    def load_diff_memo_pairs(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> list | None:
+        """Return this key's decoded representative shape pairs, or
+        ``None``.
+
+        Feed them to :meth:`~repro.treediff.memo.DiffMemo.import_pairs`:
+        each pair is re-aligned once by the current algorithm, so a stale
+        or foreign file can cost time but never correctness.  Any decode
+        failure is a miss.
+        """
+        path = self.diffmemo_path_for(log_fingerprint, options_fingerprint)
+        if not path.exists():
+            return None
+        try:
+            pairs = load_diff_memo(path)
+        except CacheError:
+            return None
+        _touch(path)
+        return pairs
+
+    def load_diff_memo(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> DiffMemo | None:
+        """Return a warmed :class:`~repro.treediff.memo.DiffMemo` built
+        from this key's persisted shape pairs, or ``None``."""
+        pairs = self.load_diff_memo_pairs(log_fingerprint, options_fingerprint)
+        if pairs is None:
+            return None
+        memo = DiffMemo()
+        memo.import_pairs(pairs)
+        return memo
+
+    def save_diff_memo(
+        self,
+        log_fingerprint: str,
+        options_fingerprint: str,
+        memo: DiffMemo,
+    ) -> FilePath | None:
+        """Persist the memo's representative shape pairs under this key;
+        returns the path, or ``None`` when nothing was written.
+
+        Nothing is written for an empty memo, for a memo whose
+        representative trees cannot be JSON-encoded, or when the key's
+        graph entry no longer exists (a pruner evicted it): like closure
+        proofs, a memo is a pure accelerator, so the save is skipped
+        rather than orphaning a derived file.
+        """
+        pairs = memo.export_pairs()
+        if not pairs:
+            return None
+        path = self.diffmemo_path_for(log_fingerprint, options_fingerprint)
+        with self._lock.held():
+            if not self.path_for(log_fingerprint, options_fingerprint).exists():
+                return None
+            try:
+                save_diff_memo(path, pairs)
+            except CacheError:
+                # a representative tree with non-JSON attribute values:
+                # the memo stays in-memory only
+                return None
+        self._enforce_caps()
+        return path
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def entries(self) -> list[FilePath]:
@@ -323,6 +416,10 @@ class GraphStore:
     def proof_entries(self) -> list[FilePath]:
         """All closure-proof entry files currently in the store, sorted."""
         return sorted(self.root.glob("*" + _PROOFS_SUFFIX))
+
+    def diffmemo_entries(self) -> list[FilePath]:
+        """All diff-memo entry files currently in the store, sorted."""
+        return sorted(self.root.glob("*" + _DIFFMEMO_SUFFIX))
 
     def __len__(self) -> int:
         return len(self.entries())
@@ -341,41 +438,54 @@ class GraphStore:
         return by_key
 
     def stats(self) -> dict[str, Any]:
-        """Occupancy counters: entry/file counts, total bytes, and caps.
+        """Occupancy counters: entry/file counts, total and *per-table*
+        bytes, and caps.
+
+        ``bytes_by_table`` breaks ``total_bytes`` down by table (graphs /
+        widget_sets / proof_sets / diff_memos), so ``prune`` caps are
+        explainable — you can see which table the space went to.
 
         Lock-free and therefore a *snapshot*: concurrent writers can move
         the numbers between two calls, but every individual report is
         internally consistent (files are stat'ed once, counters never go
         negative, ``n_files`` covers exactly the files ``total_bytes``
-        sums).
+        and ``bytes_by_table`` sum).
         """
         total_bytes = 0
         n_files = 0
-        counts = {_SUFFIX: 0, _WIDGETS_SUFFIX: 0, _PROOFS_SUFFIX: 0}
+        counts = dict.fromkeys(_TABLE_NAMES, 0)
+        bytes_by_suffix = dict.fromkeys(_TABLE_NAMES, 0)
         surviving_keys = set()
         for key, files in self._files_by_key().items():
             for path in files:
                 try:
-                    total_bytes += path.stat().st_size
+                    size = path.stat().st_size
                 except OSError:
                     # racing delete between glob and stat: the file is
                     # gone, so it must not count anywhere — deriving every
                     # counter from surviving files is what keeps each
                     # snapshot internally consistent under concurrency
                     continue
+                total_bytes += size
                 n_files += 1
                 surviving_keys.add(key)
                 for suffix in counts:
                     if path.name.endswith(suffix):
                         counts[suffix] += 1
+                        bytes_by_suffix[suffix] += size
                         break
         return {
             "n_keys": len(surviving_keys),
             "n_graphs": counts[_SUFFIX],
             "n_widget_sets": counts[_WIDGETS_SUFFIX],
             "n_proof_sets": counts[_PROOFS_SUFFIX],
+            "n_diff_memos": counts[_DIFFMEMO_SUFFIX],
             "n_files": n_files,
             "total_bytes": total_bytes,
+            "bytes_by_table": {
+                _TABLE_NAMES[suffix]: bytes_by_suffix[suffix]
+                for suffix in _TABLE_NAMES
+            },
             "max_bytes": self.max_bytes,
             "max_entries": self.max_entries,
         }

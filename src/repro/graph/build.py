@@ -8,6 +8,13 @@ shrinking the interaction graph the mapper must process.
 
 Identical consecutive queries (common in real logs) produce no diff records
 and therefore no edges.
+
+Template-repetitive logs get a second optimisation on top of the window:
+pass a :class:`~repro.treediff.memo.DiffMemo` and every pair whose
+*shape* (skeleton pair + literal pattern) was aligned before replays the
+memoised alignment plan instead of re-running the child-alignment DP —
+mining cost becomes proportional to unique shape pairs, not raw pairs,
+with byte-identical output (see :mod:`repro.treediff.memo`).
 """
 
 from __future__ import annotations
@@ -20,8 +27,14 @@ from repro.graph.interaction import Edge, InteractionGraph
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
 from repro.treediff.diff import extract_diffs
+from repro.treediff.memo import DiffMemo
 
 __all__ = ["BuildStats", "build_interaction_graph", "extend_interaction_graph"]
+
+# _compare_pair outcomes, tallied into BuildStats by the build loops
+_SKIPPED = 0  # structurally identical pair: no alignment at all
+_FULL = 1  # full alignment (no memo, first-of-shape, or fallback)
+_MEMOISED = 2  # alignment plan replay
 
 
 @dataclass
@@ -29,12 +42,21 @@ class BuildStats:
     """Instrumentation produced while mining interactions.
 
     Attributes:
-        n_pairs_compared: number of tree alignments performed.
+        n_pairs_compared: number of tree alignments performed (replayed
+            or full; structurally identical pairs count too, matching the
+            pair-set semantics the incremental session relies on).
         mining_seconds: wall-clock time spent extracting diffs.
+        n_alignments_memoised: pairs answered by a
+            :class:`~repro.treediff.memo.DiffMemo` plan replay — no
+            alignment DP was run for them.
+        n_alignments_full: pairs that ran the full alignment (includes
+            every pair when mining without a memo).
     """
 
     n_pairs_compared: int = 0
     mining_seconds: float = 0.0
+    n_alignments_memoised: int = 0
+    n_alignments_full: int = 0
 
 
 def _compare_pair(
@@ -43,24 +65,37 @@ def _compare_pair(
     j: int,
     prune: bool,
     annotations: GrammarAnnotations,
-) -> None:
+    memo: DiffMemo | None = None,
+) -> int:
     """Align queries ``i`` and ``j`` and record the diffs/edge, if any.
 
     Shared by the full build and the incremental extension — the
     incremental session's result-equivalence guarantee depends on both
-    paths recording pairs identically.
+    paths recording pairs identically.  With a ``memo``, known shapes
+    replay their alignment plan (result-identical, see
+    :class:`~repro.treediff.memo.DiffMemo`).  Returns the outcome code
+    the build loops tally into :class:`BuildStats`.
     """
     left, right = graph.queries[i], graph.queries[j]
     if left.fingerprint == right.fingerprint and left.equals(right):
-        return
-    records = extract_diffs(
-        left, right, q1=i, q2=j, prune=prune, annotations=annotations
-    )
+        return _SKIPPED
+    if memo is not None:
+        before = memo.n_replayed
+        records = memo.extract(
+            left, right, q1=i, q2=j, prune=prune, annotations=annotations
+        )
+        outcome = _MEMOISED if memo.n_replayed > before else _FULL
+    else:
+        records = extract_diffs(
+            left, right, q1=i, q2=j, prune=prune, annotations=annotations
+        )
+        outcome = _FULL
     if not records:
-        return
+        return outcome
     graph.diffs.extend(records)
     leaf = tuple(d for d in records if d.is_leaf)
     graph.edges.append(Edge(q1=i, q2=j, interaction=leaf))
+    return outcome
 
 
 def build_interaction_graph(
@@ -69,6 +104,7 @@ def build_interaction_graph(
     prune: bool = True,
     annotations: GrammarAnnotations = SQL_ANNOTATIONS,
     stats: BuildStats | None = None,
+    memo: DiffMemo | None = None,
 ) -> InteractionGraph:
     """Mine the interaction graph from a parsed query log.
 
@@ -81,6 +117,9 @@ def build_interaction_graph(
         prune: apply LCA pruning while extracting diffs (Section 6.2).
         annotations: grammar annotations for typing changes.
         stats: optional instrumentation sink.
+        memo: optional :class:`~repro.treediff.memo.DiffMemo`; repeated
+            query shapes replay their alignment plan instead of re-running
+            the alignment DP.  Output is byte-identical either way.
 
     Returns:
         The mined :class:`InteractionGraph`.
@@ -97,16 +136,24 @@ def build_interaction_graph(
     span = len(queries) if window is None else window
     started = time.perf_counter()
     n_pairs = 0
+    n_memoised = 0
+    n_full = 0
 
     for i in range(len(queries)):
         upper = min(len(queries), i + span)
         for j in range(i + 1, upper):
             n_pairs += 1
-            _compare_pair(graph, i, j, prune, annotations)
+            outcome = _compare_pair(graph, i, j, prune, annotations, memo)
+            if outcome == _MEMOISED:
+                n_memoised += 1
+            elif outcome == _FULL:
+                n_full += 1
 
     if stats is not None:
         stats.n_pairs_compared += n_pairs
         stats.mining_seconds += time.perf_counter() - started
+        stats.n_alignments_memoised += n_memoised
+        stats.n_alignments_full += n_full
     return graph
 
 
@@ -117,6 +164,7 @@ def extend_interaction_graph(
     prune: bool = True,
     annotations: GrammarAnnotations = SQL_ANNOTATIONS,
     stats: BuildStats | None = None,
+    memo: DiffMemo | None = None,
 ) -> InteractionGraph:
     """Incrementally extend a mined graph with appended queries.
 
@@ -145,14 +193,22 @@ def extend_interaction_graph(
     graph.queries.extend(new_queries)
     started = time.perf_counter()
     n_pairs = 0
+    n_memoised = 0
+    n_full = 0
 
     for j in range(old_n, len(graph.queries)):
         start = 0 if window is None else max(0, j - window + 1)
         for i in range(start, j):
             n_pairs += 1
-            _compare_pair(graph, i, j, prune, annotations)
+            outcome = _compare_pair(graph, i, j, prune, annotations, memo)
+            if outcome == _MEMOISED:
+                n_memoised += 1
+            elif outcome == _FULL:
+                n_full += 1
 
     if stats is not None:
         stats.n_pairs_compared += n_pairs
         stats.mining_seconds += time.perf_counter() - started
+        stats.n_alignments_memoised += n_memoised
+        stats.n_alignments_full += n_full
     return graph

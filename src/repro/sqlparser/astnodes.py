@@ -18,7 +18,25 @@ from typing import Iterator, Mapping, Sequence
 from repro.errors import PathError
 from repro.paths import Path
 
-__all__ = ["Node"]
+__all__ = ["Node", "MISSING_LITERAL"]
+
+
+class _MissingLiteral:
+    """Sentinel for a literal leaf whose value attribute is absent.
+
+    Distinct from every real value (including ``None``), so the
+    :class:`~repro.treediff.memo.DiffMemo` literal pattern never conflates
+    "no value attribute" with "value is None" — the two are unequal nodes.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing literal>"
+
+
+#: See :class:`_MissingLiteral`.
+MISSING_LITERAL = _MissingLiteral()
 
 
 class Node:
@@ -30,7 +48,15 @@ class Node:
         children: ordered child nodes.
     """
 
-    __slots__ = ("node_type", "attributes", "children", "_fingerprint", "_size")
+    __slots__ = (
+        "node_type",
+        "attributes",
+        "children",
+        "_fingerprint",
+        "_size",
+        "_skeleton",
+        "_literals",
+    )
 
     def __init__(
         self,
@@ -43,6 +69,8 @@ class Node:
         self.children: tuple[Node, ...] = tuple(children or ())
         self._fingerprint: int | None = None
         self._size: int | None = None
+        self._skeleton: int | None = None
+        self._literals: tuple | None = None
 
     # ------------------------------------------------------------------
     # pickling
@@ -61,6 +89,8 @@ class Node:
         self.node_type, self.attributes, self.children = state
         self._fingerprint = None
         self._size = None
+        self._skeleton = None
+        self._literals = None
 
     # ------------------------------------------------------------------
     # structural identity
@@ -73,6 +103,78 @@ class Node:
             child_prints = tuple(c.fingerprint for c in self.children)
             self._fingerprint = hash((self.node_type, attr_items, child_prints))
         return self._fingerprint
+
+    @property
+    def skeleton(self) -> int:
+        """A literal-normalised structural hash — the subtree's *template
+        shape*.
+
+        Two subtrees share a skeleton when they have the same structure,
+        node types, and operator heads but may differ in literal *values*:
+        a bare literal leaf (``NumExpr(5)``, ``ColExpr(sales)``, ...)
+        contributes only its node type and its ``classify_change`` kind,
+        with the value attribute abstracted away.  Template-repetitive
+        logs — thousands of queries differing only in literals — collapse
+        to a handful of skeletons, which is what the
+        :class:`~repro.treediff.memo.DiffMemo` keys its alignment plans
+        on.
+
+        Like :attr:`fingerprint`, the hash is computed bottom-up, cached,
+        and process-salted (never persist the raw value).  The literal
+        classification is the default SQL grammar's
+        (:data:`~repro.sqlparser.grammar.SQL_ANNOTATIONS`); consumers
+        running custom annotations must not key on skeletons.
+        """
+        if self._skeleton is None:
+            # deferred import: grammar imports this module at load time
+            from repro.sqlparser.grammar import SQL_ANNOTATIONS
+
+            kind = None if self.children else SQL_ANNOTATIONS.literal_types.get(
+                self.node_type
+            )
+            if kind is not None:
+                value_attr = SQL_ANNOTATIONS.value_attributes.get(
+                    self.node_type, "value"
+                )
+                attr_items = tuple(
+                    sorted(
+                        item
+                        for item in self.attributes.items()
+                        if item[0] != value_attr
+                    )
+                )
+                self._skeleton = hash(("$lit", self.node_type, attr_items, kind))
+            else:
+                attr_items = tuple(sorted(self.attributes.items()))
+                child_skeletons = tuple(c.skeleton for c in self.children)
+                self._skeleton = hash((self.node_type, attr_items, child_skeletons))
+        return self._skeleton
+
+    @property
+    def literal_values(self) -> tuple:
+        """The values this subtree's skeleton abstracted, in preorder.
+
+        One entry per bare literal leaf: the leaf's value attribute (or
+        :data:`MISSING_LITERAL` when the attribute is absent, so a leaf
+        lacking its value never pattern-matches one carrying ``None``).
+        Together with :attr:`skeleton` this is a lossless split of the
+        subtree for diff purposes: skeleton + literal values determine
+        every equality the tree aligner can observe.
+        """
+        if self._literals is None:
+            from repro.sqlparser.grammar import SQL_ANNOTATIONS
+
+            values = []
+            for node in self.preorder():
+                if node.children:
+                    continue
+                if node.node_type in SQL_ANNOTATIONS.literal_types:
+                    attr = SQL_ANNOTATIONS.value_attributes.get(
+                        node.node_type, "value"
+                    )
+                    values.append(node.attributes.get(attr, MISSING_LITERAL))
+            self._literals = tuple(values)
+        return self._literals
 
     def equals(self, other: "Node") -> bool:
         """Deep structural equality."""

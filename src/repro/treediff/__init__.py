@@ -1,7 +1,9 @@
-"""Tree differencing substrate: paths, ordered matching, diff extraction."""
+"""Tree differencing substrate: paths, ordered matching, diff extraction,
+and skeleton-level memoisation of the extraction."""
 
 from repro.treediff.diff import Diff, classify_change, diff_signature, extract_diffs
 from repro.treediff.matching import AlignedPair, align_children, match_trees, tree_distance
+from repro.treediff.memo import DiffMemo, literal_pattern
 from repro.treediff.paths import Path
 
 __all__ = [
@@ -10,6 +12,8 @@ __all__ = [
     "extract_diffs",
     "classify_change",
     "diff_signature",
+    "DiffMemo",
+    "literal_pattern",
     "AlignedPair",
     "align_children",
     "match_trees",

@@ -1,0 +1,87 @@
+"""API surface of the mining memoisation: stage counters and parse de-dup."""
+
+from repro.api import InterfaceSession, generate
+from repro.core.options import PipelineOptions
+
+TEMPLATE_LOG = [
+    "SELECT a FROM t WHERE x = 1",
+    "SELECT a FROM t WHERE x = 2",
+    "SELECT a FROM t WHERE x = 5",
+    "SELECT a FROM t WHERE x = 9",
+    "SELECT a FROM t WHERE x = 13",
+]
+
+
+class TestMineStageCounters:
+    def test_generate_reports_memoisation_split(self):
+        result = generate(TEMPLATE_LOG, options=PipelineOptions(window=2))
+        stats = result.run.stage("mine").stats
+        # 4 adjacent pairs of one template: first aligns, the rest replay
+        assert stats["n_alignments_full"] == 1
+        assert stats["n_alignments_memoised"] == 3
+        assert (
+            stats["n_alignments_full"] + stats["n_alignments_memoised"]
+            == stats["n_pairs_compared"]
+        )
+
+    def test_session_accumulates_counters(self):
+        session = InterfaceSession(options=PipelineOptions(window=2))
+        session.append_sql(TEMPLATE_LOG[:3])
+        result = session.append_sql(TEMPLATE_LOG[3:])
+        assert session.n_alignments_full == 1
+        assert session.n_alignments_memoised == 3
+        append_stats = result.run.stage("mine").stats
+        # the second append's two pairs both replay the first append's plan
+        assert append_stats["n_alignments_memoised"] == 2
+        assert append_stats["n_alignments_full"] == 0
+
+    def test_memoised_equals_one_shot(self):
+        session = InterfaceSession(options=PipelineOptions(window=2))
+        for statement in TEMPLATE_LOG:
+            session.append_sql([statement])
+        one_shot = generate(TEMPLATE_LOG, options=PipelineOptions(window=2))
+        assert (
+            session.interface.widget_summary()
+            == one_shot.interface.widget_summary()
+        )
+
+
+class TestParseDedup:
+    def test_repeated_statements_parse_once(self):
+        log = ["SELECT a FROM t WHERE x = 1"] * 4 + [
+            "SELECT a FROM t WHERE x = 2"
+        ]
+        result = generate(log)
+        stats = result.run.stage("parse").stats
+        assert stats["n_parse_hits"] == 3
+        assert stats["n_parsed"] == 5
+        assert stats["n_queries"] == 5
+
+    def test_hits_share_the_ast_object(self):
+        log = ["SELECT a FROM t WHERE x = 1"] * 3
+        result = generate(log)
+        assert result.provenance["n_queries"] == 3
+
+    def test_ast_input_reports_zero_hits(self):
+        from repro import parse_sql
+
+        result = generate([parse_sql(s) for s in TEMPLATE_LOG])
+        assert result.run.stage("parse").stats["n_parse_hits"] == 0
+
+    def test_dedup_changes_no_output(self):
+        log = TEMPLATE_LOG + TEMPLATE_LOG  # every statement repeats
+        repeated = generate(log)
+        assert repeated.run.stage("parse").stats["n_parse_hits"] == len(
+            TEMPLATE_LOG
+        )
+        unique = generate(TEMPLATE_LOG)
+        # the repeated half adds identical queries: same widget shapes
+        assert {
+            (w[0], w[1]) for w in repeated.interface.widget_summary()
+        } == {(w[0], w[1]) for w in unique.interface.widget_summary()}
+
+    def test_session_append_sql_dedups(self):
+        session = InterfaceSession()
+        session.append_sql(["SELECT a FROM t WHERE x = 1"] * 3)
+        queries = session.queries
+        assert queries[0] is queries[1] is queries[2]

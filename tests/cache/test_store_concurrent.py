@@ -11,9 +11,10 @@ are saving and loading the very same keys.  The invariants:
 * no corrupt entries — every file still present at the end decodes, and
   every mid-run load either hits (a valid graph) or misses (``None``),
   never raises;
-* no orphans — every ``.widgets.json`` / ``.proofs.json`` sits next to
-  its ``.graph.jsonl`` (eviction removes a key's files as one unit, and
-  the lock-guarded derived saves refuse to recreate them);
+* no orphans — every ``.widgets.json`` / ``.proofs.json`` /
+  ``.diffmemo.json`` sits next to its ``.graph.jsonl`` (eviction removes
+  a key's files as one unit, and the lock-guarded derived saves refuse
+  to recreate them);
 * consistent ``stats()`` — every snapshot a concurrent observer takes is
   internally coherent (no negative counters, file counts add up).
 """
@@ -27,12 +28,18 @@ import pytest
 
 from repro import parse_sql
 from repro.cache.fingerprint import log_fingerprint, options_fingerprint
-from repro.cache.serialize import load_graph, load_proofs, load_widgets
+from repro.cache.serialize import (
+    load_diff_memo,
+    load_graph,
+    load_proofs,
+    load_widgets,
+)
 from repro.cache.store import GraphStore
 from repro.core.closure import ClosureCache, expresses
 from repro.core.mapper import initialize, merge_widgets
 from repro.core.options import PipelineOptions
 from repro.graph.build import BuildStats, build_interaction_graph
+from repro.treediff.memo import DiffMemo
 
 pytestmark = [
     pytest.mark.stress,
@@ -60,7 +67,8 @@ def _payloads():
         ]
         queries = [parse_sql(s) for s in statements]
         stats = BuildStats()
-        graph = build_interaction_graph(queries, window=2, stats=stats)
+        memo = DiffMemo()
+        graph = build_interaction_graph(queries, window=2, stats=stats, memo=memo)
         widgets = merge_widgets(
             initialize(graph.diffs, options.library, options.annotations),
             options.library,
@@ -77,6 +85,7 @@ def _payloads():
                 "stats": stats,
                 "widgets": widgets,
                 "proofs": cache,
+                "diffmemo": memo,
             }
         )
     return payloads
@@ -92,7 +101,17 @@ def _hammer(root: str, seed: int, failures: "mp.Queue") -> None:
         for _ in range(N_OPS):
             payload = rng.choice(payloads)
             op = rng.choice(
-                ["save", "save", "widgets", "proofs", "load", "load_widgets", "prune"]
+                [
+                    "save",
+                    "save",
+                    "widgets",
+                    "proofs",
+                    "diffmemo",
+                    "load",
+                    "load_widgets",
+                    "load_diffmemo",
+                    "prune",
+                ]
             )
             if op == "save":
                 store.save(
@@ -109,6 +128,16 @@ def _hammer(root: str, seed: int, failures: "mp.Queue") -> None:
                     payload["log_fp"], payload["opts_fp"],
                     payload["proofs"], payload["widgets"],
                 )
+            elif op == "diffmemo":
+                store.save_diff_memo(
+                    payload["log_fp"], payload["opts_fp"], payload["diffmemo"]
+                )
+            elif op == "load_diffmemo":
+                pairs = store.load_diff_memo_pairs(
+                    payload["log_fp"], payload["opts_fp"]
+                )
+                if pairs is not None:
+                    assert len(pairs) == payload["diffmemo"].n_plans
             elif op == "load":
                 loaded = store.load(payload["log_fp"], payload["opts_fp"])
                 if loaded is not None:
@@ -136,8 +165,12 @@ def _assert_stats_consistent(stats: dict) -> None:
     assert stats["total_bytes"] >= 0
     assert (
         stats["n_files"]
-        == stats["n_graphs"] + stats["n_widget_sets"] + stats["n_proof_sets"]
+        == stats["n_graphs"]
+        + stats["n_widget_sets"]
+        + stats["n_proof_sets"]
+        + stats["n_diff_memos"]
     )
+    assert sum(stats["bytes_by_table"].values()) == stats["total_bytes"]
     assert stats["n_keys"] <= stats["n_files"]
     if stats["n_files"] == 0:
         assert stats["total_bytes"] == 0
@@ -187,6 +220,10 @@ def test_concurrent_save_load_prune_leaves_a_coherent_store(tmp_path):
         key = path.name[: -len(".proofs.json")]
         assert key in graph_keys, f"orphaned proof set {path.name}"
         assert load_proofs(path)
+    for path in store.diffmemo_entries():
+        key = path.name[: -len(".diffmemo.json")]
+        assert key in graph_keys, f"orphaned diff memo {path.name}"
+        assert load_diff_memo(path)
 
     # 3. final occupancy is coherent, and one more prune enforces the cap
     final = store.stats()
@@ -206,6 +243,9 @@ def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path):
         store.save_widget_set(
             payload["log_fp"], payload["opts_fp"],
             payload["widgets"], payload["graph"],
+        )
+        store.save_diff_memo(
+            payload["log_fp"], payload["opts_fp"], payload["diffmemo"]
         )
 
     def prune_hard(seed: int, failures: "mp.Queue") -> None:
@@ -241,5 +281,7 @@ def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path):
         assert path.name[: -len(".widgets.json")] in graph_keys
     for path in store.proof_entries():
         assert path.name[: -len(".proofs.json")] in graph_keys
+    for path in store.diffmemo_entries():
+        assert path.name[: -len(".diffmemo.json")] in graph_keys
     assert store.prune(max_entries=1) >= 0
     assert store.stats()["n_keys"] <= 1
