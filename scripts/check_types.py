@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Run the strict mypy gate configured in pyproject.toml.
+
+CI installs mypy and this script fails the build on any error.  The
+development container deliberately ships without mypy (the runtime has
+zero third-party dependencies); there the script reports a skip and
+exits 0 so local workflows never hard-require the tool.
+
+Usage::
+
+    python scripts/check_types.py            # gate the configured packages
+    python scripts/check_types.py --strict-presence  # fail if mypy missing
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--strict-presence",
+        action="store_true",
+        help="exit non-zero when mypy is not installed (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if importlib.util.find_spec("mypy") is None:
+        message = "check_types: mypy is not installed; skipping the type gate"
+        if args.strict_presence:
+            print(message.replace("skipping", "FAILING"), file=sys.stderr)
+            return 1
+        print(message)
+        return 0
+
+    # configuration (files, strictness, overrides) lives in pyproject.toml
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+    )
+    return completed.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,8 @@ Subcommands:
   down to ``--max-bytes``/``--max-entries``, ``cache clear`` empties it.
   Both exit cleanly (code 0) on a store directory that exists but holds
   no entries.
+* ``lint``    — run the :mod:`repro.analysis` invariant linter over the
+  repository's own source (exit 0 clean, 1 findings, 2 usage error).
 
 ``mine`` and ``recall`` accept ``--json`` to dump the run's
 :class:`~repro.api.result.GenerationResult` statistics as machine-readable
@@ -293,6 +295,19 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(
+        paths=args.paths,
+        json_output=args.json,
+        select=args.select,
+        ignore=args.ignore,
+        config_path=args.config,
+        list_rules=args.list_rules,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments, dispatch the subcommand, and return the exit code
     (0 success, 1 negative ``check`` verdict, 2 for any library error)."""
@@ -361,6 +376,14 @@ def main(argv: list[str] | None = None) -> int:
             sub.add_argument("--max-entries", type=int,
                              help="keep at most this many cached keys")
         sub.set_defaults(fn=_cmd_cache)
+
+    lint = commands.add_parser(
+        "lint", help="lint the source tree against the repo's invariants"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(fn=_cmd_lint)
 
     args = parser.parse_args(argv)
     try:

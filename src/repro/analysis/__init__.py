@@ -1,0 +1,47 @@
+"""AST-based invariant linting for the cache/service concurrency layer.
+
+Five PRs of incrementality and serving machinery rest on cross-cutting
+invariants that live in docstrings, not in the type system: store
+mutations happen under the :class:`~repro.cache.lock.StoreLock`,
+process-salted ``Node.fingerprint``/``Node.skeleton`` values are never
+persisted, only *positive* closure proofs are exported, results stay
+frozen, and pipeline stages stay pure.  Violating any of them is a
+silent cross-process corruption bug, not a test failure — exactly the
+failure mode example-based tests cannot catch.
+
+This package encodes those invariants as static-analysis rules over the
+repository's own source:
+
+* a **rule registry** with stable ``RLxxx`` identifiers
+  (:mod:`repro.analysis.rules`);
+* a per-file **AST walk** with scope and ``with``-block tracking
+  (:mod:`repro.analysis.context`);
+* inline ``# repro-lint: disable=RLxxx`` suppressions
+  (:mod:`repro.analysis.suppress`);
+* text and ``--json`` reporters (:mod:`repro.analysis.report`);
+* configuration from the ``[tool.repro-lint]`` block of
+  ``pyproject.toml`` (:mod:`repro.analysis.config`).
+
+Run it as ``repro lint src/repro`` or ``python -m repro.analysis``;
+programmatic use goes through :func:`lint_paths` / :func:`lint_source`.
+"""
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintRun, lint_paths, lint_source
+from repro.analysis.findings import PARSE_ERROR_ID, Finding
+from repro.analysis.rules import Rule, all_rule_classes, get_rule_class
+
+# importing the rule implementations registers them
+from repro.analysis import invariants as _invariants  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "PARSE_ERROR_ID",
+    "LintConfig",
+    "LintRun",
+    "Rule",
+    "all_rule_classes",
+    "get_rule_class",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,116 @@
+"""Command-line entry point shared by ``repro lint`` and
+``python -m repro.analysis``.
+
+Exit codes follow the usual linter contract: 0 clean, 1 findings,
+2 usage or environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.report import render_json, render_rule_list, render_text
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on ``parser`` (shared with the top-level
+    ``repro lint`` subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: configured targets)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: discovered upward from cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+
+
+def run_lint(
+    paths: Sequence[str] = (),
+    json_output: bool = False,
+    select: str | None = None,
+    ignore: str | None = None,
+    config_path: str | None = None,
+    list_rules: bool = False,
+    stdout: TextIO | None = None,
+    stderr: TextIO | None = None,
+) -> int:
+    """Execute one lint run; returns the process exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    if list_rules:
+        print(render_rule_list(), file=out)
+        return 0
+    try:
+        config = load_config(Path(config_path) if config_path else None)
+        overrides: dict[str, object] = {}
+        if select is not None:
+            overrides["select"] = [part.strip() for part in select.split(",") if part.strip()]
+        if ignore is not None:
+            overrides["ignore"] = [part.strip() for part in ignore.split(",") if part.strip()]
+        if overrides:
+            config = config.merged(overrides)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=err)
+        return 2
+    targets = list(paths) or list(config.targets)
+    try:
+        run = lint_paths(targets, config)
+    except KeyError as exc:
+        print(f"repro-lint: unknown rule id {exc.args[0]!r}", file=err)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=err)
+        return 2
+    print(render_json(run) if json_output else render_text(run), file=out)
+    return 0 if run.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Lint the repository against its concurrency/serialization invariants.",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint(
+        paths=args.paths,
+        json_output=args.json,
+        select=args.select,
+        ignore=args.ignore,
+        config_path=args.config,
+        list_rules=args.list_rules,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""The per-file walk: scope and ``with``-block tracking plus AST helpers.
+
+:class:`LintWalker` drives one preorder traversal of a module per lint
+run, maintaining the class/function scope stack and the stack of active
+``with`` blocks, and dispatches every node to every active rule.  Rules
+read the traversal state through :class:`ModuleContext` — the same object
+they report findings on.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from pathlib import PurePath
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.config import LintConfig
+    from repro.analysis.rules import Rule
+
+__all__ = [
+    "ModuleContext",
+    "LintWalker",
+    "dotted_name",
+    "walk_in_scope",
+    "module_level_bindings",
+]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render a ``Name``/``Attribute`` chain (optionally wrapped in a
+    call) as ``"a.b.c"``; ``None`` when any link is not a plain name.
+
+    ``dotted_name(self._lock.held())`` -> ``"self._lock.held"``.
+    """
+    if isinstance(node, ast.Call):
+        node = node.func
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def walk_in_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Preorder walk of ``root``'s body that does not descend into nested
+    function or class definitions — the unit rules reason about when they
+    analyse one body."""
+    stack: list[ast.AST] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if node is not root and isinstance(child, _SCOPE_NODES):
+                continue
+            if node is root and isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def module_level_bindings(tree: ast.Module) -> frozenset[str]:
+    """Names bound by module-level statements (assignments, defs,
+    imports) — the vocabulary RL005 checks stage bodies against."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                names.update(_target_names(target))
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            names.update(_target_names(stmt.target))
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                names.add(bound)
+    return frozenset(names)
+
+
+def _target_names(target: ast.AST) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for element in target.elts:
+            out.update(_target_names(element))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()
+
+
+class ModuleContext:
+    """Traversal state for one file, shared by all rules.
+
+    Attributes:
+        path: display path of the file being linted.
+        tree: the parsed module.
+        config: the effective :class:`~repro.analysis.config.LintConfig`.
+        module_names: names bound at module level (see
+            :func:`module_level_bindings`).
+        findings: findings reported so far (pre-suppression).
+    """
+
+    def __init__(self, path: str, tree: ast.Module, config: "LintConfig") -> None:
+        self.path = path
+        self.tree = tree
+        self.config = config
+        self.module_names = module_level_bindings(tree)
+        self.findings: list[Finding] = []
+        self._class_stack: list[ast.ClassDef] = []
+        self._function_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self._with_items: list[str] = []
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self, rule: "Rule", node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=rule.id,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # scope queries
+    # ------------------------------------------------------------------
+    @property
+    def current_class(self) -> ast.ClassDef | None:
+        return self._class_stack[-1] if self._class_stack else None
+
+    @property
+    def current_function(self) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        return self._function_stack[-1] if self._function_stack else None
+
+    def path_matches(self, patterns: tuple[str, ...]) -> bool:
+        """fnmatch of this file's posix path against any pattern."""
+        posix = PurePath(self.path).as_posix()
+        return any(fnmatch(posix, pattern) for pattern in patterns)
+
+    # ------------------------------------------------------------------
+    # with-block queries
+    # ------------------------------------------------------------------
+    def in_lock_block(self) -> bool:
+        """True when the walk is lexically inside a ``with`` whose context
+        expression is a store-lock acquisition.
+
+        The acquisition is recognised structurally: a call whose final
+        attribute is one of ``config.lock_methods`` on a receiver chain
+        that mentions a lock (``self._lock.held()``,
+        ``store._lock.held()``, ...).
+        """
+        for name in self._with_items:
+            head, _, method = name.rpartition(".")
+            if method in self.config.lock_methods and "lock" in head.lower():
+                return True
+        return False
+
+
+class LintWalker:
+    """One preorder traversal dispatching to all active rules."""
+
+    def __init__(self, rules: list["Rule"]) -> None:
+        self._rules = rules
+
+    def run(self, ctx: ModuleContext) -> None:
+        for rule in self._rules:
+            rule.start_module(ctx)
+        self._walk(ctx.tree, ctx)
+        for rule in self._rules:
+            rule.finish_module(ctx)
+
+    def _walk(self, node: ast.AST, ctx: ModuleContext) -> None:
+        for rule in self._rules:
+            rule.visit(node, ctx)
+
+        if isinstance(node, ast.ClassDef):
+            ctx._class_stack.append(node)
+            try:
+                self._walk_children(node, ctx)
+            finally:
+                ctx._class_stack.pop()
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            ctx._function_stack.append(node)
+            try:
+                self._walk_children(node, ctx)
+            finally:
+                ctx._function_stack.pop()
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            names = [
+                name
+                for item in node.items
+                if (name := dotted_name(item.context_expr)) is not None
+            ]
+            ctx._with_items.extend(names)
+            try:
+                self._walk_children(node, ctx)
+            finally:
+                del ctx._with_items[len(ctx._with_items) - len(names):]
+        else:
+            self._walk_children(node, ctx)
+
+    def _walk_children(self, node: ast.AST, ctx: ModuleContext) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx)

@@ -1,0 +1,149 @@
+"""Running rules over sources, files and directory trees."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path, PurePath
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import LintWalker, ModuleContext
+from repro.analysis.findings import PARSE_ERROR_ID, Finding
+from repro.analysis.rules import Rule, resolve_rules
+from repro.analysis.suppress import scan_suppressions
+
+__all__ = ["LintRun", "lint_source", "lint_paths", "iter_python_files"]
+
+
+@dataclass
+class LintRun:
+    """The outcome of linting a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "n_files": self.n_files,
+            "n_findings": len(self.findings),
+            "n_suppressed": self.n_suppressed,
+        }
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one file's text.
+
+    Returns ``(findings, n_suppressed)``; findings are sorted and have
+    inline suppressions already applied.  A syntactically invalid file
+    yields a single non-suppressible :data:`PARSE_ERROR_ID` finding.
+    """
+    config = config or LintConfig()
+    active = list(rules) if rules is not None else resolve_rules(
+        config.select, config.ignore
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) or 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"cannot parse file: {exc.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = ModuleContext(path, tree, config)
+    LintWalker(active).run(ctx)
+    suppressions = scan_suppressions(source)
+    kept = [
+        finding
+        for finding in ctx.findings
+        if not suppressions.is_suppressed(finding.line, finding.rule_id)
+    ]
+    for line in suppressions.malformed:
+        kept.append(
+            Finding(
+                path=path,
+                line=line,
+                col=1,
+                rule_id=PARSE_ERROR_ID,
+                message="unparseable repro-lint directive "
+                "(expected '# repro-lint: disable=RLxxx[,RLyyy]')",
+            )
+        )
+    n_suppressed = len(ctx.findings) - sum(
+        1 for finding in kept if finding.rule_id != PARSE_ERROR_ID
+    )
+    return sorted(kept), n_suppressed
+
+
+def iter_python_files(
+    paths: Iterable[Path],
+    config: LintConfig | None = None,
+) -> list[Path]:
+    """Expand files and directories into the sorted list of ``.py`` files
+    to lint, honouring ``config.exclude`` patterns."""
+    config = config or LintConfig()
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py" or path.is_file():
+            out.add(path)
+    kept = [
+        path
+        for path in out
+        if not any(
+            fnmatch(PurePath(path).as_posix(), pattern)
+            for pattern in config.exclude
+        )
+    ]
+    return sorted(kept)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    config: LintConfig | None = None,
+) -> LintRun:
+    """Lint files and directory trees.
+
+    Raises:
+        FileNotFoundError: when a requested path does not exist (a CLI
+            typo should fail the run, not lint zero files successfully).
+    """
+    config = config or LintConfig()
+    resolved: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        resolved.append(path)
+    rules = resolve_rules(config.select, config.ignore)
+    run = LintRun()
+    for file_path in iter_python_files(resolved, config):
+        source = file_path.read_text(encoding="utf-8")
+        findings, n_suppressed = lint_source(
+            source, str(file_path), config, rules
+        )
+        run.findings.extend(findings)
+        run.n_suppressed += n_suppressed
+        run.n_files += 1
+    run.findings.sort()
+    return run

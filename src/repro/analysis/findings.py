@@ -1,0 +1,38 @@
+"""Finding records emitted by lint rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "PARSE_ERROR_ID"]
+
+#: Reserved pseudo-rule id used when a file cannot be parsed at all.
+#: It is not suppressible and not part of the registry.
+PARSE_ERROR_ID = "RL000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a concrete source location.
+
+    Ordering is by path, then position, then rule id — the order the text
+    reporter prints in, chosen so output is stable across runs.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

@@ -1,0 +1,37 @@
+"""Text and JSON rendering of a lint run."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintRun
+from repro.analysis.rules import all_rule_classes
+
+__all__ = ["render_text", "render_json", "render_rule_list"]
+
+
+def render_text(run: LintRun) -> str:
+    """``path:line:col: RLxxx message`` lines plus a one-line summary."""
+    lines = [finding.render() for finding in run.findings]
+    noun = "finding" if len(run.findings) == 1 else "findings"
+    suppressed = (
+        f", {run.n_suppressed} suppressed" if run.n_suppressed else ""
+    )
+    lines.append(
+        f"{len(run.findings)} {noun} in {run.n_files} file"
+        f"{'s' if run.n_files != 1 else ''}{suppressed}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    """The run as a JSON document (stable key order)."""
+    return json.dumps(run.to_dict(), indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """One line per registered rule: ``RLxxx name: description``."""
+    return "\n".join(
+        f"{cls.id} {cls.name}: {cls.description}"
+        for cls in all_rule_classes()
+    )

@@ -1,0 +1,110 @@
+"""Rule base class and registry.
+
+Every rule carries a stable ``RLxxx`` identifier; identifiers are never
+reused, so a ``# repro-lint: disable=RL001`` comment written today keeps
+meaning the same invariant forever.  Rules register themselves with the
+:func:`register` decorator at import time (:mod:`repro.analysis.invariants`
+imports define the shipped set).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Callable, ClassVar, Iterable, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.context import ModuleContext
+
+__all__ = [
+    "Rule",
+    "register",
+    "all_rule_classes",
+    "get_rule_class",
+    "resolve_rules",
+]
+
+_RULE_ID = re.compile(r"^RL[0-9]{3}$")
+
+_REGISTRY: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and override any of the three
+    hooks.  ``visit`` is called once per AST node in a preorder walk with
+    scope/``with`` tracking already established on the context; rules
+    needing whole-function reasoning (dataflow within one body) typically
+    react to ``ast.FunctionDef`` nodes and inspect the subtree themselves.
+    """
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def start_module(self, ctx: "ModuleContext") -> None:
+        """Called once before the walk of a file begins."""
+
+    def visit(self, node: ast.AST, ctx: "ModuleContext") -> None:
+        """Called for every node in the module, in preorder."""
+
+    def finish_module(self, ctx: "ModuleContext") -> None:
+        """Called once after the walk of a file completes."""
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry.
+
+    Raises:
+        ValueError: on a malformed id or an id collision — both are
+            programming errors in a new rule, caught at import time.
+    """
+    if not _RULE_ID.match(cls.id):
+        raise ValueError(f"rule id {cls.id!r} does not match RLxxx")
+    existing = _REGISTRY.get(cls.id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.id} ({existing.__name__})")
+    if not cls.name or not cls.description:
+        raise ValueError(f"rule {cls.id} needs a name and description")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rule_classes() -> list[Type[Rule]]:
+    """Registered rule classes, sorted by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule_class(rule_id: str) -> Type[Rule]:
+    """Look one rule up by id.
+
+    Raises:
+        KeyError: for an unknown id.
+    """
+    return _REGISTRY[rule_id]
+
+
+def resolve_rules(
+    select: Iterable[str] = (),
+    ignore: Iterable[str] = (),
+    factory: Callable[[Type[Rule]], Rule] | None = None,
+) -> list[Rule]:
+    """Instantiate the active rule set.
+
+    ``select`` limits the run to the listed ids (empty means all
+    registered rules); ``ignore`` then removes ids.  Unknown ids raise
+    ``KeyError`` so a typo in configuration fails loudly instead of
+    silently disabling a rule.
+    """
+    selected = list(select) or sorted(_REGISTRY)
+    for rule_id in list(select) + list(ignore):
+        if rule_id not in _REGISTRY:
+            raise KeyError(rule_id)
+    ignored = set(ignore)
+    make = factory or (lambda cls: cls())
+    return [
+        make(_REGISTRY[rule_id])
+        for rule_id in selected
+        if rule_id not in ignored
+    ]

@@ -1,0 +1,108 @@
+"""Inline suppression comments.
+
+Two forms are honoured, mirroring the usual linter conventions:
+
+* trailing, on the offending line::
+
+      path.unlink()  # repro-lint: disable=RL001  -- recovery path, lock held by caller
+
+  The suppression applies to that physical line only.
+
+* standalone, on its own line::
+
+      # repro-lint: disable=RL001,RL003
+      path.unlink()
+
+  The suppression applies to the next line that holds code (skipping
+  blank lines and further comments), which is how multi-rule or long
+  justifications stay readable.
+
+Anything after the id list (e.g. a ``--`` justification) is ignored, and
+suppressing is per-rule: ``disable=RL001`` never silences RL002.  A bare
+``disable`` with no ids suppresses nothing — it is reported by the engine
+as unparseable rather than acting as a blanket waiver.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["SuppressionIndex", "scan_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint\s*:\s*disable\s*=\s*(?P<ids>RL[0-9]{3}(?:\s*,\s*RL[0-9]{3})*)"
+)
+_MALFORMED = re.compile(r"#\s*repro-lint\s*:")
+
+
+class SuppressionIndex:
+    """Maps physical line numbers to the rule ids suppressed there."""
+
+    def __init__(
+        self,
+        by_line: dict[int, frozenset[str]],
+        malformed: list[int],
+    ) -> None:
+        self._by_line = by_line
+        #: lines carrying a ``repro-lint:`` marker that did not parse
+        self.malformed = malformed
+        #: (line, rule_id) pairs that actually silenced a finding
+        self.used: set[tuple[int, str]] = set()
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        ids = self._by_line.get(line)
+        if ids is not None and rule_id in ids:
+            self.used.add((line, rule_id))
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def scan_suppressions(source: str) -> SuppressionIndex:
+    """Build the suppression index for one file's source text.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps directives
+    inside string literals from being honoured.  A file that fails to
+    tokenize yields an empty index; the parse error is reported by the
+    engine separately.
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    malformed: list[int] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        return SuppressionIndex({}, [])
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            if _MALFORMED.search(token.string):
+                malformed.append(token.start[0])
+            continue
+        ids = frozenset(
+            part.strip() for part in match.group("ids").split(",")
+        )
+        comment_line = token.start[0]
+        text_before = lines[comment_line - 1][: token.start[1]].strip()
+        if text_before:
+            target = comment_line
+        else:
+            target = _next_code_line(lines, comment_line)
+        by_line[target] = by_line.get(target, frozenset()) | ids
+    return SuppressionIndex(by_line, malformed)
+
+
+def _next_code_line(lines: list[str], comment_line: int) -> int:
+    """First line after ``comment_line`` holding code (1-based); falls
+    back to the comment's own line at end of file."""
+    for offset, text in enumerate(lines[comment_line:], start=comment_line + 1):
+        stripped = text.strip()
+        if stripped and not stripped.startswith("#"):
+            return offset
+    return comment_line

@@ -90,7 +90,7 @@ class Pipeline:
         self,
         stages: Sequence[Stage],
         options: PipelineOptions | None = None,
-    ):
+    ) -> None:
         if not stages:
             # a composition mistake, not a log problem — keep it out of
             # the LogError/ReproError family the CLI reports as log errors
@@ -463,7 +463,7 @@ def generate_segmented(
     state, _reports, _run = front.run(state, observers=observers)
     segments = state.segments or []
     n_workers = min(n_requested, len(segments))
-    results = []
+    results: list[GenerationResult] = []
     if n_workers > 1:
         payloads = [
             (segment, resolved, f"{state.source}/analysis-{index}")

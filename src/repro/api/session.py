@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import asyncio
 from pathlib import Path as FilePath
-from typing import Any, AsyncIterator, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, AsyncIterator, Iterable, Iterator
 
 from repro.api.pipeline import (
     PipelineObserver,
@@ -78,6 +78,9 @@ from repro.sqlparser.astnodes import Node
 from repro.sqlparser.parser import parse_sql
 from repro.treediff.memo import DiffMemo
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.interface import Interface
+
 __all__ = ["InterfaceSession"]
 
 
@@ -102,7 +105,7 @@ class InterfaceSession:
         self,
         options: PipelineOptions | None = None,
         observers: Iterable[PipelineObserver] = (),
-    ):
+    ) -> None:
         self.options = options or PipelineOptions()
         self._observers = tuple(observers)
         self._graph = InteractionGraph(queries=[])
@@ -166,7 +169,7 @@ class InterfaceSession:
         return self._last
 
     @property
-    def interface(self):
+    def interface(self) -> Interface | None:
         """The latest interface, if any append happened yet."""
         return self._last.interface if self._last else None
 

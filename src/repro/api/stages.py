@@ -194,7 +194,9 @@ class SegmentStage(Stage):
 
     name = "segment"
 
-    def __init__(self, jump_threshold: float = 0.3, cluster_threshold: float = 0.3):
+    def __init__(
+        self, jump_threshold: float = 0.3, cluster_threshold: float = 0.3
+    ) -> None:
         # validate eagerly so a bad composition fails at build time
         validate_threshold(jump_threshold)
         validate_threshold(cluster_threshold)

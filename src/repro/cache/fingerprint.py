@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.cache.serialize import FORMAT_VERSION, node_to_dict
 from repro.sqlparser.astnodes import Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.options import PipelineOptions
 
 __all__ = ["LogFingerprinter", "log_fingerprint", "options_fingerprint"]
 
@@ -88,7 +91,7 @@ def log_fingerprint(queries: Iterable[Node]) -> str:
     return LogFingerprinter().update(queries).hexdigest()
 
 
-def options_fingerprint(options: Any) -> str:
+def options_fingerprint(options: PipelineOptions) -> str:
     """SHA-256 over every option that can change what mining produces.
 
     Covers the mining knobs (window, LCA pruning), the mapping knobs

@@ -60,7 +60,7 @@ class StoreLock:
     cache directory is not an entry.
     """
 
-    def __init__(self, root: str | FilePath):
+    def __init__(self, root: str | FilePath) -> None:
         self.path = FilePath(root) / LOCK_FILE_NAME
         self._local = threading.local()
         self._thread_lock = threading.Lock()

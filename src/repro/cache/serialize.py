@@ -39,7 +39,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path as FilePath
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Sequence, TypeVar
 from uuid import uuid4
 
 from repro.errors import CacheError
@@ -48,6 +48,12 @@ from repro.graph.interaction import Edge, InteractionGraph
 from repro.paths import Path
 from repro.sqlparser.astnodes import Node
 from repro.treediff.diff import Diff
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sqlparser.grammar import GrammarAnnotations
+    from repro.widgets.base import Widget, WidgetType
+
+_T = TypeVar("_T")
 
 __all__ = [
     "FORMAT_VERSION",
@@ -115,7 +121,7 @@ def node_from_dict(payload: dict[str, Any]) -> Node:
         raise CacheError(f"malformed node record: {payload!r}") from exc
 
 
-def _at(table: list, index: Any, what: str):
+def _at(table: Sequence[_T], index: Any, what: str) -> _T:
     """Strict table lookup for decoded index references.
 
     Plain ``table[index]`` would let a corrupt record's negative index
@@ -358,15 +364,18 @@ def _jsonl_lines(
         header["stats"] = stats_payload
     if extra:
         header["extra"] = extra
-    yield json.dumps(header)
+    # sort_keys throughout: two processes persisting the same graph must
+    # produce byte-identical files (the ROADMAP's checksummed block store
+    # compares payloads by digest)
+    yield json.dumps(header, sort_keys=True)
     for tree in trees:
-        yield json.dumps({"rec": "tree", "node": tree})
+        yield json.dumps({"rec": "tree", "node": tree}, sort_keys=True)
     for ref in query_refs:
-        yield json.dumps({"rec": "query", "tree": ref})
+        yield json.dumps({"rec": "query", "tree": ref}, sort_keys=True)
     for diff in diff_payloads:
-        yield json.dumps({"rec": "diff", **diff})
+        yield json.dumps({"rec": "diff", **diff}, sort_keys=True)
     for edge in edge_payloads:
-        yield json.dumps({"rec": "edge", **edge})
+        yield json.dumps({"rec": "edge", **edge}, sort_keys=True)
 
 
 def save_graph(
@@ -470,7 +479,7 @@ def load_graph(
 # stale file impossible to half-trust: a library/rule change re-picks a
 # different type and the name check turns the entry into a miss.
 
-def widgets_to_dict(widgets: list, graph: InteractionGraph) -> dict[str, Any]:
+def widgets_to_dict(widgets: list[Widget], graph: InteractionGraph) -> dict[str, Any]:
     """Encode a mapped widget set against its graph's diffs table.
 
     Raises:
@@ -478,7 +487,7 @@ def widgets_to_dict(widgets: list, graph: InteractionGraph) -> dict[str, Any]:
             graph's diffs table (the widgets belong to a different graph).
     """
     diff_index = {id(d): i for i, d in enumerate(graph.diffs)}
-    encoded = []
+    encoded: list[dict[str, Any]] = []
     for widget in widgets:
         try:
             refs = [diff_index[id(d)] for d in widget.D]
@@ -494,9 +503,9 @@ def widgets_to_dict(widgets: list, graph: InteractionGraph) -> dict[str, Any]:
 def widgets_from_dict(
     payload: dict[str, Any],
     graph: InteractionGraph,
-    library: list,
-    annotations: Any,
-) -> list:
+    library: list[WidgetType],
+    annotations: GrammarAnnotations,
+) -> list[Widget]:
     """Decode a :func:`widgets_to_dict` payload against a loaded graph.
 
     Re-runs ``pickWidget`` over the referenced diff subsets, so the
@@ -517,7 +526,7 @@ def widgets_from_dict(
             f"unsupported widget-set format version {version!r} "
             f"(this build reads version {FORMAT_VERSION})"
         )
-    widgets = []
+    widgets: list[Widget] = []
     for record in payload.get("widgets", ()):
         try:
             refs = record["diffs"]
@@ -549,14 +558,18 @@ def _write_json_atomic(path: str | FilePath, payload: dict[str, Any]) -> None:
     tmp = target.with_name(f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp")
     try:
         with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
+            # sort_keys: derived tables must be byte-deterministic across
+            # processes for digest-based comparison
+            json.dump(payload, handle, sort_keys=True)
             handle.write("\n")
         tmp.replace(target)
     finally:
         tmp.unlink(missing_ok=True)
 
 
-def save_widgets(path: str | FilePath, widgets: list, graph: InteractionGraph) -> None:
+def save_widgets(
+    path: str | FilePath, widgets: list[Widget], graph: InteractionGraph
+) -> None:
     """Atomically write a widget-set payload next to its graph entry."""
     _write_json_atomic(path, widgets_to_dict(widgets, graph))
 
@@ -564,9 +577,9 @@ def save_widgets(path: str | FilePath, widgets: list, graph: InteractionGraph) -
 def load_widgets(
     path: str | FilePath,
     graph: InteractionGraph,
-    library: list,
-    annotations: Any,
-) -> list:
+    library: list[WidgetType],
+    annotations: GrammarAnnotations,
+) -> list[Widget]:
     """Read a :func:`save_widgets` file back against its loaded graph.
 
     Raises:
@@ -634,7 +647,7 @@ def proofs_from_dict(payload: dict[str, Any]) -> list[tuple[Node, Node, "Path"]]
         )
     try:
         trees = [node_from_dict(t) for t in payload.get("trees", ())]
-        triples = []
+        triples: list[tuple[Node, Node, Path]] = []
         for record in payload.get("proofs", ()):
             triples.append(
                 (
@@ -723,7 +736,7 @@ def diff_memo_from_dict(payload: dict[str, Any]) -> list[tuple[Node, Node, bool]
         )
     try:
         trees = [node_from_dict(t) for t in payload.get("trees", ())]
-        pairs = []
+        pairs: list[tuple[Node, Node, bool]] = []
         for record in payload.get("pairs", ()):
             pairs.append(
                 (

@@ -59,7 +59,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path as FilePath
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.cache.lock import StoreLock
 from repro.cache.serialize import (
@@ -77,6 +77,12 @@ from repro.errors import CacheError
 from repro.graph.build import BuildStats
 from repro.graph.interaction import InteractionGraph
 from repro.treediff.memo import DiffMemo
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.paths import Path
+    from repro.sqlparser.astnodes import Node
+    from repro.sqlparser.grammar import GrammarAnnotations
+    from repro.widgets.base import Widget, WidgetType
 
 __all__ = ["GraphStore"]
 
@@ -119,7 +125,7 @@ class GraphStore:
         root: str | FilePath,
         max_bytes: int | None = None,
         max_entries: int | None = None,
-    ):
+    ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         if max_entries is not None and max_entries < 0:
@@ -204,6 +210,11 @@ class GraphStore:
     ) -> FilePath:
         """Persist a mined graph under this key; returns the entry path."""
         path = self.path_for(log_fingerprint, options_fingerprint)
+        # Deliberately lock-free: save_graph is a single-file atomic
+        # write-then-rename, so a concurrent reader sees either the old
+        # complete entry or the new one — the lock only serialises
+        # *multi-file* operations (prune/invalidate/derived tables).
+        # repro-lint: disable=RL001
         save_graph(path, graph, stats)
         self._enforce_caps()
         return path
@@ -216,9 +227,9 @@ class GraphStore:
         log_fingerprint: str,
         options_fingerprint: str,
         graph: InteractionGraph,
-        library: list,
-        annotations: Any,
-    ) -> list | None:
+        library: list[WidgetType],
+        annotations: GrammarAnnotations,
+    ) -> list[Widget] | None:
         """Return the cached widget set for this key decoded against
         ``graph``, or ``None``.
 
@@ -240,7 +251,7 @@ class GraphStore:
         self,
         log_fingerprint: str,
         options_fingerprint: str,
-        widgets: list,
+        widgets: list[Widget],
         graph: InteractionGraph,
     ) -> FilePath:
         """Persist a mapped widget set under this key; returns the path.
@@ -269,7 +280,7 @@ class GraphStore:
     # ------------------------------------------------------------------
     def load_proof_triples(
         self, log_fingerprint: str, options_fingerprint: str
-    ) -> list | None:
+    ) -> list[tuple[Node, Node, Path]] | None:
         """Return this key's decoded proof triples, or ``None``.
 
         The triples are only sound for the key's own (deterministic)
@@ -291,7 +302,7 @@ class GraphStore:
         self,
         log_fingerprint: str,
         options_fingerprint: str,
-        widgets: list,
+        widgets: list[Widget],
     ) -> ClosureCache | None:
         """Return a :class:`~repro.core.closure.ClosureCache` armed for
         ``widgets`` with this key's persisted proofs, or ``None``.
@@ -312,7 +323,7 @@ class GraphStore:
         log_fingerprint: str,
         options_fingerprint: str,
         cache: ClosureCache,
-        widgets: list,
+        widgets: list[Widget],
     ) -> FilePath | None:
         """Persist the cache's positive proofs for ``widgets`` under this
         key; returns the path, or ``None`` when nothing was written.
@@ -340,7 +351,7 @@ class GraphStore:
     # ------------------------------------------------------------------
     def load_diff_memo_pairs(
         self, log_fingerprint: str, options_fingerprint: str
-    ) -> list | None:
+    ) -> list[tuple[Node, Node, bool]] | None:
         """Return this key's decoded representative shape pairs, or
         ``None``.
 
@@ -455,7 +466,7 @@ class GraphStore:
         n_files = 0
         counts = dict.fromkeys(_TABLE_NAMES, 0)
         bytes_by_suffix = dict.fromkeys(_TABLE_NAMES, 0)
-        surviving_keys = set()
+        surviving_keys: set[str] = set()
         for key, files in self._files_by_key().items():
             for path in files:
                 try:
@@ -522,7 +533,7 @@ class GraphStore:
             for key, files in self._files_by_key().items():
                 recency = 0.0
                 size = 0
-                alive = []
+                alive: list[FilePath] = []
                 has_graph = False
                 for path in files:
                     try:

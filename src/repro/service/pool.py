@@ -213,7 +213,7 @@ class SessionPool:
         pool_size: int = 2,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         mp_context: str | None = None,
-    ):
+    ) -> None:
         if pool_size < 1:
             raise ServiceError(f"pool_size must be >= 1, got {pool_size}")
         if queue_depth < 1:
@@ -229,7 +229,7 @@ class SessionPool:
         self._unreported_failures: list[AppendAck] = []
         # non-ack messages (drain replies) popped by _collect_ready while
         # a concurrent drain() was waiting for them — never discard these
-        self._stashed_replies: list[tuple] = []
+        self._stashed_replies: list[tuple[Any, ...]] = []
         self._flush_errors: list[str] = []
         self._clients: set[str] = set()
         self._closed = False

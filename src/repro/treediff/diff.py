@@ -107,13 +107,15 @@ class Diff:
 
     def invert(self) -> "Diff":
         """The inverse transformation d⁻¹ (swaps source and target)."""
+        source = self.source_path
+        assert source is not None  # set in __post_init__
         return dc_replace(
             self,
             q1=self.q2,
             q2=self.q1,
             t1=self.t2,
             t2=self.t1,
-            path=self.source_path,
+            path=source,
             source_path=self.path,
         )
 
@@ -154,7 +156,7 @@ class Diff:
         return f"d(q{self.q1}->q{self.q2} @{self.path}: {left} -> {right} [{self.kind}])"
 
 
-def diff_signature(diff: Diff) -> tuple:
+def diff_signature(diff: Diff) -> tuple[Path, int | None, int | None]:
     """Deduplication key: two diffs with the same signature express the same
     transformation regardless of which query pair produced them."""
     return (
@@ -221,24 +223,25 @@ def extract_diffs(
         leaf_count = 0
         branches = 0
         for pair in align_children(node_a.children, node_b.children):
-            if pair.is_match:
+            a_index, b_index = pair.a_index, pair.b_index
+            if a_index is not None and b_index is not None:
                 child_count = walk(
-                    node_a.children[pair.a_index],
-                    node_b.children[pair.b_index],
-                    path_a.child(pair.a_index),
-                    path_b.child(pair.b_index),
+                    node_a.children[a_index],
+                    node_b.children[b_index],
+                    path_a.child(a_index),
+                    path_b.child(b_index),
                 )
                 if child_count:
                     branches += 1
                     leaf_count += child_count
-            elif pair.is_deletion:
-                deleted = path_a.child(pair.a_index)
-                emit(deleted, deleted, node_a.children[pair.a_index], None, True)
+            elif a_index is not None:
+                deleted = path_a.child(a_index)
+                emit(deleted, deleted, node_a.children[a_index], None, True)
                 branches += 1
                 leaf_count += 1
-            else:
-                inserted = path_b.child(pair.b_index)
-                emit(inserted, inserted, None, node_b.children[pair.b_index], True)
+            elif b_index is not None:
+                inserted = path_b.child(b_index)
+                emit(inserted, inserted, None, node_b.children[b_index], True)
                 branches += 1
                 leaf_count += 1
 

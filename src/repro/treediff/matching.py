@@ -197,12 +197,13 @@ def match_trees(a: Node, b: Node) -> list[tuple[tuple[int, ...], tuple[int, ...]
         if node_a.node_type != node_b.node_type:
             return
         for pair in align_children(node_a.children, node_b.children):
-            if pair.is_match:
+            a_index, b_index = pair.a_index, pair.b_index
+            if a_index is not None and b_index is not None:
                 visit(
-                    node_a.children[pair.a_index],
-                    node_b.children[pair.b_index],
-                    path_a + (pair.a_index,),
-                    path_b + (pair.b_index,),
+                    node_a.children[a_index],
+                    node_b.children[b_index],
+                    path_a + (a_index,),
+                    path_b + (b_index,),
                 )
 
     visit(a, b, (), ())
@@ -219,10 +220,11 @@ def tree_distance(a: Node, b: Node) -> float:
         return float(a.size + b.size)
     total = 0.0
     for pair in align_children(a.children, b.children):
-        if pair.is_match:
-            total += tree_distance(a.children[pair.a_index], b.children[pair.b_index])
-        elif pair.is_deletion:
-            total += a.children[pair.a_index].size
-        else:
-            total += b.children[pair.b_index].size
+        a_index, b_index = pair.a_index, pair.b_index
+        if a_index is not None and b_index is not None:
+            total += tree_distance(a.children[a_index], b.children[b_index])
+        elif a_index is not None:
+            total += a.children[a_index].size
+        elif b_index is not None:
+            total += b.children[b_index].size
     return total

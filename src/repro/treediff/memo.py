@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.paths import Path
 from repro.sqlparser.astnodes import Node
 from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
 from repro.treediff.diff import Diff, classify_change, extract_diffs
@@ -51,6 +52,14 @@ _REPLACE = 0
 _DELETE = 1
 _INSERT = 2
 
+#: one replayable diff: (path, source_path, opcode, kind, is_leaf)
+_PlanEntry = tuple[Path, Path, int, str, bool]
+_Plan = tuple[_PlanEntry, ...]
+#: (skeleton(a), skeleton(b), prune)
+_ShapeKey = tuple[int, int, bool]
+#: canonical literal numbering of a pair (see :func:`literal_pattern`)
+_Pattern = tuple[int, ...]
+
 
 def literal_pattern(a: Node, b: Node) -> tuple[int, ...]:
     """Canonical numbering of the pair's literal values.
@@ -60,7 +69,7 @@ def literal_pattern(a: Node, b: Node) -> tuple[int, ...]:
     equal patterns have an identical subtree-equality matrix at every
     level, which is the property that makes plan replay exact.
     """
-    ids: dict = {}
+    ids: dict[object, int] = {}
     out: list[int] = []
     for value in a.literal_values + b.literal_values:
         index = ids.setdefault(value, len(ids))
@@ -68,7 +77,7 @@ def literal_pattern(a: Node, b: Node) -> tuple[int, ...]:
     return tuple(out)
 
 
-def _resolve(node: Node, path) -> Node | None:
+def _resolve(node: Node, path: Path) -> Node | None:
     """The subtree at ``path``, or ``None`` when the path walks off the
     tree (one walk — no separate ``has_path`` probe)."""
     for step in path.steps:
@@ -99,7 +108,7 @@ class DiffMemo:
         # (plan, representative_a, representative_b)}; patterns are
         # hashable tuples, so a shape pair that accumulates many
         # patterns (non-template traffic) still looks up in O(1)
-        self._plans: dict[tuple, dict[tuple, tuple]] = {}
+        self._plans: dict[_ShapeKey, dict[_Pattern, tuple[_Plan, Node, Node]]] = {}
         self.n_replayed = 0
         self.n_full = 0
         self.n_warmed = 0
@@ -164,7 +173,7 @@ class DiffMemo:
 
     @staticmethod
     def _replay(
-        plan: tuple,
+        plan: _Plan,
         a: Node,
         b: Node,
         q1: int,
@@ -216,7 +225,7 @@ class DiffMemo:
         graph's query list), so exporting allocates no tree copies.  Feed
         the result to :func:`repro.cache.serialize.save_diff_memo`.
         """
-        out = []
+        out: list[tuple[Node, Node, bool]] = []
         for (_ska, _skb, prune), entries in self._plans.items():
             for _plan, rep_a, rep_b in entries.values():
                 out.append((rep_a, rep_b, prune))
@@ -246,7 +255,7 @@ class DiffMemo:
         return added
 
 
-def _plan_from(records: list[Diff]) -> tuple:
+def _plan_from(records: list[Diff]) -> _Plan:
     """Abstract a concrete diff list into a replayable plan.
 
     Every diff a pair produces locates its subtrees at recorded paths
@@ -254,7 +263,7 @@ def _plan_from(records: list[Diff]) -> tuple:
     the target tree), so the plan is just the paths plus the emission
     metadata — subtrees are re-fetched from each concrete pair at replay.
     """
-    plan = []
+    plan: list[_PlanEntry] = []
     for diff in records:
         if diff.is_insertion:
             op = _INSERT
@@ -262,5 +271,7 @@ def _plan_from(records: list[Diff]) -> tuple:
             op = _DELETE
         else:
             op = _REPLACE
-        plan.append((diff.path, diff.source_path, op, diff.kind, diff.is_leaf))
+        source = diff.source_path
+        assert source is not None  # set in __post_init__
+        plan.append((diff.path, source, op, diff.kind, diff.is_leaf))
     return tuple(plan)

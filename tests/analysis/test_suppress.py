@@ -1,0 +1,109 @@
+"""Inline suppression directives and their failure modes."""
+
+import textwrap
+
+from repro.analysis import PARSE_ERROR_ID, LintConfig, lint_source
+from repro.analysis.suppress import scan_suppressions
+
+STORE_PATH = "src/repro/cache/store.py"
+
+
+def lint(source: str, path: str = STORE_PATH):
+    return lint_source(textwrap.dedent(source), path, LintConfig())
+
+
+def test_trailing_directive_suppresses_its_line():
+    findings, n_suppressed = lint(
+        """
+        def prune(path):
+            path.unlink()  # repro-lint: disable=RL001
+        """
+    )
+    assert findings == []
+    assert n_suppressed == 1
+
+
+def test_standalone_directive_covers_the_next_code_line():
+    findings, n_suppressed = lint(
+        """
+        def prune(path):
+            # single-file op, atomic rename makes the lock unnecessary
+            # repro-lint: disable=RL001
+
+            path.unlink()
+        """
+    )
+    assert findings == []
+    assert n_suppressed == 1
+
+
+def test_directive_is_rule_specific():
+    findings, n_suppressed = lint(
+        """
+        def prune(path):
+            path.unlink()  # repro-lint: disable=RL002
+        """
+    )
+    assert [f.rule_id for f in findings] == ["RL001"]
+    assert n_suppressed == 0
+
+
+def test_directive_accepts_multiple_ids():
+    findings, n_suppressed = lint(
+        """
+        def prune(path):
+            path.unlink()  # repro-lint: disable=RL002, RL001
+        """
+    )
+    assert findings == []
+    assert n_suppressed == 1
+
+
+def test_malformed_directive_is_a_finding():
+    findings, _ = lint(
+        """
+        def prune(path):
+            path.unlink()  # repro-lint: disable=lock-stuff
+        """
+    )
+    ids = [f.rule_id for f in findings]
+    assert "RL001" in ids  # nothing got suppressed
+    assert PARSE_ERROR_ID in ids  # and the typo itself is reported
+
+
+def test_directives_inside_strings_are_ignored():
+    findings, n_suppressed = lint(
+        """
+        def prune(path):
+            note = "# repro-lint: disable=RL001"
+            path.unlink()
+        """
+    )
+    assert [f.rule_id for f in findings] == ["RL001"]
+    assert n_suppressed == 0
+
+
+def test_parse_errors_are_not_suppressible():
+    findings, _ = lint(
+        """
+        def prune(path  # repro-lint: disable=RL000
+        """
+    )
+    assert [f.rule_id for f in findings] == [PARSE_ERROR_ID]
+
+
+def test_scan_reports_directive_lines():
+    index = scan_suppressions(
+        textwrap.dedent(
+            """
+            x = 1  # repro-lint: disable=RL001
+            # repro-lint: disable=RL002,RL003
+            y = 2
+            """
+        )
+    )
+    assert index.is_suppressed(2, "RL001")
+    assert not index.is_suppressed(2, "RL002")
+    assert index.is_suppressed(4, "RL002")
+    assert index.is_suppressed(4, "RL003")
+    assert index.malformed == []

@@ -1,0 +1,144 @@
+"""StoreLock semantics, including the no-``fcntl`` (Windows) fallback.
+
+The fallback degrades to a process-local ``threading.Lock``; these tests
+pin down that single-process correctness — mutual exclusion between
+threads, per-thread reentrancy, exception safety — survives the
+degradation, by monkeypatching ``repro.cache.lock.fcntl`` to ``None``
+exactly as the import-time probe leaves it on Windows.
+"""
+
+import threading
+
+import pytest
+
+import repro.cache.lock as lock_mod
+from repro.cache.lock import LOCK_FILE_NAME, StoreLock
+
+
+@pytest.fixture(params=["flock", "fallback"])
+def store_lock(request, tmp_path, monkeypatch):
+    """One StoreLock per backend: the real flock path and the degraded
+    threading-only path run the same assertions."""
+    if request.param == "fallback":
+        monkeypatch.setattr(lock_mod, "fcntl", None)
+    elif lock_mod.fcntl is None:  # pragma: no cover - non-POSIX host
+        pytest.skip("fcntl unavailable; only the fallback path exists here")
+    return StoreLock(tmp_path)
+
+
+def test_held_is_reentrant(store_lock):
+    with store_lock.held():
+        with store_lock.held():
+            with store_lock.held():
+                assert store_lock._depth() == 3
+        assert store_lock._depth() == 1
+    assert store_lock._depth() == 0
+
+
+def test_depth_resets_after_exception(store_lock):
+    with pytest.raises(RuntimeError):
+        with store_lock.held():
+            raise RuntimeError("boom")
+    assert store_lock._depth() == 0
+    # and the lock is re-acquirable afterwards (not poisoned)
+    with store_lock.held():
+        assert store_lock._depth() == 1
+
+
+def test_threads_are_mutually_excluded(store_lock):
+    """N threads increment a shared counter non-atomically under the
+    lock; any interleaving inside the critical section loses updates."""
+    counter = {"value": 0}
+    in_section = threading.Event()
+    overlap = []
+
+    def work():
+        for _ in range(200):
+            with store_lock.held():
+                if in_section.is_set():  # pragma: no cover - failure path
+                    overlap.append(True)
+                in_section.set()
+                current = counter["value"]
+                counter["value"] = current + 1
+                in_section.clear()
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not overlap
+    assert counter["value"] == 4 * 200
+
+
+def test_blocked_thread_waits_for_release(store_lock):
+    entered = threading.Event()
+    release = threading.Event()
+    order = []
+
+    def holder():
+        with store_lock.held():
+            entered.set()
+            release.wait(timeout=10)
+            order.append("holder")
+
+    def waiter():
+        entered.wait(timeout=10)
+        with store_lock.held():
+            order.append("waiter")
+
+    threads = [threading.Thread(target=holder), threading.Thread(target=waiter)]
+    for thread in threads:
+        thread.start()
+    entered.wait(timeout=10)
+    release.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert order == ["holder", "waiter"]
+
+
+def test_fallback_does_not_touch_the_lock_file(tmp_path, monkeypatch):
+    monkeypatch.setattr(lock_mod, "fcntl", None)
+    lock = StoreLock(tmp_path)
+    with lock.held():
+        pass
+    # without flock there is nothing to latch onto; the fallback must
+    # not create stray files in the store directory
+    assert not (tmp_path / LOCK_FILE_NAME).exists()
+
+
+@pytest.mark.skipif(lock_mod.fcntl is None, reason="needs fcntl")
+def test_flock_path_creates_the_lock_file(tmp_path):
+    lock = StoreLock(tmp_path)
+    with lock.held():
+        pass
+    assert (tmp_path / LOCK_FILE_NAME).exists()
+
+
+def test_store_operations_survive_the_fallback(tmp_path, monkeypatch):
+    """End to end: a GraphStore on the degraded lock still saves, loads,
+    and prunes — the guarantees shrink to single-process, they do not
+    vanish."""
+    monkeypatch.setattr(lock_mod, "fcntl", None)
+    from repro import parse_sql
+    from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+    from repro.cache.store import GraphStore
+    from repro.core.options import PipelineOptions
+    from repro.graph.build import BuildStats, build_interaction_graph
+
+    queries = [
+        parse_sql("SELECT a FROM t WHERE x = 1"),
+        parse_sql("SELECT a FROM t WHERE x = 2"),
+    ]
+    stats = BuildStats()
+    graph = build_interaction_graph(queries, stats=stats)
+    store = GraphStore(tmp_path / "cache")
+    log_fp = log_fingerprint(queries)
+    opts_fp = options_fingerprint(PipelineOptions())
+    store.save(log_fp, opts_fp, graph, stats)
+    cached = store.load(log_fp, opts_fp)
+    assert cached is not None
+    loaded, _ = cached
+    assert loaded.n_diffs == graph.n_diffs
+    store.invalidate(log_fp, opts_fp)
+    assert store.load(log_fp, opts_fp) is None
