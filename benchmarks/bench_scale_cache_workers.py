@@ -24,16 +24,26 @@ absolute 3x assertion is skipped there because a tiny log has no steady
 state, but the JSON is still produced for the ratio gate.
 """
 
+import gc
 import os
 import statistics
 import tempfile
 import time
 
 from repro.api import InterfaceSession, generate, generate_many
-from repro.core.mapper import initialize, merge_widgets
+from repro.core.closure import expresses
+from repro.core.mapper import (
+    MapCache,
+    initialize,
+    initialize_indexed,
+    merge_widgets,
+    merge_widgets_incremental,
+)
 from repro.core.options import PipelineOptions
+from repro.graph.build import build_interaction_graph, extend_interaction_graph
 from repro.logs import AdhocLogGenerator, SDSSLogGenerator
 from repro.service import SessionPool
+from repro.sqlparser import parse_sql
 
 from helpers import emit, emit_json, run_once
 
@@ -50,6 +60,18 @@ WINDOW = 8 if TINY else 16
 APPEND_TOTAL = 60 if TINY else 240
 APPEND_WARMUP = 40 if TINY else 200
 APPEND_BATCH = 4
+
+#: skewed one-hot workload: K clean function subtrees warmed up with a
+#: few literal/structural variations each, then every append varies one
+#: literal — a single hot component whose clean sub-windows the interval
+#: index must skip.  The ablation compares the windowed merge against
+#: the component-granularity re-merge (``use_windows=False``).
+SKEW_SUBTREES = 24 if TINY else 140
+SKEW_LITERALS = 4 if TINY else 6
+SKEW_STRUCTURAL = 2 if TINY else 3
+SKEW_HOT = 24 if TINY else 80
+SKEW_WARM_EXTRA = 8
+SKEW_BATCH = 4
 
 #: pool-throughput workload: per-client session logs served through a
 #: SessionPool, batches interleaved round-robin across clients
@@ -240,11 +262,89 @@ def test_pool_throughput(benchmark):
         assert speedup > 1.0, payload
 
 
+def _skewed_statements():
+    """The adversarial one-hot log: warm-up plants one big component
+    (a divergent query creates a root-path widget) holding K function
+    subtrees, then the hot phase varies a single literal."""
+    k = SKEW_SUBTREES
+
+    def conj(x_value, literals):
+        parts = [f"x = {x_value}"] + [
+            f"f{i}(y, {literals[i]}) = 5" for i in range(k)
+        ]
+        return " AND ".join(parts)
+
+    base = [2] * k
+    statements = ["SELECT g, SUM(m) FROM t GROUP BY g"]
+    for i in range(k):
+        for j in range(SKEW_LITERALS):
+            literals = list(base)
+            literals[i] = j + 3
+            statements.append(f"SELECT a, b FROM t WHERE {conj(0, literals)}")
+        for s in range(SKEW_STRUCTURAL):
+            parts = ["x = 0"] + [
+                f"f{m}(y, {base[m]}) = 5" if m != i else f"z{s} = 5"
+                for m in range(k)
+            ]
+            statements.append(
+                "SELECT a, b FROM t WHERE " + " AND ".join(parts)
+            )
+            statements.append(f"SELECT a, b FROM t WHERE {conj(0, base)}")
+    warm = len(statements)
+    statements += [
+        f"SELECT a, b FROM t WHERE {conj(value, base)}"
+        for value in range(SKEW_HOT)
+    ]
+    return statements, warm
+
+
+def _drive_skewed(asts, warm, options, use_windows, probes):
+    """Per-append merge timings for one ablation arm, plus the widget
+    summaries and closure verdicts the parity assertions compare."""
+    # the timed appends are short (single-digit ms); collect garbage from
+    # earlier sections up front so neither arm pays for it mid-loop
+    gc.collect()
+    cache = MapCache()
+    graph = build_interaction_graph(asts[: warm + SKEW_WARM_EXTRA], window=2)
+    cache.index.update(graph.diffs)
+    widgets, _, _ = initialize_indexed(
+        cache, options.library, options.annotations
+    )
+    merge_widgets_incremental(
+        widgets, options.library, options.annotations, cache,
+        use_windows=use_windows,
+    )
+    seconds, summaries, verdicts = [], [], []
+    for start in range(warm + SKEW_WARM_EXTRA, len(asts), SKEW_BATCH):
+        extend_interaction_graph(
+            graph, asts[start : start + SKEW_BATCH], window=2
+        )
+        cache.index.update(graph.diffs)
+        t0 = time.perf_counter()
+        widgets, _, _ = initialize_indexed(
+            cache, options.library, options.annotations
+        )
+        merged, _, _ = merge_widgets_incremental(
+            widgets, options.library, options.annotations, cache,
+            use_windows=use_windows,
+        )
+        seconds.append(time.perf_counter() - t0)
+        summaries.append(
+            [(w.widget_type.name, str(w.path), w.domain.size) for w in merged]
+        )
+        verdicts.append(
+            [expresses(merged, asts[0], probe) for probe in probes]
+        )
+    return seconds, summaries, verdicts
+
+
 def test_incremental_append(benchmark):
     """Steady-state append cost vs the two non-incremental alternatives:
     re-generating from scratch (what a system without sessions pays per
     arrival) and a full remap of the accumulated graph (what the PR-2
-    session paid for its merge phase)."""
+    session paid for its merge phase).  A second, skewed section ablates
+    the interval-index window memo against component-granularity
+    re-merging on a one-hot workload."""
     asts = AdhocLogGenerator(seed=2).student_log("S1", APPEND_TOTAL).asts()
     options = PipelineOptions(window=WINDOW)
 
@@ -298,6 +398,23 @@ def test_incremental_append(benchmark):
     speedup_vs_regenerate = regenerate / max(steady_append, 1e-9)
     speedup_vs_remap = full_remap / max(steady_append, 1e-9)
 
+    # skewed one-hot ablation: the same appends driven through the
+    # mapper twice — once with the interval-index window memo, once at
+    # component granularity (``use_windows=False``, the pre-index path)
+    skew_statements, skew_warm = _skewed_statements()
+    skew_asts = [parse_sql(statement) for statement in skew_statements]
+    probes = skew_asts[:3] + skew_asts[-2:]
+    skew_options = PipelineOptions(window=2)
+    windowed = _drive_skewed(skew_asts, skew_warm, skew_options, True, probes)
+    baseline = _drive_skewed(skew_asts, skew_warm, skew_options, False, probes)
+    # the memo is an optimisation, not an approximation: byte-identical
+    # widget sets and closure answers at every append
+    assert windowed[1] == baseline[1]
+    assert windowed[2] == baseline[2]
+    skew_windowed = statistics.median(windowed[0])
+    skew_baseline = statistics.median(baseline[0])
+    speedup_skewed_windows = skew_baseline / max(skew_windowed, 1e-9)
+
     payload = {
         "workload": {
             "family": "adhoc",
@@ -313,6 +430,17 @@ def test_incremental_append(benchmark):
         "speedup_vs_regenerate": speedup_vs_regenerate,
         "speedup_vs_remap": speedup_vs_remap,
         "append_seconds": out["append_seconds"],
+        "skewed_workload": {
+            "n_subtrees": SKEW_SUBTREES,
+            "n_literals": SKEW_LITERALS,
+            "n_structural": SKEW_STRUCTURAL,
+            "n_hot": SKEW_HOT,
+            "warmup": skew_warm + SKEW_WARM_EXTRA,
+            "batch": SKEW_BATCH,
+        },
+        "skewed_windowed_seconds": skew_windowed,
+        "skewed_component_seconds": skew_baseline,
+        "speedup_skewed_windows": speedup_skewed_windows,
     }
     emit_json("BENCH_incremental", payload)
     emit(
@@ -329,6 +457,14 @@ def test_incremental_append(benchmark):
                 f"(x{speedup_vs_regenerate:.1f})",
                 f"  merge components reused per append: "
                 f"{out['merge_component_reuse']}",
+                "",
+                f"skewed one-hot ablation ({SKEW_SUBTREES} subtrees, "
+                f"{SKEW_HOT} hot appends, batch {SKEW_BATCH})",
+                f"  windowed merge (interval memo): "
+                f"{skew_windowed * 1000:8.1f} ms",
+                f"  component re-merge (ablated):   "
+                f"{skew_baseline * 1000:8.1f} ms  "
+                f"(x{speedup_skewed_windows:.1f})",
             ]
         ),
     )
@@ -344,3 +480,6 @@ def test_incremental_append(benchmark):
     if not TINY:
         assert speedup_vs_regenerate >= 3.0, payload
         assert speedup_vs_remap > 1.0, payload
+        # the window memo must pay for itself on the skewed workload it
+        # was built for: 3x over component-granularity re-merging
+        assert speedup_skewed_windows >= 3.0, payload

@@ -6,12 +6,16 @@ Production logs grow; re-mining the whole log on every arrival is
 each append, aligns only the pairs that involve a new query — the already
 compared pairs (and their diff records) are reused as-is.  Mapping is
 incremental end to end: the session's :class:`~repro.core.mapper.MapCache`
-maintains a partition index over the growing diffs table, Initialize
+maintains a partition index (with interval annotations — pre/post-order
+windows over partition paths) over the growing diffs table, Initialize
 (Algorithm 1) re-solves only the diff partitions an append actually
 touched, and the Merge fixed point (Algorithm 3) runs partition-scoped —
 only the merge components incident to the new pairs re-merge, the rest
-replay their memoised result.  Steady-state append cost is therefore
-O(touched partitions), not O(accumulated log).
+replay their memoised result — and window-scoped inside dirty
+components: clean sibling subtrees replay memoised merge steps, so a
+skewed append pays for its dirty subtree window, not the enclosing
+component.  Steady-state append cost is therefore O(dirty subtree), not
+O(accumulated log).
 
 The session is result-equivalent to batch generation: after any sequence
 of appends, the widget set matches a one-shot :func:`repro.api.generate`
@@ -112,8 +116,12 @@ class InterfaceSession:
         self._stats = BuildStats()
         self._n_appends = 0
         self._last: GenerationResult | None = None
-        # partition index + per-path and per-component memos threaded into
-        # MapStage/MergeStage (see repro.core.mapper.MapCache)
+        # partition index (with its interval annotations over partition
+        # paths) + per-path, per-component, and per-window memos threaded
+        # into MapStage/MergeStage on every append (see
+        # repro.core.mapper.MapCache): the interval index lives exactly
+        # as long as the session, so window-revision signatures recorded
+        # by one append stay comparable at every later append
         self._map_cache = MapCache()
         # skeleton-level alignment plans shared by every append: once a
         # template shape has been aligned, later appends of that shape
@@ -162,6 +170,22 @@ class InterfaceSession:
     def n_alignments_full(self) -> int:
         """Pairs that ran the full alignment across all appends."""
         return self._stats.n_alignments_full
+
+    @property
+    def n_windows_reused(self) -> int:
+        """Merge steps answered by the interval-window memo across all
+        appends — clean sibling subtrees inside dirty components whose
+        recorded outcome replayed instead of re-merging (see
+        :class:`~repro.core.mapper.WindowMemo`)."""
+        windows = self._map_cache.windows
+        return windows.n_reused if windows is not None else 0
+
+    @property
+    def n_windows_merged(self) -> int:
+        """Merge steps that actually recomputed across all appends (the
+        dirty-subtree work the interval index could not skip)."""
+        windows = self._map_cache.windows
+        return windows.n_merged if windows is not None else 0
 
     @property
     def result(self) -> GenerationResult | None:

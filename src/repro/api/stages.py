@@ -401,7 +401,11 @@ class MergeStage(Stage):
     With a :class:`~repro.core.mapper.MapCache` on the state, the fixed
     point runs partition-scoped: only merge components whose partitions
     changed since the previous run re-merge, the rest replay their
-    memoised result (result-equivalent to the global fixed point).  When
+    memoised result (result-equivalent to the global fixed point).
+    Inside a dirty component, per-ancestor merge steps whose interval
+    window stayed clean replay through the cache's
+    :class:`~repro.core.mapper.WindowMemo` — reported as
+    ``n_windows_reused`` / ``n_windows_merged``.  When
     :class:`CacheStage` restored a cached widget set, the stage skips.
     After a fresh merge the widget set is persisted through
     ``state.cache_store`` when a :class:`CacheStage` armed one, making the
@@ -441,6 +445,8 @@ class MergeStage(Stage):
                     n_components=stats.extra.get("n_components", 0),
                     n_components_reused=n_reused,
                     n_components_merged=n_merged,
+                    n_windows_reused=stats.extra.get("n_windows_reused", 0),
+                    n_windows_merged=stats.extra.get("n_windows_merged", 0),
                 )
             else:
                 leaf_diffs = [d for d in state.graph.diffs if d.is_leaf]

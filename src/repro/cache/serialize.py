@@ -77,6 +77,7 @@ __all__ = [
     "diff_memo_from_dict",
     "save_diff_memo",
     "load_diff_memo",
+    "derived_interval_annotations",
 ]
 
 #: Bump on any incompatible change to the encoded layout.  Loaders refuse
@@ -776,3 +777,41 @@ def load_diff_memo(path: str | FilePath) -> list[tuple[Node, Node, bool]]:
     if not isinstance(payload, dict):
         raise CacheError(f"{file_path} is not a diff-memo payload")
     return diff_memo_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# interval annotations (derived — deliberately NOT a table)
+# ----------------------------------------------------------------------
+
+def derived_interval_annotations(
+    graph: InteractionGraph,
+) -> dict[str, tuple[int, int, int]]:
+    """The canonical interval annotations of a graph's partition paths.
+
+    The mapping layer annotates every diff-partition path with a
+    ``(pre_order, post_order, subtree_size)`` triple (see
+    :class:`~repro.treediff.paths.IntervalIndex`).  Those annotations are
+    **derived state**: they are a pure function of the set of distinct
+    diff paths, so this module never persists them — a serialised graph
+    carries no interval table, and any format that did would just be a
+    staleness hazard.  Instead, loaders rebuild them from the decoded
+    diffs, and the round-trip suite asserts the rebuild is *identical* to
+    the annotations of the pre-save graph by comparing this function's
+    output on both sides.
+
+    Returns ``{str(path): (pre_order, post_order, subtree_size)}`` —
+    string keys so two snapshots compare with plain ``==`` and diff
+    readably in test failures.
+    """
+    from repro.treediff.paths import IntervalIndex
+
+    index = IntervalIndex()
+    index.extend(diff.path for diff in graph.diffs)
+    return {
+        str(path): (
+            interval.pre_order,
+            interval.post_order,
+            interval.subtree_size,
+        )
+        for path, interval in index.annotations().items()
+    }

@@ -30,14 +30,14 @@ equals the global fixed point (asserted by the parity suite).
 from __future__ import annotations
 
 import time
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from repro.errors import MappingError
 from repro.paths import Path
 from repro.sqlparser.grammar import SQL_ANNOTATIONS, GrammarAnnotations
 from repro.treediff.diff import Diff
+from repro.treediff.paths import IntervalIndex
 from repro.widgets.base import Widget, WidgetType
 from repro.widgets.domain import WidgetDomain
 from repro.widgets.library import default_library
@@ -46,6 +46,7 @@ __all__ = [
     "MapperStats",
     "MapCache",
     "PartitionIndex",
+    "WindowMemo",
     "pick_widget",
     "initialize",
     "initialize_incremental",
@@ -85,21 +86,42 @@ class PartitionIndex:
     adds diffs to it.  Revisions are what make dirtiness O(1) to test: a
     memo entry recorded at revision ``r`` is valid exactly while the
     partition is still at ``r``.
+
+    The index also owns the partition paths' **interval annotations**
+    (:class:`~repro.treediff.paths.IntervalIndex`): every path gets a
+    ``(pre_order, post_order, subtree_size)`` triple, so the merge
+    layer's ancestor/descendant tests are O(1) containment, subtree
+    membership is a contiguous window query, and a subtree's cumulative
+    revision (:meth:`window_revision`) is an O(log n) range sum —
+    strictly monotone, so equality proves the window clean.
     """
 
     def __init__(self) -> None:
         self.by_path: dict[Path, list[Diff]] = {}
         self.leaf_by_path: dict[Path, list[Diff]] = {}
+        # global (q1, q2) → leaf diffs index, maintained append-only so
+        # dirty-component merges never rebuild it; safe to share across
+        # components because every consumer filters by ancestor path
+        self.leaf_by_pair: dict[tuple[int, int], list[Diff]] = {}
         self.rev: dict[Path, int] = {}
         self.n_consumed = 0
+        self.intervals = IntervalIndex()
+        # identity spot-check anchors: first and last already-consumed
+        # entries (a shrunken table is caught by the length check; a
+        # *mutated* one — replaced or reordered prefix — is caught here)
+        self._consumed_head: Diff | None = None
+        self._consumed_tail: Diff | None = None
 
     def update(self, diffs: list[Diff]) -> set[Path]:
         """Consume the table's new suffix; returns the paths it touched.
 
         ``diffs`` must be the same ever-growing arrival-order list on
-        every call (enforced by the consumed-count check): previously
-        consumed entries must not change, because partitions hold
-        references into them.
+        every call: previously consumed entries must not change, because
+        partitions hold references into them.  Enforced by the
+        consumed-count check plus a cheap identity spot-check of the
+        consumed prefix's first and last entries — O(1), so it cannot
+        catch an interior splice, but it catches the common corruptions
+        (a rebuilt, re-sorted, or truncated-and-regrown table).
         """
         if len(diffs) < self.n_consumed:
             raise MappingError(
@@ -107,8 +129,21 @@ class PartitionIndex:
                 "only supports append-only tables (reset the MapCache to "
                 "re-index from scratch)"
             )
+        if self.n_consumed and (
+            diffs[0] is not self._consumed_head
+            or diffs[self.n_consumed - 1] is not self._consumed_tail
+        ):
+            raise MappingError(
+                "already-consumed diffs table entries changed between "
+                "updates; the partition index holds references into the "
+                "consumed prefix, so the table must be append-only "
+                "(reset the MapCache to re-index from scratch)"
+            )
         new = diffs[self.n_consumed :]
         self.n_consumed = len(diffs)
+        if diffs:
+            self._consumed_head = diffs[0]
+            self._consumed_tail = diffs[-1]
         touched: set[Path] = set()
         for diff in new:
             partition = self.by_path.setdefault(diff.path, [])
@@ -125,10 +160,98 @@ class PartitionIndex:
                     leaves, (diff.q1, diff.q2), key=lambda d: (d.q1, d.q2)
                 )
                 leaves.insert(position, diff)
+                self.leaf_by_pair.setdefault((diff.q1, diff.q2), []).append(
+                    diff
+                )
             touched.add(diff.path)
+        # index new paths first (renumbering rebuilds the Fenwick tree
+        # from self.rev), then bump so each touched window's revision sum
+        # rises exactly once per update
+        self.intervals.extend(touched)
         for path in touched:
             self.rev[path] = self.rev.get(path, 0) + 1
+            self.intervals.bump(path, 1)
         return touched
+
+    def window_revision(self, root: Path) -> int:
+        """Cumulative revision of every partition under ``root``
+        (inclusive) — the clean-window signature; see
+        :meth:`repro.treediff.paths.IntervalIndex.window_revision`."""
+        return self.intervals.window_revision(root)
+
+    def window_paths(self, root: Path, strict: bool = False) -> list[Path]:
+        """Partition paths under ``root`` as a contiguous pre-order
+        window (``strict=True`` excludes the root itself)."""
+        return self.intervals.window_paths(root, strict=strict)
+
+    def ordered_paths(self) -> list[Path]:
+        """Every partition path in pre-order — identical to
+        ``sorted(self.by_path)``, maintained incrementally."""
+        return self.intervals.ordered_paths()
+
+
+class WindowMemo:
+    """Sub-component merge memo keyed by window revision signatures.
+
+    A dirty component re-runs its Algorithm-3 fixed point, but most of
+    its *subtrees* are usually clean — in the skewed (one-hot) workloads
+    a production pool sees, one deep path receives every diff while the
+    component's other branches never change.  This memo caches the
+    outcome of each per-ancestor merge step under a key that can only
+    match when the step's inputs are byte-identical:
+
+    ``(ancestor token, descendant token tuple, window revision)``
+
+    where a *token* identifies a widget object (tokens pin their widget,
+    so ids cannot be recycled while the memo lives) and the *window
+    revision* is the monotone cumulative revision of every partition in
+    the ancestor's interval window.  Widgets are rebuilt deterministically
+    from their diff lists, so an identical token tuple plus an unchanged
+    window sum implies the step reads exactly the same diffs and must
+    produce the same outcome — a memo replayed after its window went
+    dirty is impossible by construction (the sum strictly increases).
+    Replay then skips the step's overlap/cover/pickWidget work entirely.
+    """
+
+    def __init__(self, index: PartitionIndex) -> None:
+        self.index = index
+        #: step outcome memo — key as documented above, value is the
+        #: ``_merge_step`` result (``None`` = proven no-op)
+        self.steps: dict[tuple, tuple[Widget | None, list[Widget | None], float] | None] = {}
+        #: widget object -> token; the widget rides in the value to pin it
+        self._tokens: dict[int, tuple[Widget, int]] = {}
+        self._next_token = 0
+        #: cumulative counters (per-run deltas are reported by
+        #: :func:`merge_widgets_incremental` as ``n_windows_reused`` /
+        #: ``n_windows_merged``)
+        self.n_reused = 0
+        self.n_merged = 0
+
+    def token(self, widget: Widget) -> int:
+        """The memo token of a widget object (assigning one if new)."""
+        entry = self._tokens.get(id(widget))
+        if entry is not None:
+            return entry[1]
+        token = self._next_token
+        self._next_token += 1
+        self._tokens[id(widget)] = (widget, token)
+        return token
+
+    def key(self, ancestor: Widget, descendants: list[Widget]) -> tuple:
+        """The staleness-proof memo key for one merge step."""
+        return (
+            self.token(ancestor),
+            tuple(self.token(w) for w in descendants),
+            self.index.window_revision(ancestor.path),
+        )
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def clear(self) -> None:
+        """Drop every step outcome and token pin."""
+        self.steps.clear()
+        self._tokens.clear()
 
 
 @dataclass
@@ -137,25 +260,36 @@ class MapCache:
     mapping phase only re-solves what an append actually touched.
 
     Attributes:
-        index: the partition index over the owning graph's diffs table.
+        index: the partition index over the owning graph's diffs table,
+            including the interval annotations of every partition path.
         paths: per-path widget memo for Initialize —
             ``path -> (revision, widget)``; valid while the partition is
             still at that revision.
         merge: per-component merge memo for the partition-scoped fixed
             point — ``component root path -> (signature, merged widgets)``
-            where the signature is the revision vector of every partition
-            in the component's subtree (see
+            where the signature is the monotone window revision of the
+            component root's interval window (see
             :func:`merge_widgets_incremental`).
     """
 
     index: PartitionIndex = field(default_factory=PartitionIndex)
     paths: dict[Path, tuple[int, Widget | None]] = field(default_factory=dict)
-    merge: dict[Path, tuple[tuple, list[Widget]]] = field(default_factory=dict)
+    merge: dict[Path, tuple[int, list[Widget]]] = field(default_factory=dict)
     #: pickWidget memo shared by the merge fixed points —
     #: ``(path, diff-identity tuple) -> widget``; sound because diff
     #: objects live exactly as long as the owning graph.  Bounded by
     #: :data:`_PICK_MEMO_CAP` (cleared wholesale when exceeded).
     pick: dict[tuple, Widget | None] = field(default_factory=dict)
+    #: per-ancestor merge-step memo for dirty components; lazily bound to
+    #: :attr:`index` by :meth:`window_memo`.  Bounded like :attr:`pick`.
+    windows: WindowMemo | None = None
+
+    def window_memo(self) -> WindowMemo:
+        """The sub-component merge memo, created on first use (and
+        re-bound after :meth:`clear` replaced the index)."""
+        if self.windows is None or self.windows.index is not self.index:
+            self.windows = WindowMemo(self.index)
+        return self.windows
 
     def clear(self) -> None:
         """Drop the index and all memos (forces a full re-index and
@@ -164,6 +298,7 @@ class MapCache:
         self.paths.clear()
         self.merge.clear()
         self.pick.clear()
+        self.windows = None
 
 
 def pick_widget(
@@ -307,6 +442,22 @@ def _leaf_diffs_by_pair(leaf_diffs: list[Diff]) -> dict[tuple[int, int], list[Di
     return by_pair
 
 
+def _preorder_view(
+    widgets: list[Widget], intervals: IntervalIndex
+) -> tuple[list[Widget], list[int]]:
+    """Sort widgets by pre-order and pair them with their positions.
+
+    A subtree's widgets occupy one contiguous pre-order range, so the
+    merge loop can bisect this view for each ancestor's descendants
+    instead of filtering the whole widget list per step.
+    """
+    ordered = sorted(
+        widgets, key=lambda w: intervals.interval(w.path).pre_order
+    )
+    pres = [intervals.interval(w.path).pre_order for w in ordered]
+    return ordered, pres
+
+
 #: Entry cap for the shared pickWidget memo; exceeded → cleared wholesale.
 _PICK_MEMO_CAP = 65536
 
@@ -318,6 +469,7 @@ def _merge_step(
     annotations: GrammarAnnotations,
     leaf_by_pair: dict[tuple[int, int], list[Diff]],
     pick_memo: dict[tuple, Widget | None],
+    intervals: IntervalIndex | None = None,
 ) -> tuple[Widget | None, list[Widget | None], float] | None:
     """Algorithm 3 for one (ancestor, descendant-set) pair.
 
@@ -343,13 +495,18 @@ def _merge_step(
     descendant_diff_ids = {id(d) for w in descendants for d in w.D}
     ancestor_pairs = {(d.q1, d.q2) for d in ancestor.D}
 
+    if intervals is not None:
+        def strictly_under(path: Path) -> bool:
+            return intervals.strictly_contains(ancestor.path, path)
+    else:
+        def strictly_under(path: Path) -> bool:
+            return ancestor.path.is_strict_prefix_of(path)
+
     def descendants_cover(pair: tuple[int, int]) -> bool:
         """Do the descendants still hold every leaf diff of this edge that
         lies under the ancestor's path?"""
         required = [
-            d
-            for d in leaf_by_pair.get(pair, ())
-            if ancestor.path.is_strict_prefix_of(d.path)
+            d for d in leaf_by_pair.get(pair, ()) if strictly_under(d.path)
         ]
         if not required:
             return False
@@ -418,6 +575,8 @@ def merge_widgets(
     stats: MapperStats | None = None,
     leaf_diffs: list[Diff] | None = None,
     pick_memo: dict[tuple, Widget | None] | None = None,
+    windows: WindowMemo | None = None,
+    leaf_by_pair: dict[tuple[int, int], list[Diff]] | None = None,
 ) -> list[Widget]:
     """Iterate Algorithm 3 to a fixed point.
 
@@ -426,35 +585,104 @@ def merge_widgets(
     rebuilt-widget lookups across calls (see :class:`MapCache`); by
     default the memo lives only for this fixed point, which already
     de-duplicates the re-evaluation successive rounds do.
+
+    ``windows`` (see :class:`WindowMemo`) additionally memoises whole
+    per-ancestor merge *steps* under window revision signatures: an
+    ancestor whose subtree window is clean and whose widgets are the same
+    objects as last time replays its recorded outcome — including the
+    common "no overlap to resolve" no-op — without touching a single
+    diff.  The round/ancestor order is unchanged and replayed outcomes
+    are the recorded outcomes, so the fixed point is byte-identical with
+    or without the memo.
     """
-    if leaf_diffs is None:
-        leaf_diffs = [d for w in widgets for d in w.D if d.is_leaf]
-    leaf_by_pair = _leaf_diffs_by_pair(leaf_diffs)
+    if leaf_by_pair is None:
+        # an oversupplied index is harmless: every read filters by the
+        # ancestor's path, so only pairs' leaf diffs under it are seen
+        if leaf_diffs is None:
+            leaf_diffs = [d for w in widgets for d in w.D if d.is_leaf]
+        leaf_by_pair = _leaf_diffs_by_pair(leaf_diffs)
     if pick_memo is None:
         pick_memo = {}
+    intervals = windows.index.intervals if windows is not None else None
     current = list(widgets)
     rounds = 0
     while True:
         rounds += 1
         changed = False
         current.sort(key=lambda w: (w.path.depth, w.path))
+        # pre-order view of the live widget set: a subtree's widgets are
+        # one contiguous slice, so each ancestor's descendant scan is a
+        # bisect + slice (O(log W + k)) instead of an O(W) filter; the
+        # view is rebuilt only after a replacement actually happens
+        view: tuple[list[Widget], list[int]] | None = None
+        if intervals is not None:
+            view = _preorder_view(current, intervals)
+        current_ids = {id(w) for w in current}
         for index, ancestor in enumerate(list(current)):
-            if ancestor not in current:
+            if id(ancestor) not in current_ids:
                 continue
-            descendants = [
-                w for w in current if ancestor.path.is_strict_prefix_of(w.path)
-            ]
-            if not descendants:
-                continue
-            result = _merge_step(
-                ancestor, descendants, library, annotations, leaf_by_pair,
-                pick_memo,
-            )
+            if intervals is not None and view is not None:
+                annot = intervals.interval(ancestor.path)
+                ordered, pres = view
+                lo = bisect_right(pres, annot.pre_order)
+                hi = bisect_left(pres, annot.pre_order + annot.subtree_size)
+                if lo >= hi:
+                    continue
+                # keep the raw pre-order slice for the memo probe; the
+                # (depth, path) order the reference filter yields is only
+                # restored when a step actually runs or applies — replay
+                # hits on no-op outcomes skip the sort entirely
+                window_slice = ordered[lo:hi]
+                descendants = None
+            else:
+                window_slice = None
+                descendants = [
+                    w
+                    for w in current
+                    if ancestor.path.is_strict_prefix_of(w.path)
+                ]
+                if not descendants:
+                    continue
+
+            def in_reference_order() -> list[Widget]:
+                if descendants is not None:
+                    return descendants
+                assert window_slice is not None
+                return sorted(
+                    window_slice, key=lambda w: (w.path.depth, w.path)
+                )
+
+            if windows is not None:
+                step_key = windows.key(
+                    ancestor,
+                    window_slice if window_slice is not None else descendants,
+                )
+                if step_key in windows.steps:
+                    windows.n_reused += 1
+                    result = windows.steps[step_key]
+                else:
+                    windows.n_merged += 1
+                    descendants = in_reference_order()
+                    result = _merge_step(
+                        ancestor, descendants, library, annotations,
+                        leaf_by_pair, pick_memo, intervals,
+                    )
+                    windows.steps[step_key] = result
+            else:
+                descendants = in_reference_order()
+                result = _merge_step(
+                    ancestor, descendants, library, annotations, leaf_by_pair,
+                    pick_memo, intervals,
+                )
             if result is None:
                 continue
             new_ancestor, new_descendants, savings = result
             if savings <= 0:
                 continue
+            # a recorded outcome is replayed against the same widget
+            # objects it was recorded with (identity tokens in the key),
+            # so sorting now yields exactly the order it was zipped with
+            descendants = in_reference_order()
             changed = True
             replacement: list[Widget] = []
             descendant_ids = {id(w) for w in descendants}
@@ -470,6 +698,9 @@ def merge_widgets(
                 else:
                     replacement.append(widget)
             current = replacement
+            current_ids = {id(w) for w in current}
+            if intervals is not None:
+                view = _preorder_view(current, intervals)
         if not changed:
             break
     if stats is not None:
@@ -477,7 +708,9 @@ def merge_widgets(
     return current
 
 
-def _component_roots(paths: list[Path]) -> dict[Path, Path]:
+def _component_roots(
+    paths: list[Path], intervals: IntervalIndex
+) -> dict[Path, Path]:
     """Map each widget path to the root of its prefix component.
 
     Two widget paths interact during merging only when one is a (strict)
@@ -486,18 +719,19 @@ def _component_roots(paths: list[Path]) -> dict[Path, Path]:
     unique shallowest member (its *root*).  Because merging only rebuilds
     or removes widgets — never moves one to a new path — the components of
     the initial widget set are closed under every merge step.
+
+    One pre-order sweep with a stack of open intervals: when a path
+    arrives, every stack entry that does not contain it has been left,
+    and the surviving top (if any) is its nearest present ancestor — no
+    per-path walk up the parent chain, no path-string prefix tests.
     """
     roots: dict[Path, Path] = {}
-    for path in sorted(paths, key=lambda p: (p.depth, p)):
-        root = path
-        probe = path
-        while not probe.is_root():
-            probe = probe.parent()
-            if probe in roots:
-                # ancestors are shallower, so they are already assigned
-                root = roots[probe]
-                break
-        roots[path] = root
+    stack: list[Path] = []
+    for path in sorted(paths, key=lambda p: intervals.interval(p).pre_order):
+        while stack and not intervals.strictly_contains(stack[-1], path):
+            stack.pop()
+        roots[path] = roots[stack[-1]] if stack else path
+        stack.append(path)
     return roots
 
 
@@ -520,7 +754,9 @@ def initialize_indexed(
     widgets: list[Widget] = []
     n_reused = 0
     n_rebuilt = 0
-    for path in sorted(index.by_path):
+    # the interval index's pre-order IS sorted(by_path), maintained
+    # incrementally — no per-remap sort of every partition path
+    for path in index.ordered_paths():
         revision = index.rev[path]
         cached = cache.paths.get(path)
         if cached is not None and cached[0] == revision:
@@ -538,38 +774,13 @@ def initialize_indexed(
     return widgets, n_reused, n_rebuilt
 
 
-def _component_paths(
-    roots: dict[Path, Path], partition_paths: Iterable[Path]
-) -> dict[Path, list[Path]]:
-    """Assign every diff-partition path to the component reading it.
-
-    A merge step reads exactly the leaf diffs strictly under its ancestor
-    widget's path, and every member path of a component is under the
-    component root — so a component's merges can only ever read partitions
-    under its root.  A partition path maps to the component of its nearest
-    widget-path ancestor (or itself, when a widget sits on it); paths with
-    no widget on their ancestor chain are read by no merge step and are
-    dropped.  Roots are pairwise prefix-incomparable, so the assignment is
-    unambiguous.
-    """
-    by_root: dict[Path, list[Path]] = {}
-    for path in partition_paths:
-        owner = roots.get(path)
-        probe = path
-        while owner is None and not probe.is_root():
-            probe = probe.parent()
-            owner = roots.get(probe)
-        if owner is not None:
-            by_root.setdefault(owner, []).append(path)
-    return by_root
-
-
 def merge_widgets_incremental(
     widgets: list[Widget],
     library: list[WidgetType],
     annotations: GrammarAnnotations,
     cache: MapCache,
     stats: MapperStats | None = None,
+    use_windows: bool = True,
 ) -> tuple[list[Widget], int, int]:
     """Partition-scoped Algorithm 3: per-component fixed points with reuse.
 
@@ -591,15 +802,31 @@ def merge_widgets_incremental(
     order; the output is normalised to the global ``(depth, path)``
     widget order.  The parity suite asserts this on every log family.
 
+    Dirtiness is interval-encoded end to end: a component's memo
+    signature is the *window revision* of its root — the monotone
+    cumulative revision of every partition in the root's interval window,
+    an O(log n) range sum instead of a per-member revision vector — and a
+    dirty component's fixed point runs through the cache's
+    :class:`WindowMemo`, so clean sibling subtrees *inside* a hot
+    component replay their memoised per-ancestor step outcomes and only
+    the dirty subtree window pays for re-merging.
+
+    ``use_windows=False`` disables the per-step window memo (dirty
+    components re-run their full fixed point) — the pre-interval-index
+    behaviour, kept for the ablation benchmark.
+
     Returns ``(merged_widgets, n_components_reused, n_components_merged)``.
     """
     index = cache.index
     memo = cache.merge
-    roots = _component_roots([w.path for w in widgets])
+    intervals = index.intervals
+    roots = _component_roots([w.path for w in widgets], intervals)
     components: dict[Path, list[Widget]] = {}
     for widget in widgets:
         components.setdefault(roots[widget.path], []).append(widget)
-    paths_by_root = _component_paths(roots, index.by_path)
+    windows = cache.window_memo() if use_windows else None
+    windows_reused_before = windows.n_reused if windows is not None else 0
+    windows_merged_before = windows.n_merged if windows is not None else 0
 
     merged: list[Widget] = []
     n_reused = 0
@@ -607,10 +834,9 @@ def merge_widgets_incremental(
     max_rounds = 0
     dirty: list[str] = []
     for root in sorted(components, key=lambda p: (p.depth, p)):
-        member_paths = paths_by_root.get(root, [])
-        signature = tuple(
-            sorted((str(p), index.rev[p]) for p in member_paths)
-        )
+        # monotone clean-window proof: equal sum ⟺ no member partition
+        # gained a diff and no new partition entered the window
+        signature = index.window_revision(root)
         cached = memo.get(root)
         if cached is not None and cached[0] == signature:
             n_reused += 1
@@ -618,22 +844,25 @@ def merge_widgets_incremental(
             continue
         n_merged += 1
         dirty.append(str(root))
-        leaf_diffs = [
-            diff
-            for path in member_paths
-            if root.is_strict_prefix_of(path)
-            for diff in index.leaf_by_path.get(path, ())
-        ]
         if len(cache.pick) > _PICK_MEMO_CAP:
             cache.pick.clear()
+        if windows is not None and len(windows.steps) > _PICK_MEMO_CAP:
+            windows.clear()
         component_stats = MapperStats()
+        # a merge step reads exactly the leaf diffs strictly under its
+        # ancestor widget's path, and every ancestor in this component
+        # lies under the root — so sharing the index's global pair index
+        # is read-identical to collecting the root's window: every lookup
+        # is filtered by containment before use, and the global index is
+        # maintained append-only instead of being rebuilt per component
         result = merge_widgets(
             components[root],
             library,
             annotations,
             stats=component_stats,
-            leaf_diffs=leaf_diffs,
             pick_memo=cache.pick,
+            windows=windows,
+            leaf_by_pair=index.leaf_by_pair,
         )
         memo[root] = (signature, result)
         merged.extend(result)
@@ -647,6 +876,16 @@ def merge_widgets_incremental(
         stats.extra["n_components"] = len(components)
         stats.extra["n_components_reused"] = n_reused
         stats.extra["dirty_components"] = dirty
+        stats.extra["n_windows_reused"] = (
+            windows.n_reused - windows_reused_before
+            if windows is not None
+            else 0
+        )
+        stats.extra["n_windows_merged"] = (
+            windows.n_merged - windows_merged_before
+            if windows is not None
+            else 0
+        )
     return merged, n_reused, n_merged
 
 

@@ -1,9 +1,322 @@
-"""Re-export of :class:`repro.paths.Path` for backwards-compatible imports.
+"""AST-path interval annotations (the XPath-accelerator encoding).
 
-``Path`` lives in :mod:`repro.paths` (a leaf module) so that the AST node
-model can use it without importing the treediff package.
+``Path`` itself lives in :mod:`repro.paths` (a leaf module) so the AST
+node model can use it without importing the treediff package; it is
+re-exported here for backwards-compatible imports.
+
+This module adds the *interval encoding* of a growing set of paths: every
+indexed path carries a ``(pre_order, post_order, subtree_size)`` triple —
+the classic XPath-accelerator annotation — so the ancestor/descendant
+tests the mapping layer used to answer by step-prefix comparison become
+O(1) interval containment, and "every indexed path under this subtree"
+becomes a contiguous *window* of the pre-order instead of a prefix scan:
+
+* ``a`` is a strict ancestor of ``b``  ⟺  ``pre(a) < pre(b)`` and
+  ``post(b) < post(a)``  ⟺  ``pre(a) < pre(b) < pre(a) + size(a)``;
+* the descendants-or-self of ``a`` are exactly the pre-order slice
+  ``[pre(a), pre(a) + size(a))``.
+
+The trick that makes the encoding cheap to maintain incrementally: for
+tuples of child indices, *lexicographic order is pre-order* — a prefix
+sorts before every extension, and all extensions of a prefix are
+contiguous.  So the sorted list of indexed paths IS the pre-order, a new
+path is a bisect-insert, and only insertions (new distinct paths — rare
+in steady-state template traffic) trigger an O(n) renumbering; appends to
+already-indexed paths never touch the annotations at all.
+
+On top of the ordering the index keeps a Fenwick tree of per-path
+*revision mass*, so the cumulative revision of a subtree window is an
+O(log n) range sum.  Because revisions only ever increase, the window sum
+is strictly monotone in time: an unchanged sum *proves* no partition in
+the window changed, which is what lets the merge layer replay memoised
+sub-results for clean sibling subtrees (see
+:class:`repro.core.mapper.MapCache`) with staleness impossible by
+construction.
+
+Interval annotations are **derived state**: they are a function of the
+indexed path set alone and are never persisted — a loaded graph rebuilds
+them identically (asserted by
+:func:`repro.cache.serialize.derived_interval_annotations`).
 """
 
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import PathError
 from repro.paths import Path
 
-__all__ = ["Path"]
+__all__ = ["Path", "PathInterval", "IntervalIndex"]
+
+
+@dataclass(frozen=True)
+class PathInterval:
+    """The XPath-accelerator triple annotated onto one indexed path.
+
+    Attributes:
+        pre_order: rank of the path in the pre-order (= lexicographic
+            order of step tuples) of all indexed paths.
+        post_order: rank at which a depth-first traversal *leaves* the
+            path's subtree; descendants have strictly smaller post ranks.
+        subtree_size: number of indexed paths in the subtree, the path
+            itself included — the width of its pre-order window.
+    """
+
+    pre_order: int
+    post_order: int
+    subtree_size: int
+
+
+class _Fenwick:
+    """A Fenwick (binary-indexed) tree over the pre-order positions."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, values: list[int]) -> None:
+        # linear-time construction: seed the leaves, push partial sums up
+        self._tree = [0] + list(values)
+        n = len(values)
+        for i in range(1, n + 1):
+            parent = i + (i & -i)
+            if parent <= n:
+                self._tree[parent] += self._tree[i]
+
+    def add(self, position: int, delta: int) -> None:
+        """Add ``delta`` at 0-based ``position``."""
+        i = position + 1
+        while i < len(self._tree):
+            self._tree[i] += delta
+            i += i & -i
+
+    def prefix_sum(self, count: int) -> int:
+        """Sum of the first ``count`` positions."""
+        total = 0
+        i = count
+        while i > 0:
+            total += self._tree[i]
+            i -= i & -i
+        return total
+
+    def range_sum(self, start: int, stop: int) -> int:
+        """Sum over positions ``[start, stop)``."""
+        return self.prefix_sum(stop) - self.prefix_sum(start)
+
+
+class IntervalIndex:
+    """Incrementally maintained interval annotations over a set of paths.
+
+    The index answers three questions for the mapping layer:
+
+    * containment — :meth:`strictly_contains` / :meth:`contains` in O(1);
+    * window membership — :meth:`window_paths` returns the contiguous
+      pre-order slice under a root;
+    * window dirtiness — :meth:`window_revision` range-sums the revision
+      mass under a root in O(log n); the sum is strictly monotone, so
+      equality with a recorded value proves the window is clean.
+
+    ``structure_rev`` counts renumberings (new distinct paths); it is
+    exposed for introspection but deliberately **not** part of window
+    signatures — a path inserted into a window always arrives with
+    revision mass (its first diffs), so the window sum already moves.
+    """
+
+    def __init__(self) -> None:
+        self._paths: list[Path] = []
+        self._annot: dict[Path, PathInterval] = {}
+        self._rev: dict[Path, int] = {}
+        self._fenwick = _Fenwick([])
+        self.structure_rev = 0
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+    def extend(self, paths: Iterable[Path]) -> int:
+        """Index any not-yet-indexed paths; renumber if any were new.
+
+        Returns the number of genuinely new paths.  Revision mass of new
+        paths starts at 0 — callers record dirtiness via :meth:`bump`.
+        """
+        new = sorted({p for p in paths if p not in self._annot})
+        if not new:
+            return 0
+        for path in new:
+            self._paths.insert(bisect_left(self._paths, path), path)
+        self._renumber()
+        return len(new)
+
+    def bump(self, path: Path, delta: int = 1) -> None:
+        """Add revision mass at ``path`` (must already be indexed)."""
+        interval = self._annot.get(path)
+        if interval is None:
+            raise PathError(f"cannot bump unindexed path {path}")
+        self._rev[path] = self._rev.get(path, 0) + delta
+        self._fenwick.add(interval.pre_order, delta)
+
+    def _renumber(self) -> None:
+        """Recompute every annotation from the sorted path list.
+
+        Lexicographic order of step tuples is pre-order, so ``pre`` is
+        just the list position; ``post`` and ``subtree_size`` fall out of
+        one stack sweep (pop = leave the subtree).  O(n · depth); runs
+        only when a new distinct path appears.
+        """
+        paths = self._paths
+        n = len(paths)
+        size = [1] * n
+        post = [0] * n
+        stack: list[int] = []
+        counter = 0
+        for i, path in enumerate(paths):
+            while stack and not paths[stack[-1]].is_prefix_of(path):
+                j = stack.pop()
+                post[j] = counter
+                counter += 1
+                if stack:
+                    size[stack[-1]] += size[j]
+            stack.append(i)
+        while stack:
+            j = stack.pop()
+            post[j] = counter
+            counter += 1
+            if stack:
+                size[stack[-1]] += size[j]
+        self._annot = {
+            path: PathInterval(i, post[i], size[i])
+            for i, path in enumerate(paths)
+        }
+        self._fenwick = _Fenwick(
+            [self._rev.get(path, 0) for path in paths]
+        )
+        self.structure_rev += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def interval(self, path: Path) -> PathInterval:
+        """The annotation triple of an indexed path.
+
+        Raises:
+            PathError: for a path that was never indexed.
+        """
+        interval = self._annot.get(path)
+        if interval is None:
+            raise PathError(f"path {path} is not in the interval index")
+        return interval
+
+    def __contains__(self, path: Path) -> bool:
+        return path in self._annot
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def ordered_paths(self) -> list[Path]:
+        """All indexed paths in pre-order (a copy)."""
+        return list(self._paths)
+
+    def iter_preorder(self) -> Iterable[Path]:
+        """All indexed paths in pre-order, without copying."""
+        return iter(self._paths)
+
+    def strictly_contains(self, ancestor: Path, descendant: Path) -> bool:
+        """O(1) twin of ``ancestor.is_strict_prefix_of(descendant)`` for
+        two indexed paths."""
+        a = self.interval(ancestor)
+        b = self.interval(descendant)
+        return a.pre_order < b.pre_order and b.post_order < a.post_order
+
+    def contains(self, ancestor: Path, descendant: Path) -> bool:
+        """O(1) twin of ``ancestor.is_prefix_of(descendant)`` for two
+        indexed paths."""
+        a = self.interval(ancestor)
+        b = self.interval(descendant)
+        return a.pre_order <= b.pre_order and b.post_order <= a.post_order
+
+    def window_paths(self, root: Path, strict: bool = False) -> list[Path]:
+        """The indexed paths under ``root`` — its pre-order window.
+
+        With ``strict=True`` the root itself is excluded.  This is the
+        window query that replaces the mapping layer's prefix scans: the
+        result is a contiguous slice, not a filter over every path.
+        """
+        interval = self.interval(root)
+        start = interval.pre_order + (1 if strict else 0)
+        return self._paths[start : interval.pre_order + interval.subtree_size]
+
+    def window_revision(self, root: Path) -> int:
+        """Cumulative revision mass of ``root``'s window (root included).
+
+        Strictly monotone over the index's lifetime: any :meth:`bump`
+        inside the window, and any new path inserted into it (which is
+        always followed by its first bump), increases the sum.  Equality
+        with a recorded value therefore proves the window is untouched —
+        the staleness-impossible signature the merge memos key on.
+        """
+        interval = self.interval(root)
+        return self._fenwick.range_sum(
+            interval.pre_order, interval.pre_order + interval.subtree_size
+        )
+
+    def revision_of(self, path: Path) -> int:
+        """Revision mass recorded at exactly ``path`` (0 if never bumped)."""
+        return self._rev.get(path, 0)
+
+    def annotations(self) -> dict[Path, PathInterval]:
+        """Snapshot of every annotation (for tests and derived-state
+        rebuild checks; see :mod:`repro.cache.serialize`)."""
+        return dict(self._annot)
+
+    # ------------------------------------------------------------------
+    # self-check (property-test harness hook)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the interval invariants; raises ``AssertionError``.
+
+        Checked: pre-order ranks are the sorted positions; any two
+        indexed paths have nested or disjoint intervals (never partially
+        overlapping), nesting exactly when one is a prefix of the other;
+        ``subtree_size`` counts the indexed paths the interval contains;
+        post-order agrees with the pre+size window.
+        """
+        paths = self._paths
+        assert paths == sorted(paths), "pre-order is not sorted order"
+        assert len(paths) == len(self._annot)
+        for i, path in enumerate(paths):
+            interval = self._annot[path]
+            assert interval.pre_order == i, (path, interval)
+            members = [
+                q
+                for q in paths
+                if path.is_prefix_of(q)
+            ]
+            assert interval.subtree_size == len(members), (path, interval)
+            window = paths[i : i + interval.subtree_size]
+            assert window == members, (path, window, members)
+        for i, a in enumerate(paths):
+            ia = self._annot[a]
+            for b in paths[i + 1 :]:
+                ib = self._annot[b]
+                nested_ab = (
+                    ia.pre_order < ib.pre_order
+                    and ib.post_order < ia.post_order
+                )
+                nested_ba = (
+                    ib.pre_order < ia.pre_order
+                    and ia.post_order < ib.post_order
+                )
+                disjoint = not nested_ab and not nested_ba
+                if a.is_strict_prefix_of(b):
+                    assert nested_ab, (a, b)
+                elif b.is_strict_prefix_of(a):
+                    assert nested_ba, (a, b)
+                else:
+                    assert disjoint, (a, b)
+                    # disjoint means fully disjoint windows, not partial
+                    # overlap: one window ends before the other begins
+                    lo, hi = sorted(
+                        (ia, ib), key=lambda iv: iv.pre_order
+                    )
+                    assert (
+                        lo.pre_order + lo.subtree_size <= hi.pre_order
+                    ), (a, b)

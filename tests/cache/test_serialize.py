@@ -6,6 +6,7 @@ import pytest
 
 from repro.cache.serialize import (
     FORMAT_VERSION,
+    derived_interval_annotations,
     graph_from_dict,
     graph_to_dict,
     load_graph,
@@ -71,6 +72,24 @@ class TestGraphRoundTrip:
         assert sum(w.cost for w in regenerated) == pytest.approx(
             sum(w.cost for w in original)
         )
+
+    def test_interval_annotations_rebuild_identically(self, mined, tmp_path):
+        """Interval annotations are *derived* state: they are never
+        persisted, so a loaded graph must yield byte-identical
+        ``(pre, post, size)`` triples when the index is rebuilt from its
+        diffs table — otherwise a resumed session's window signatures
+        would not be comparable to the saving session's."""
+        graph, stats = mined
+        path = tmp_path / "graph.jsonl"
+        save_graph(path, graph, stats)
+        loaded, _, _ = load_graph(path)
+        original = derived_interval_annotations(graph)
+        rebuilt = derived_interval_annotations(loaded)
+        assert rebuilt == original
+        assert original, "fixture should mine at least one partition path"
+        # and nothing interval-shaped leaked into the on-disk format
+        with open(path) as handle:
+            assert "pre_order" not in handle.read()
 
     def test_edges_reference_diff_table_objects(self, mined, tmp_path):
         """Edge.interaction must alias the diffs-table objects after a

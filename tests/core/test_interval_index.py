@@ -1,0 +1,245 @@
+"""Property harness for the interval-encoded tree index.
+
+The mapping layer replaced its path-string prefix relation with
+``(pre_order, post_order, subtree_size)`` interval annotations
+(:class:`repro.treediff.paths.IntervalIndex`); everything downstream —
+component discovery, dirty-window signatures, merge-step memo keys — is
+only sound if the encoding is *exactly* the prefix relation.  This suite
+pins that with Hypothesis:
+
+* containment ⟺ ``is_strict_prefix_of`` on random path sets;
+* the XPath-accelerator invariants (interval nesting, disjointness,
+  subtree-size consistency, pre/post agreement) hold after **every**
+  incremental update, not just on a freshly built index;
+* window queries equal the prefix-filter they replace;
+* window revision sums are strictly monotone under bumps inside the
+  window and invariant under bumps outside it — the property that makes
+  a stale clean-window verdict impossible by construction.
+
+The :class:`~repro.core.mapper.PartitionIndex` integration (including
+the append-only spot-check fix) is covered at the bottom.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mapper import MapCache, PartitionIndex
+from repro.errors import MappingError, PathError
+from repro.graph.build import build_interaction_graph, extend_interaction_graph
+from repro.paths import Path
+from repro.treediff.paths import IntervalIndex
+from repro.logs import AdhocLogGenerator
+from tests.strategies import path_batches, path_sets
+
+
+def build_index(step_tuples) -> tuple[IntervalIndex, list[Path]]:
+    index = IntervalIndex()
+    paths = [Path(steps) for steps in step_tuples]
+    index.extend(paths)
+    return index, paths
+
+
+class TestContainmentEquivalence:
+    @given(path_sets())
+    def test_strict_containment_iff_strict_prefix(self, step_tuples):
+        index, paths = build_index(step_tuples)
+        for a in paths:
+            for b in paths:
+                assert index.strictly_contains(a, b) == a.is_strict_prefix_of(
+                    b
+                ), (a, b)
+
+    @given(path_sets())
+    def test_containment_iff_prefix(self, step_tuples):
+        index, paths = build_index(step_tuples)
+        for a in paths:
+            for b in paths:
+                assert index.contains(a, b) == a.is_prefix_of(b), (a, b)
+
+    @given(path_sets())
+    def test_window_query_equals_prefix_scan(self, step_tuples):
+        """The window query is the replacement for the prefix filter the
+        old mapper ran per component — they must select the same paths."""
+        index, paths = build_index(step_tuples)
+        for root in paths:
+            window = set(index.window_paths(root))
+            scan = {p for p in paths if root.is_prefix_of(p)}
+            assert window == scan, root
+            strict_window = set(index.window_paths(root, strict=True))
+            assert strict_window == scan - {root}, root
+
+
+class TestIncrementalInvariants:
+    @given(path_batches())
+    def test_invariants_hold_after_every_update(self, batches):
+        """Nesting, disjointness, subtree sizes, and pre/post agreement
+        are re-checked after every incremental extend — renumbering must
+        never leave a half-updated annotation behind."""
+        index = IntervalIndex()
+        for batch in batches:
+            index.extend(Path(steps) for steps in batch)
+            index.check_invariants()
+
+    @given(path_batches())
+    def test_incremental_equals_bulk_build(self, batches):
+        """Order of arrival must not matter: the annotations after any
+        arrival schedule equal a one-shot build over the same path set."""
+        incremental = IntervalIndex()
+        for batch in batches:
+            incremental.extend(Path(steps) for steps in batch)
+        bulk = IntervalIndex()
+        bulk.extend(
+            Path(steps) for batch in batches for steps in batch
+        )
+        assert incremental.annotations() == bulk.annotations()
+
+    @given(path_sets())
+    def test_pre_post_size_agree(self, step_tuples):
+        """The three annotations encode the same tree: the pre+size
+        window and the pre/post containment test select identical
+        descendant sets, and post orders every subtree before its root."""
+        index, paths = build_index(step_tuples)
+        annot = index.annotations()
+        for a in paths:
+            ia = annot[a]
+            for b in paths:
+                ib = annot[b]
+                by_window = (
+                    ia.pre_order
+                    < ib.pre_order
+                    < ia.pre_order + ia.subtree_size
+                )
+                by_post = (
+                    ia.pre_order < ib.pre_order
+                    and ib.post_order < ia.post_order
+                )
+                assert by_window == by_post, (a, b)
+
+
+class TestWindowRevision:
+    @given(path_batches(), st.data())
+    def test_bumps_move_exactly_the_enclosing_windows(self, batches, data):
+        """A bump at path p increases the window sum of exactly the
+        indexed ancestors-or-self of p — clean sibling windows keep their
+        sum, which is why an unchanged sum proves a window clean."""
+        index = IntervalIndex()
+        for batch in batches:
+            index.extend(Path(steps) for steps in batch)
+        paths = index.ordered_paths()
+        target = data.draw(st.sampled_from(paths))
+        before = {p: index.window_revision(p) for p in paths}
+        index.bump(target)
+        for p in paths:
+            moved = index.window_revision(p) != before[p]
+            assert moved == p.is_prefix_of(target), (p, target)
+            if moved:
+                assert index.window_revision(p) == before[p] + 1
+
+    @given(path_batches())
+    def test_window_sum_is_monotone_under_updates(self, batches):
+        """Across an arbitrary arrival schedule (new paths and re-touched
+        ones interleaved), no window's revision sum ever decreases."""
+        index = IntervalIndex()
+        history: dict[Path, int] = {}
+        for batch in batches:
+            paths = [Path(steps) for steps in batch]
+            index.extend(paths)
+            for path in paths:
+                index.bump(path)
+            for path in index.ordered_paths():
+                current = index.window_revision(path)
+                assert current >= history.get(path, 0), path
+                history[path] = current
+
+    def test_bump_requires_indexed_path(self):
+        index = IntervalIndex()
+        index.extend([Path((0,))])
+        with pytest.raises(PathError):
+            index.bump(Path((1,)))
+
+    def test_interval_requires_indexed_path(self):
+        index = IntervalIndex()
+        with pytest.raises(PathError):
+            index.interval(Path(()))
+
+
+class TestPartitionIndexIntegration:
+    def _graph(self, n=30):
+        asts = AdhocLogGenerator(seed=5).student_log("S1", n).asts()
+        return build_interaction_graph(asts, window=2), asts
+
+    def test_partition_paths_are_interval_indexed(self):
+        graph, _ = self._graph()
+        index = PartitionIndex()
+        index.update(graph.diffs)
+        assert set(index.ordered_paths()) == set(index.by_path)
+        assert index.ordered_paths() == sorted(index.by_path)
+        index.intervals.check_invariants()
+        # one update = one revision per touched path, mirrored in the
+        # Fenwick mass so window sums see exactly the same dirtiness
+        for path in index.by_path:
+            assert index.intervals.revision_of(path) == index.rev[path]
+
+    def test_window_revision_tracks_appends(self):
+        graph, asts = self._graph(30)
+        more = AdhocLogGenerator(seed=6).student_log("S1", 10).asts()
+        index = PartitionIndex()
+        index.update(graph.diffs)
+        root = Path(())
+        if root not in index.intervals:
+            pytest.skip("no root partition in this log")
+        before = index.window_revision(root)
+        extend_interaction_graph(graph, more, window=2)
+        touched = index.update(graph.diffs)
+        assert touched
+        # the root window contains every path, so its sum must move
+        assert index.window_revision(root) > before
+
+    # ------------------------------------------------------------------
+    # regression: mutated already-consumed entries (satellite fix)
+    # ------------------------------------------------------------------
+    def test_update_rejects_mutated_consumed_prefix(self):
+        """`update` raised on a *shrunken* table but silently accepted a
+        table whose consumed prefix had been replaced — the spot-check
+        must catch both common corruptions."""
+        graph, _ = self._graph()
+        index = PartitionIndex()
+        index.update(graph.diffs)
+        # replaced first entry (e.g. a caller re-built the table)
+        mutated = list(graph.diffs)
+        mutated[0] = mutated[-1]
+        with pytest.raises(MappingError, match="consumed"):
+            index.update(mutated)
+        # reordered prefix (e.g. a caller re-sorted in place)
+        reordered = list(reversed(graph.diffs))
+        with pytest.raises(MappingError, match="consumed"):
+            index.update(reordered)
+
+    def test_update_rejects_shrunken_table(self):
+        graph, _ = self._graph()
+        index = PartitionIndex()
+        index.update(graph.diffs)
+        with pytest.raises(MappingError, match="shrank"):
+            index.update(graph.diffs[:-1])
+
+    def test_update_accepts_genuine_append(self):
+        graph, asts = self._graph(30)
+        index = PartitionIndex()
+        half = len(graph.diffs) // 2
+        index.update(graph.diffs[:half])
+        touched = index.update(graph.diffs)
+        assert index.n_consumed == len(graph.diffs)
+        assert touched <= set(index.by_path)
+
+    def test_map_cache_clear_resets_interval_state(self):
+        graph, _ = self._graph()
+        cache = MapCache()
+        cache.index.update(graph.diffs)
+        memo = cache.window_memo()
+        assert memo.index is cache.index
+        cache.clear()
+        assert len(cache.index.intervals) == 0
+        assert cache.windows is None
+        # a fresh window memo binds to the fresh index
+        assert cache.window_memo().index is cache.index

@@ -26,6 +26,7 @@ from repro.core.options import PipelineOptions
 from repro.graph.build import build_interaction_graph, extend_interaction_graph
 from repro.logs import AdhocLogGenerator, OLAPLogGenerator, SDSSLogGenerator
 from repro.logs.sessions import segment_asts
+from repro.sqlparser import parse_sql
 
 
 def _family_log(family: str) -> list:
@@ -40,10 +41,35 @@ def _family_log(family: str) -> list:
         # exercise the segmentation layer, then mine the largest analysis
         mixed = SDSSLogGenerator(seed=3).interleaved(3, 25).asts()
         return max(segment_asts(mixed, 0.3, 0.3), key=len)
+    if family == "onehot":
+        # adversarial one-hot-component workload: the warm-up carves one
+        # big component (a structurally divergent query plants a
+        # root-path widget) with a nested function subtree inside it,
+        # then every subsequent query re-issues a single template varying
+        # one literal — every new diff lands in that component's hot
+        # spine while the nested ``f(y, _)`` subtree stays clean, which
+        # is exactly the case the dirty-window merge memo must exploit
+        warmup = (
+            ["SELECT g, SUM(m) FROM t GROUP BY g"]
+            + [
+                f"SELECT a, b FROM t WHERE x = 0 AND f(y, {j}) = 5"
+                for j in range(5)
+            ]
+            + [
+                "SELECT a, b FROM t WHERE x = 0 AND z = 5",
+                "SELECT a, b FROM t WHERE x = 0 AND f(y, 2) = 5",
+            ]
+        )
+        hot = [
+            f"SELECT a, b FROM t WHERE x = {value} AND f(y, 3) = 5"
+            for value in range(40)
+        ]
+        return [parse_sql(s) for s in warmup + hot]
     raise AssertionError(family)
 
 
 FAMILIES = ["sdss", "olap", "adhoc", "sessions"]
+ALL_FAMILIES = [*FAMILIES, "onehot"]
 
 
 def summary(widgets):
@@ -51,7 +77,7 @@ def summary(widgets):
 
 
 class TestMapperParity:
-    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
     def test_incremental_equals_global_at_every_append(self, family):
         asts = _family_log(family)
         options = PipelineOptions(window=4)
@@ -111,7 +137,7 @@ class TestMapperParity:
 
 
 class TestSessionParity:
-    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
     def test_session_appends_equal_one_shot(self, family):
         asts = _family_log(family)
         session = InterfaceSession()
@@ -128,7 +154,7 @@ class TestSessionParity:
         # full build over the concatenated log would have
         assert session.n_pairs_compared == full.run.n_pairs_compared
 
-    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
     def test_closure_membership_parity_on_recall_suite(self, family):
         """Same widget set must mean same closure: membership verdicts for
         seen queries and structurally-near held-out queries agree between
@@ -147,6 +173,28 @@ class TestSessionParity:
         # every seen query is expressible (the paper's g = 1 guarantee)
         assert all(incremental_verdicts[: len(asts[:split][:10])])
 
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_widget_and_closure_parity_at_every_append(self, family):
+        """Strong form of the parity guarantee: not just the final state —
+        after *every* append the session's widget set and its closure
+        verdicts over the queries seen so far match a one-shot build of
+        the same prefix byte for byte."""
+        asts = _family_log(family)
+        session = InterfaceSession()
+        step = max(1, len(asts) // 5)
+        for start in range(0, len(asts), step):
+            result = session.append(asts[start : start + step])
+            prefix = asts[: start + step]
+            full = generate(prefix)
+            assert (
+                result.interface.widget_summary()
+                == full.interface.widget_summary()
+            )
+            suite = prefix[:8]
+            assert [session.expresses(q) for q in suite] == [
+                full.interface.expresses(q) for q in suite
+            ]
+
     def test_merge_stage_reports_component_counters(self):
         asts = _family_log("adhoc")
         session = InterfaceSession()
@@ -158,3 +206,54 @@ class TestSessionParity:
             stats["n_components_reused"] + stats["n_components_merged"]
             == stats["n_components"]
         )
+
+
+class TestWindowReuse:
+    def test_onehot_appends_replay_clean_sibling_windows(self):
+        """The point of the interval index: on the one-hot workload the
+        hot component is dirty at every append, but the clean nested
+        subtree inside it replays memoised merge steps instead of
+        re-merging — the fixed point narrows to the dirty spine."""
+        asts = _family_log("onehot")
+        session = InterfaceSession()
+        session.append(asts[:14])
+        for start in range(14, len(asts), 5):
+            result = session.append(asts[start : start + 5])
+            stats = result.run.stage("merge").stats
+            # every steady-state append replays at least one clean window
+            assert stats["n_windows_reused"] > 0
+        assert session.n_windows_reused > 0
+        # the cumulative session counters aggregate the per-append stats
+        assert session.n_windows_merged > 0
+
+    def test_onehot_leaves_cold_components_memoised(self):
+        """A multi-component variant: the projection-slot and the
+        f-subtree-replacement components stay cold under one-hot appends,
+        so the component memo replays them wholesale while only the hot
+        literal's component re-merges."""
+        statements = (
+            [
+                f"SELECT a, b FROM t WHERE x = 0 AND f(y, {j}) = 5"
+                for j in range(5)
+            ]
+            + [
+                "SELECT a, b FROM t WHERE x = 0 AND z = 5",
+                "SELECT a, b FROM t WHERE x = 0 AND f(y, 2) = 5",
+                "SELECT c, b FROM t WHERE x = 0 AND f(y, 2) = 5",
+                "SELECT d, b FROM t WHERE x = 0 AND f(y, 2) = 5",
+                "SELECT a, b FROM t WHERE x = 0 AND f(y, 2) = 5",
+            ]
+            + [
+                f"SELECT a, b FROM t WHERE x = {value} AND f(y, 2) = 5"
+                for value in range(30)
+            ]
+        )
+        asts = [parse_sql(s) for s in statements]
+        session = InterfaceSession()
+        session.append(asts[:14])
+        reused = 0
+        for start in range(14, len(asts), 5):
+            result = session.append(asts[start : start + 5])
+            stats = result.run.stage("merge").stats
+            reused += stats["n_components_reused"]
+        assert reused > 0

@@ -94,6 +94,65 @@ def predicates():
 
 
 # ----------------------------------------------------------------------
+# AST paths (interval-index property suite)
+# ----------------------------------------------------------------------
+#
+# Random-but-realistic path sets for the interval-encoding harness: AST
+# paths are short tuples of small child indices, and real diff tables mix
+# ancestors with their descendants constantly (every ancestor diff sits
+# on a prefix of its leaf diffs' paths).  ``ast_paths`` biases towards
+# that by extending previously drawn paths, so prefix chains — the case
+# interval containment must get right — are common rather than
+# vanishingly rare.
+
+def ast_paths(max_depth: int = 5, max_branch: int = 4):
+    """A single random AST path as a step tuple."""
+    return st.lists(
+        st.integers(min_value=0, max_value=max_branch),
+        min_size=0,
+        max_size=max_depth,
+    ).map(tuple)
+
+
+@st.composite
+def path_sets(draw, min_size: int = 1, max_size: int = 12) -> list[tuple]:
+    """A set of distinct paths rich in ancestor/descendant chains."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    paths: list[tuple] = []
+    seen: set[tuple] = set()
+    # bounded loop that *skips* duplicates rather than redrawing — an
+    # unbounded retry loop stalls Hypothesis's entropy budget
+    for _ in range(n):
+        if paths and draw(st.booleans()):
+            # extend an existing path so prefix chains actually occur
+            base = paths[draw(st.integers(0, len(paths) - 1))]
+            candidate = base + draw(ast_paths(max_depth=2))
+        else:
+            candidate = draw(ast_paths())
+        if candidate not in seen:
+            seen.add(candidate)
+            paths.append(candidate)
+    if not paths:
+        paths.append(())
+    return paths
+
+
+@st.composite
+def path_batches(draw, max_batches: int = 4) -> list[list[tuple]]:
+    """An incremental arrival schedule: successive batches of paths
+    (batches may re-touch already seen paths — the steady-state case)."""
+    universe = draw(path_sets(min_size=1, max_size=10))
+    n_batches = draw(st.integers(min_value=1, max_value=max_batches))
+    batches = []
+    for _ in range(n_batches):
+        batch = draw(
+            st.lists(st.sampled_from(universe), min_size=1, max_size=6)
+        )
+        batches.append(batch)
+    return batches
+
+
+# ----------------------------------------------------------------------
 # session workloads (service-layer parity suite)
 # ----------------------------------------------------------------------
 #
