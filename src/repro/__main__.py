@@ -14,10 +14,13 @@ Subcommands:
   ``--cache-dir`` the workers share one graph store and publish their
   graphs, widget sets, and closure proofs on drain.
 * ``cache``   — manage a persistent cache directory: ``cache stats``
-  reports occupancy, ``cache prune`` evicts least-recently-used entries
-  down to ``--max-bytes``/``--max-entries``, ``cache clear`` empties it.
-  Both exit cleanly (code 0) on a store directory that exists but holds
-  no entries.
+  reports occupancy (per-segment live/tombstoned counts and compaction
+  debt for the packed layout), ``cache prune`` evicts
+  least-recently-used entries down to ``--max-bytes``/``--max-entries``,
+  ``cache clear`` empties it, and ``cache migrate --to packed|json``
+  converts the on-disk layout in place (losslessly, in either
+  direction).  All exit cleanly (code 0) on a store directory that
+  exists but holds no entries.
 * ``lint``    — run the :mod:`repro.analysis` invariant linter over the
   repository's own source (exit 0 clean, 1 findings, 2 usage error).
 
@@ -40,6 +43,7 @@ Example::
     python -m repro check mylog.sql "SELECT * FROM t WHERE x = 5"
     python -m repro cache stats --cache-dir .repro-cache --json
     python -m repro cache prune --cache-dir .repro-cache --max-entries 100
+    python -m repro cache migrate --cache-dir .repro-cache --to json
 """
 
 from __future__ import annotations
@@ -251,14 +255,41 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(json.dumps(payload, indent=2))
         else:
             print(
-                f"{payload['n_keys']} key(s): {payload['n_graphs']} graph(s), "
+                f"{payload['n_keys']} key(s) [{payload['format']}]: "
+                f"{payload['n_graphs']} graph(s), "
                 f"{payload['n_widget_sets']} widget set(s), "
                 f"{payload['n_proof_sets']} proof set(s), "
                 f"{payload['n_diff_memos']} diff memo(s), "
                 f"{payload['total_bytes']} bytes"
             )
             for table, n_bytes in payload["bytes_by_table"].items():
-                print(f"  {table}: {n_bytes} bytes")
+                if payload["format"] == "packed":
+                    entry = payload["tables"][table]
+                    print(
+                        f"  {table}: {n_bytes} bytes "
+                        f"({entry['n_live']} live, "
+                        f"{entry['n_tombstoned']} tombstoned, "
+                        f"{entry['compaction_debt_bytes']} bytes "
+                        f"compaction debt)"
+                    )
+                else:
+                    print(f"  {table}: {n_bytes} bytes")
+        return 0
+    if args.cache_command == "migrate":
+        try:
+            summary = store.migrate(args.to)
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+        payload = {**summary, **store.stats()}
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                f"migrated {summary['migrated_keys']} key(s) to "
+                f"{summary['format']}; "
+                f"{summary['orphans_dropped']} orphan(s) dropped, "
+                f"{payload['total_bytes']} bytes"
+            )
         return 0
     if args.cache_command == "prune":
         if args.max_bytes is None and args.max_entries is None:
@@ -364,6 +395,7 @@ def main(argv: list[str] | None = None) -> int:
         ("stats", "report the cache directory's occupancy"),
         ("prune", "evict least-recently-used entries down to the caps"),
         ("clear", "remove every cached entry"),
+        ("migrate", "convert the store layout in place"),
     ):
         sub = cache_commands.add_parser(sub_name, help=sub_help)
         sub.add_argument("--cache-dir", required=True,
@@ -375,6 +407,10 @@ def main(argv: list[str] | None = None) -> int:
                              help="keep at most this many bytes of entries")
             sub.add_argument("--max-entries", type=int,
                              help="keep at most this many cached keys")
+        if sub_name == "migrate":
+            sub.add_argument("--to", required=True,
+                             choices=("packed", "json"),
+                             help="target on-disk layout")
         sub.set_defaults(fn=_cmd_cache)
 
     lint = commands.add_parser(

@@ -125,8 +125,11 @@ class InterfaceSession:
         self._map_cache = MapCache()
         # skeleton-level alignment plans shared by every append: once a
         # template shape has been aligned, later appends of that shape
-        # replay the plan and do zero alignment-DP work
-        self._diff_memo = DiffMemo()
+        # replay the plan and do zero alignment-DP work (optionally
+        # LRU-capped per shape for high-cardinality traffic)
+        self._diff_memo = DiffMemo(
+            max_plans_per_shape=self.options.max_plans_per_shape
+        )
         # accumulated-log fingerprint, maintained per append so store
         # adoption/publication never re-hashes the whole log
         self._fingerprinter = LogFingerprinter()

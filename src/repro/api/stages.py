@@ -266,6 +266,9 @@ class CacheStage(Stage):
         if widgets is not None:
             state.widgets = widgets
             state.widgets_from_cache = True
+        # persist the hits' batched LRU recency (packed stores buffer
+        # touches in memory; a pure-hit run performs no save to carry them)
+        store.flush_recency()
         state.record(
             self.name,
             enabled=True,
@@ -315,7 +318,9 @@ class MineStage(Stage):
         options = state.options
         stats = BuildStats()
         if state.diff_memo is None:
-            state.diff_memo = DiffMemo()
+            state.diff_memo = DiffMemo(
+                max_plans_per_shape=options.max_plans_per_shape
+            )
         state.graph = build_interaction_graph(
             state.queries,
             window=options.window,

@@ -12,11 +12,20 @@ of (parsed log, options).  This package makes that artefact durable:
 * :mod:`repro.cache.fingerprint` — process-stable SHA-256 fingerprints of
   a parsed log and of the mining-relevant options, with
   :class:`LogFingerprinter` for incrementally growing logs;
+* :mod:`repro.cache.format` / :mod:`repro.cache.blockstore` — the packed
+  on-disk format: CRC-checksummed, length-prefixed, block-compressed
+  record framing (:mod:`~repro.cache.format`) and the append-only
+  per-table segment files built on it (:class:`Segment` /
+  :class:`SegmentReader`: mmap + footer-index lookups, tombstone
+  eviction, threshold compaction);
 * :mod:`repro.cache.store` — :class:`GraphStore`, a content-addressed
-  directory holding two tables per ``(log_fingerprint,
-  options_fingerprint)`` key — the graph and the widget set — with
-  load/save/invalidate and optional LRU size caps
-  (``max_bytes``/``max_entries``, ``stats()``, ``prune()``).
+  directory holding four tables per ``(log_fingerprint,
+  options_fingerprint)`` key — graph, widget set, closure proofs, diff
+  memo — with load/save/invalidate, optional LRU size caps
+  (``max_bytes``/``max_entries``, ``stats()``, ``prune()``), and two
+  interchangeable layouts: packed segments (the default) and one JSON
+  file per record (``format="json"``, byte-identical payloads,
+  ``migrate()`` converts in place either way).
 
 The pipeline consumes it through ``PipelineOptions.cache_dir`` (see
 :class:`~repro.api.stages.CacheStage`): on a graph hit the Mine stage is
@@ -25,6 +34,7 @@ too, and :meth:`repro.api.session.InterfaceSession.resume` restores a
 session in a new process from a saved snapshot.
 """
 
+from repro.cache.blockstore import Segment, SegmentReader, SegmentStats
 from repro.cache.fingerprint import (
     LogFingerprinter,
     log_fingerprint,
@@ -52,6 +62,9 @@ from repro.cache.store import GraphStore
 __all__ = [
     "FORMAT_VERSION",
     "GraphStore",
+    "Segment",
+    "SegmentReader",
+    "SegmentStats",
     "graph_to_dict",
     "graph_from_dict",
     "save_graph",

@@ -65,18 +65,26 @@ __all__ = [
     "graph_from_dict",
     "save_graph",
     "load_graph",
+    "graph_to_jsonl_bytes",
+    "graph_from_jsonl_bytes",
     "widgets_to_dict",
     "widgets_from_dict",
     "save_widgets",
     "load_widgets",
+    "widgets_to_json_bytes",
+    "widgets_from_json_bytes",
     "proofs_to_dict",
     "proofs_from_dict",
     "save_proofs",
     "load_proofs",
+    "proofs_to_json_bytes",
+    "proofs_from_json_bytes",
     "diff_memo_to_dict",
     "diff_memo_from_dict",
     "save_diff_memo",
     "load_diff_memo",
+    "diff_memo_to_json_bytes",
+    "diff_memo_from_json_bytes",
     "derived_interval_annotations",
 ]
 
@@ -379,6 +387,22 @@ def _jsonl_lines(
         yield json.dumps({"rec": "edge", **edge}, sort_keys=True)
 
 
+def graph_to_jsonl_bytes(
+    graph: InteractionGraph,
+    stats: BuildStats | None = None,
+    extra: dict[str, Any] | None = None,
+) -> bytes:
+    """The exact bytes :func:`save_graph` would write for this graph.
+
+    The packed store's record payloads go through here, so a packed entry
+    and a JSON-file entry for the same graph are byte-identical by
+    construction (the parity the migration and format tests assert).
+    """
+    return "".join(
+        line + "\n" for line in _jsonl_lines(graph, stats, extra)
+    ).encode("utf-8")
+
+
 def save_graph(
     path: str | FilePath,
     graph: InteractionGraph,
@@ -420,6 +444,28 @@ def load_graph(
         lines = file_path.read_text(encoding="utf-8").splitlines()
     except OSError as exc:
         raise CacheError(f"cannot read graph file {file_path}") from exc
+    return _graph_from_lines(lines, str(file_path))
+
+
+def graph_from_jsonl_bytes(
+    data: bytes, label: str = "<graph record>"
+) -> tuple[InteractionGraph, BuildStats, dict[str, Any]]:
+    """Decode :func:`graph_to_jsonl_bytes` output (the packed-store read
+    path).  ``label`` names the source in error messages.
+
+    Raises:
+        CacheError: exactly as :func:`load_graph` for the same content.
+    """
+    try:
+        lines = data.decode("utf-8").splitlines()
+    except UnicodeDecodeError as exc:
+        raise CacheError(f"{label} is not valid UTF-8") from exc
+    return _graph_from_lines(lines, label)
+
+
+def _graph_from_lines(
+    lines: list[str], label: str
+) -> tuple[InteractionGraph, BuildStats, dict[str, Any]]:
     records: list[dict[str, Any]] = []
     for line_number, line in enumerate(lines, start=1):
         if not line.strip():
@@ -427,14 +473,14 @@ def load_graph(
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError as exc:
-            raise CacheError(f"bad JSON at {file_path}:{line_number}") from exc
+            raise CacheError(f"bad JSON at {label}:{line_number}") from exc
     if not records or records[0].get("rec") != "header":
-        raise CacheError(f"{file_path} is missing the header record")
+        raise CacheError(f"{label} is missing the header record")
     header = records[0]
     version = header.get("version")
     if version != FORMAT_VERSION:
         raise CacheError(
-            f"unsupported graph format version {version!r} in {file_path} "
+            f"unsupported graph format version {version!r} in {label} "
             f"(this build reads version {FORMAT_VERSION})"
         )
     tree_payloads: list[dict[str, Any]] = []
@@ -452,14 +498,14 @@ def load_graph(
         elif kind == "edge":
             edge_payloads.append(record)
         else:
-            raise CacheError(f"unknown record kind {kind!r} in {file_path}")
+            raise CacheError(f"unknown record kind {kind!r} in {label}")
     if (
         len(tree_payloads) != header.get("n_trees")
         or len(query_refs) != header.get("n_queries")
         or len(diff_payloads) != header.get("n_diffs")
         or len(edge_payloads) != header.get("n_edges")
     ):
-        raise CacheError(f"{file_path} is truncated (record counts disagree)")
+        raise CacheError(f"{label} is truncated (record counts disagree)")
     graph = _decode_graph(tree_payloads, query_refs, diff_payloads, edge_payloads)
     return graph, _stats_from(header.get("stats")), header.get("extra", {})
 
@@ -552,17 +598,33 @@ def widgets_from_dict(
     return widgets
 
 
+def _json_doc_bytes(payload: dict[str, Any]) -> bytes:
+    """The exact bytes :func:`_write_json_atomic` writes for ``payload`` —
+    the packed store's record payloads for the derived tables go through
+    here, keeping packed and JSON-file entries byte-identical."""
+    # sort_keys: derived tables must be byte-deterministic across
+    # processes for digest-based comparison
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _json_doc_from_bytes(data: bytes, label: str) -> dict[str, Any]:
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CacheError(f"bad JSON in {label}") from exc
+    if not isinstance(payload, dict):
+        raise CacheError(f"{label} is not a JSON object payload")
+    return payload
+
+
 def _write_json_atomic(path: str | FilePath, payload: dict[str, Any]) -> None:
     """Write one JSON document via a writer-unique temp file + rename, so
     concurrent readers never observe a half-written derived table."""
     target = FilePath(path)
     tmp = target.with_name(f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp")
     try:
-        with open(tmp, "w", encoding="utf-8") as handle:
-            # sort_keys: derived tables must be byte-deterministic across
-            # processes for digest-based comparison
-            json.dump(payload, handle, sort_keys=True)
-            handle.write("\n")
+        with open(tmp, "wb") as handle:
+            handle.write(_json_doc_bytes(payload))
         tmp.replace(target)
     finally:
         tmp.unlink(missing_ok=True)
@@ -599,6 +661,30 @@ def load_widgets(
     if not isinstance(payload, dict):
         raise CacheError(f"{file_path} is not a widget-set payload")
     return widgets_from_dict(payload, graph, library, annotations)
+
+
+def widgets_to_json_bytes(
+    widgets: list[Widget], graph: InteractionGraph
+) -> bytes:
+    """The exact bytes :func:`save_widgets` would write (packed payload)."""
+    return _json_doc_bytes(widgets_to_dict(widgets, graph))
+
+
+def widgets_from_json_bytes(
+    data: bytes,
+    graph: InteractionGraph,
+    library: list[WidgetType],
+    annotations: GrammarAnnotations,
+    label: str = "<widget-set record>",
+) -> list[Widget]:
+    """Decode :func:`widgets_to_json_bytes` output (packed read path).
+
+    Raises:
+        CacheError: exactly as :func:`load_widgets` for the same content.
+    """
+    return widgets_from_dict(
+        _json_doc_from_bytes(data, label), graph, library, annotations
+    )
 
 
 # ----------------------------------------------------------------------
@@ -690,6 +776,22 @@ def load_proofs(path: str | FilePath) -> list[tuple[Node, Node, "Path"]]:
     return proofs_from_dict(payload)
 
 
+def proofs_to_json_bytes(triples: list[tuple[Node, Node, "Path"]]) -> bytes:
+    """The exact bytes :func:`save_proofs` would write (packed payload)."""
+    return _json_doc_bytes(proofs_to_dict(triples))
+
+
+def proofs_from_json_bytes(
+    data: bytes, label: str = "<proof-set record>"
+) -> list[tuple[Node, Node, "Path"]]:
+    """Decode :func:`proofs_to_json_bytes` output (packed read path).
+
+    Raises:
+        CacheError: exactly as :func:`load_proofs` for the same content.
+    """
+    return proofs_from_dict(_json_doc_from_bytes(data, label))
+
+
 # ----------------------------------------------------------------------
 # diff memos
 # ----------------------------------------------------------------------
@@ -777,6 +879,22 @@ def load_diff_memo(path: str | FilePath) -> list[tuple[Node, Node, bool]]:
     if not isinstance(payload, dict):
         raise CacheError(f"{file_path} is not a diff-memo payload")
     return diff_memo_from_dict(payload)
+
+
+def diff_memo_to_json_bytes(pairs: list[tuple[Node, Node, bool]]) -> bytes:
+    """The exact bytes :func:`save_diff_memo` would write (packed payload)."""
+    return _json_doc_bytes(diff_memo_to_dict(pairs))
+
+
+def diff_memo_from_json_bytes(
+    data: bytes, label: str = "<diff-memo record>"
+) -> list[tuple[Node, Node, bool]]:
+    """Decode :func:`diff_memo_to_json_bytes` output (packed read path).
+
+    Raises:
+        CacheError: exactly as :func:`load_diff_memo` for the same content.
+    """
+    return diff_memo_from_dict(_json_doc_from_bytes(data, label))
 
 
 # ----------------------------------------------------------------------

@@ -3,29 +3,41 @@ closure proofs, and diff memos.
 
 A :class:`GraphStore` is a directory of cache entries keyed by
 ``(log fingerprint, options fingerprint)``.  Each key owns up to four
-files — four content-addressed tables over the same key space:
+records — four content-addressed tables over the same key space:
 
-* ``<key>.graph.jsonl`` — the mined interaction graph
-  (:func:`~repro.cache.serialize.save_graph`), skipping the Mine stage on
-  a hit;
-* ``<key>.widgets.json`` — the mapped-and-merged widget set
-  (:func:`~repro.cache.serialize.save_widgets`), skipping Map and Merge
-  too.  Widget entries are only meaningful next to their graph entry
-  (they reference its diffs table by index), so :meth:`load_widget_set`
-  takes the loaded graph;
-* ``<key>.proofs.json`` — positive closure-cover proofs
-  (:func:`~repro.cache.serialize.save_proofs`), so ``expresses()`` memos
-  survive session death and are shared across
-  :class:`~repro.service.SessionPool` workers.  Proofs are valid exactly
-  against the key's deterministic widget set, so
-  :meth:`load_closure_proofs` takes the decoded widgets and arms a
-  :class:`~repro.core.closure.ClosureCache` for them;
-* ``<key>.diffmemo.json`` — the Mine stage's skeleton-level alignment
-  plans as representative shape pairs
-  (:func:`~repro.cache.serialize.save_diff_memo`), so resumed sessions
-  and pool workers inherit a hot
-  :class:`~repro.treediff.memo.DiffMemo` and steady-state appends of
-  known templates do zero alignment-DP work.
+* **graphs** — the mined interaction graph (JSONL payload, see
+  :func:`~repro.cache.serialize.graph_to_jsonl_bytes`), skipping the Mine
+  stage on a hit;
+* **widget_sets** — the mapped-and-merged widget set, skipping Map and
+  Merge too.  Widget records are only meaningful next to their graph
+  record (they reference its diffs table by index), so
+  :meth:`load_widget_set` takes the loaded graph;
+* **proof_sets** — positive closure-cover proofs, so ``expresses()``
+  memos survive session death and are shared across
+  :class:`~repro.service.SessionPool` workers;
+* **diff_memos** — the Mine stage's skeleton-level alignment plans as
+  representative shape pairs, so resumed sessions and pool workers
+  inherit a hot :class:`~repro.treediff.memo.DiffMemo`.
+
+Two on-disk formats carry the same payload bytes:
+
+* ``format="packed"`` (the default for new stores) — one append-only
+  block-compressed segment file per table (``graphs.seg``,
+  ``widgets.seg``, ``proofs.seg``, ``diffmemos.seg``; see
+  :mod:`repro.cache.blockstore`).  A save appends one record, a lookup is
+  an mmap + bisect + single-block decode, eviction appends a tombstone,
+  and ``stats()``/``prune()`` read four footers instead of statting every
+  file in the directory;
+* ``format="json"`` — the legacy one-file-per-table-per-key layout
+  (``<key>.graph.jsonl`` + three ``.json`` derived files), kept as the
+  interchange/debug path.  A packed record's payload is the *exact
+  bytes* of the corresponding JSON file, so the two formats are
+  byte-identical per entry and :meth:`migrate` converts either way
+  losslessly.
+
+``format="auto"`` (constructor default) opens whatever the directory
+already holds — segments win when both are present (a migration that was
+interrupted mid-way) — and picks packed for an empty directory.
 
 The key is content-addressed, so there is no explicit invalidation
 protocol for correctness: a changed log or changed options simply hashes
@@ -35,24 +47,23 @@ re-mine after a code change.
 
 Space management is optional and LRU: construct the store with
 ``max_bytes`` and/or ``max_entries`` and every save evicts the
-least-recently-*used* keys (loads touch an entry's mtime) until the caps
-hold; :meth:`prune` applies caps on demand and :meth:`stats` reports
-occupancy.  Eviction is per-key — a key's graph, widget, and proof files
-leave together, never orphaning a derived entry.
+least-recently-*used* keys until the caps hold; :meth:`prune` applies
+caps on demand and :meth:`stats` reports occupancy.  Eviction is per-key
+— a key's graph, widget, proof, and memo records leave together, never
+orphaning a derived entry.  Recency in packed mode is a record timestamp:
+loads batch recency bumps in memory and the next save (or
+:meth:`flush_recency`, or :meth:`prune`) appends them as TOUCH markers,
+so cross-process recency is exact at every eviction decision.
 
 Concurrency: the store is the shared backing of every worker process —
 ``generate_many`` shards, :class:`~repro.service.SessionPool` workers,
-concurrent CLI invocations.  Single-file saves are atomic
-(write-then-rename, see ``save_graph``): two workers mining the same key
-race benignly — both write the same content and the second rename wins.
-Multi-file invariants (a key's files evict as one unit; a derived file is
-never written for a key whose graph entry is gone) are guarded by an
-advisory :class:`~repro.cache.lock.StoreLock` on ``<root>/.lock``:
-:meth:`prune`, :meth:`invalidate`, and the derived-table saves take it,
-so concurrent pruners cannot interleave scans (no double-eviction
-accounting) and a pruner cannot slip between a worker's graph save and
-widget save to orphan the latter.  Loads are deliberately lock-free — a
-reader racing an eviction simply misses.
+concurrent CLI invocations.  All *writes* to the shared segment files
+are serialised by the advisory :class:`~repro.cache.lock.StoreLock` on
+``<root>/.lock``; because segments are append-only and compaction
+replaces them atomically, *loads* stay deliberately lock-free — a reader
+racing an eviction simply misses.  In JSON mode single-file saves are
+atomic (write-then-rename) and only multi-file operations take the lock,
+exactly as before.
 """
 
 from __future__ import annotations
@@ -60,17 +71,27 @@ from __future__ import annotations
 import os
 from pathlib import Path as FilePath
 from typing import TYPE_CHECKING, Any, Iterator
+from uuid import uuid4
 
+from repro.cache.blockstore import DEFAULT_LEVEL, Segment
 from repro.cache.lock import StoreLock
 from repro.cache.serialize import (
+    diff_memo_from_json_bytes,
+    diff_memo_to_json_bytes,
+    graph_from_jsonl_bytes,
+    graph_to_jsonl_bytes,
     load_diff_memo,
     load_graph,
     load_proofs,
     load_widgets,
+    proofs_from_json_bytes,
+    proofs_to_json_bytes,
     save_diff_memo,
     save_graph,
     save_proofs,
     save_widgets,
+    widgets_from_json_bytes,
+    widgets_to_json_bytes,
 )
 from repro.core.closure import ClosureCache
 from repro.errors import CacheError
@@ -86,8 +107,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["GraphStore"]
 
-#: Hex digits of each fingerprint kept in the file name.  16 of each
-#: (64 bits log + 64 bits options) keeps names short while making
+#: Hex digits of each fingerprint kept in the key.  16 of each
+#: (64 bits log + 64 bits options) keeps keys short while making
 #: accidental collisions vanishingly unlikely for any realistic store.
 _KEY_DIGITS = 16
 
@@ -100,13 +121,38 @@ _DIFFMEMO_SUFFIX = ".diffmemo.json"
 #: to their key's graph entry.
 _DERIVED_SUFFIXES = (_WIDGETS_SUFFIX, _PROOFS_SUFFIX, _DIFFMEMO_SUFFIX)
 
-#: stats() table names, keyed by entry-file suffix.
+#: stats() table names, keyed by entry-file suffix (JSON layout).
 _TABLE_NAMES = {
     _SUFFIX: "graphs",
     _WIDGETS_SUFFIX: "widget_sets",
     _PROOFS_SUFFIX: "proof_sets",
     _DIFFMEMO_SUFFIX: "diff_memos",
 }
+
+#: Table processing order: graphs first, so a derived record is never
+#: written (or migrated) before the graph record it belongs to.
+_TABLE_ORDER = ("graphs", "widget_sets", "proof_sets", "diff_memos")
+
+#: Segment file per table (packed layout).
+_SEGMENT_FILES = {
+    "graphs": "graphs.seg",
+    "widget_sets": "widgets.seg",
+    "proof_sets": "proofs.seg",
+    "diff_memos": "diffmemos.seg",
+}
+
+#: JSON entry-file suffix per table (inverse of _TABLE_NAMES).
+_SUFFIX_BY_TABLE = {name: suffix for suffix, name in _TABLE_NAMES.items()}
+
+#: Tables a caller may drop wholesale via invalidate_table (never the
+#: graphs table — that would orphan every derived record).
+_DERIVED_TABLES = ("widget_sets", "proof_sets", "diff_memos")
+
+#: Keys migrated per append batch.  Batching keeps json->packed
+#: migration O(keys) instead of O(keys^2) footer rebuilds, while an
+#: interruption loses at most one batch of progress (the source files of
+#: a batch are only removed after its records are committed).
+_MIGRATE_BATCH = 256
 
 
 class GraphStore:
@@ -115,9 +161,12 @@ class GraphStore:
 
     Args:
         root: the cache directory; created (with parents) if missing.
-        max_bytes: optional cap on the total size of all entry files;
+        max_bytes: optional cap on the total on-disk size of the store;
             exceeding saves evict least-recently-used keys.
         max_entries: optional cap on the number of distinct keys.
+        format: ``"auto"`` (open whatever the directory holds, packed for
+            a fresh one), ``"packed"``, or ``"json"``.
+        zlib_level: compression level for packed segments (0-9).
     """
 
     def __init__(
@@ -125,16 +174,62 @@ class GraphStore:
         root: str | FilePath,
         max_bytes: int | None = None,
         max_entries: int | None = None,
+        format: str = "auto",
+        zlib_level: int = DEFAULT_LEVEL,
     ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         if max_entries is not None and max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if format not in ("auto", "packed", "json"):
+            raise ValueError(
+                f"format must be 'auto', 'packed', or 'json', got {format!r}"
+            )
+        if not 0 <= zlib_level <= 9:
+            raise ValueError(f"zlib_level must be in 0..9, got {zlib_level}")
         self.root = FilePath(root)
         self.max_bytes = max_bytes
         self.max_entries = max_entries
+        self.zlib_level = zlib_level
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = StoreLock(self.root)
+        self._format = self._resolve_format(format)
+        self._segments: dict[str, Segment] = {}
+        #: loads record recency here; the next locked write appends the
+        #: batch as TOUCH markers (see flush_recency)
+        self._pending_touches: dict[str, set[str]] = {
+            table: set() for table in _TABLE_ORDER
+        }
+        if self._format == "packed":
+            self._init_segments()
+
+    def _resolve_format(self, requested: str) -> str:
+        if requested != "auto":
+            return requested
+        # segments win over leftover json files: an interrupted
+        # json->packed migration must resume as packed
+        for name in _SEGMENT_FILES.values():
+            if (self.root / name).exists():
+                return "packed"
+        if next(self.root.glob("*" + _SUFFIX), None) is not None:
+            return "json"
+        return "packed"
+
+    def _init_segments(self) -> None:
+        self._segments = {
+            table: Segment(
+                self.root / _SEGMENT_FILES[table],
+                self._lock,
+                table,
+                level=self.zlib_level,
+            )
+            for table in _TABLE_ORDER
+        }
+
+    @property
+    def format(self) -> str:
+        """The resolved on-disk format: ``"packed"`` or ``"json"``."""
+        return self._format
 
     # ------------------------------------------------------------------
     # keys
@@ -145,14 +240,15 @@ class GraphStore:
         return f"{log_fingerprint[:_KEY_DIGITS]}-{options_fingerprint[:_KEY_DIGITS]}"
 
     def path_for(self, log_fingerprint: str, options_fingerprint: str) -> FilePath:
-        """Where the graph entry for this key lives (whether or not it
-        exists)."""
+        """Where the JSON-layout graph entry for this key lives (whether
+        or not it exists; in packed mode the entry lives in
+        ``graphs.seg`` instead)."""
         return self.root / (self.key(log_fingerprint, options_fingerprint) + _SUFFIX)
 
     def widgets_path_for(
         self, log_fingerprint: str, options_fingerprint: str
     ) -> FilePath:
-        """Where the widget-set entry for this key lives."""
+        """Where the JSON-layout widget-set entry for this key lives."""
         return self.root / (
             self.key(log_fingerprint, options_fingerprint) + _WIDGETS_SUFFIX
         )
@@ -160,7 +256,7 @@ class GraphStore:
     def proofs_path_for(
         self, log_fingerprint: str, options_fingerprint: str
     ) -> FilePath:
-        """Where the closure-proof entry for this key lives."""
+        """Where the JSON-layout closure-proof entry for this key lives."""
         return self.root / (
             self.key(log_fingerprint, options_fingerprint) + _PROOFS_SUFFIX
         )
@@ -168,10 +264,46 @@ class GraphStore:
     def diffmemo_path_for(
         self, log_fingerprint: str, options_fingerprint: str
     ) -> FilePath:
-        """Where the diff-memo entry for this key lives."""
+        """Where the JSON-layout diff-memo entry for this key lives."""
         return self.root / (
             self.key(log_fingerprint, options_fingerprint) + _DIFFMEMO_SUFFIX
         )
+
+    # ------------------------------------------------------------------
+    # packed-mode plumbing
+    # ------------------------------------------------------------------
+    def _segment(self, table: str) -> Segment:
+        return self._segments[table]
+
+    def _load_record(self, table: str, key: str) -> bytes | None:
+        """Lock-free packed lookup; a hit queues a recency touch."""
+        payload = self._segment(table).get(key)
+        if payload is not None:
+            self._pending_touches[table].add(key)
+        return payload
+
+    def _flush_touches_locked(self) -> None:
+        """Append pending recency bumps as TOUCH markers (under lock)."""
+        with self._lock.held():
+            for table in _TABLE_ORDER:
+                keys = self._pending_touches[table]
+                if keys:
+                    self._segment(table).append_touches(sorted(keys))
+                    keys.clear()
+
+    def flush_recency(self) -> None:
+        """Persist batched load-recency (packed mode; json loads touch
+        mtimes directly, so this is a no-op there).
+
+        Saves, :meth:`prune`, and the pipeline's cache stage call this
+        automatically; long-running read-only consumers may call it so
+        their hits count for cross-process LRU.
+        """
+        if self._format != "packed":
+            return
+        if any(self._pending_touches[table] for table in _TABLE_ORDER):
+            with self._lock.held():
+                self._flush_touches_locked()
 
     # ------------------------------------------------------------------
     # graph table
@@ -179,6 +311,9 @@ class GraphStore:
     def has(self, log_fingerprint: str, options_fingerprint: str) -> bool:
         """True when a graph entry exists for this key (it may still fail
         to load if written by an incompatible version)."""
+        if self._format == "packed":
+            key = self.key(log_fingerprint, options_fingerprint)
+            return self._segment("graphs").reader().has(key)
         return self.path_for(log_fingerprint, options_fingerprint).exists()
 
     def load(
@@ -186,11 +321,23 @@ class GraphStore:
     ) -> tuple[InteractionGraph, BuildStats] | None:
         """Return the cached ``(graph, stats)`` for this key, or ``None``.
 
-        A missing entry, a version mismatch, or a corrupt file all load as
-        ``None`` (a miss): the caller re-mines and overwrites, which is
+        A missing entry, a version mismatch, or a corrupt record all load
+        as ``None`` (a miss): the caller re-mines and overwrites, which is
         always safe because the store is content-addressed.  A successful
         load touches the entry (LRU recency for eviction).
         """
+        key = self.key(log_fingerprint, options_fingerprint)
+        if self._format == "packed":
+            payload = self._load_record("graphs", key)
+            if payload is None:
+                return None
+            try:
+                graph, stats, _extra = graph_from_jsonl_bytes(
+                    payload, label=f"graphs.seg[{key}]"
+                )
+            except CacheError:
+                return None
+            return graph, stats
         path = self.path_for(log_fingerprint, options_fingerprint)
         if not path.exists():
             return None
@@ -208,7 +355,17 @@ class GraphStore:
         graph: InteractionGraph,
         stats: BuildStats | None = None,
     ) -> FilePath:
-        """Persist a mined graph under this key; returns the entry path."""
+        """Persist a mined graph under this key; returns the file the
+        entry landed in (the key's own file in JSON mode, ``graphs.seg``
+        in packed mode)."""
+        if self._format == "packed":
+            key = self.key(log_fingerprint, options_fingerprint)
+            payload = graph_to_jsonl_bytes(graph, stats)
+            with self._lock.held():
+                self._segment("graphs").append_records([(key, payload, None)])
+                self._flush_touches_locked()
+            self._enforce_caps()
+            return self.root / _SEGMENT_FILES["graphs"]
         path = self.path_for(log_fingerprint, options_fingerprint)
         # Deliberately lock-free: save_graph is a single-file atomic
         # write-then-rename, so a concurrent reader sees either the old
@@ -237,6 +394,21 @@ class GraphStore:
         records reference its diffs table by index.  Any decode failure
         (foreign version, stale library, corruption) is a miss.
         """
+        key = self.key(log_fingerprint, options_fingerprint)
+        if self._format == "packed":
+            payload = self._load_record("widget_sets", key)
+            if payload is None:
+                return None
+            try:
+                return widgets_from_json_bytes(
+                    payload,
+                    graph,
+                    library,
+                    annotations,
+                    label=f"widgets.seg[{key}]",
+                )
+            except CacheError:
+                return None
         path = self.widgets_path_for(log_fingerprint, options_fingerprint)
         if not path.exists():
             return None
@@ -254,17 +426,30 @@ class GraphStore:
         widgets: list[Widget],
         graph: InteractionGraph,
     ) -> FilePath:
-        """Persist a mapped widget set under this key; returns the path.
+        """Persist a mapped widget set under this key; returns the file
+        the entry landed in.
 
         Taken under the store lock so a concurrent pruner cannot evict the
         key's graph entry between our check and our write: if the graph
         entry is gone (evicted since the caller loaded/saved it), it is
         re-saved together with the widgets — the caller holds the graph in
-        hand — so a widget file never exists without its graph.
+        hand — so a widget record never exists without its graph.
 
         Raises:
             CacheError: when the widgets do not belong to ``graph``.
         """
+        if self._format == "packed":
+            key = self.key(log_fingerprint, options_fingerprint)
+            payload = widgets_to_json_bytes(widgets, graph)
+            with self._lock.held():
+                if not self._segment("graphs").reader().has(key):
+                    self._segment("graphs").append_records(
+                        [(key, graph_to_jsonl_bytes(graph), None)]
+                    )
+                self._segment("widget_sets").append_records([(key, payload, None)])
+                self._flush_touches_locked()
+            self._enforce_caps()
+            return self.root / _SEGMENT_FILES["widget_sets"]
         path = self.widgets_path_for(log_fingerprint, options_fingerprint)
         with self._lock.held():
             if not self.path_for(log_fingerprint, options_fingerprint).exists():
@@ -288,6 +473,17 @@ class GraphStore:
         :meth:`~repro.core.closure.ClosureCache.import_proofs` against
         exactly those widgets.  Any decode failure is a miss.
         """
+        key = self.key(log_fingerprint, options_fingerprint)
+        if self._format == "packed":
+            payload = self._load_record("proof_sets", key)
+            if payload is None:
+                return None
+            try:
+                return proofs_from_json_bytes(
+                    payload, label=f"proofs.seg[{key}]"
+                )
+            except CacheError:
+                return None
         path = self.proofs_path_for(log_fingerprint, options_fingerprint)
         if not path.exists():
             return None
@@ -326,18 +522,28 @@ class GraphStore:
         widgets: list[Widget],
     ) -> FilePath | None:
         """Persist the cache's positive proofs for ``widgets`` under this
-        key; returns the path, or ``None`` when nothing was written.
+        key; returns the file written, or ``None`` when nothing was.
 
         Nothing is written when the cache holds no proofs for exactly this
         widget set, or when the key's graph entry no longer exists (a
         pruner evicted it): proofs are a pure accelerator, and unlike
         :meth:`save_widget_set` the caller cannot re-create the graph
         entry from what it holds, so the save is skipped rather than
-        orphaning a proof file.
+        orphaning a proof record.
         """
         triples = cache.export_proofs(widgets)
         if not triples:
             return None
+        if self._format == "packed":
+            key = self.key(log_fingerprint, options_fingerprint)
+            payload = proofs_to_json_bytes(triples)
+            with self._lock.held():
+                if not self._segment("graphs").reader().has(key):
+                    return None
+                self._segment("proof_sets").append_records([(key, payload, None)])
+                self._flush_touches_locked()
+            self._enforce_caps()
+            return self.root / _SEGMENT_FILES["proof_sets"]
         path = self.proofs_path_for(log_fingerprint, options_fingerprint)
         with self._lock.held():
             if not self.path_for(log_fingerprint, options_fingerprint).exists():
@@ -357,9 +563,20 @@ class GraphStore:
 
         Feed them to :meth:`~repro.treediff.memo.DiffMemo.import_pairs`:
         each pair is re-aligned once by the current algorithm, so a stale
-        or foreign file can cost time but never correctness.  Any decode
+        or foreign record can cost time but never correctness.  Any decode
         failure is a miss.
         """
+        key = self.key(log_fingerprint, options_fingerprint)
+        if self._format == "packed":
+            payload = self._load_record("diff_memos", key)
+            if payload is None:
+                return None
+            try:
+                return diff_memo_from_json_bytes(
+                    payload, label=f"diffmemos.seg[{key}]"
+                )
+            except CacheError:
+                return None
         path = self.diffmemo_path_for(log_fingerprint, options_fingerprint)
         if not path.exists():
             return None
@@ -389,17 +606,32 @@ class GraphStore:
         memo: DiffMemo,
     ) -> FilePath | None:
         """Persist the memo's representative shape pairs under this key;
-        returns the path, or ``None`` when nothing was written.
+        returns the file written, or ``None`` when nothing was.
 
         Nothing is written for an empty memo, for a memo whose
         representative trees cannot be JSON-encoded, or when the key's
         graph entry no longer exists (a pruner evicted it): like closure
         proofs, a memo is a pure accelerator, so the save is skipped
-        rather than orphaning a derived file.
+        rather than orphaning a derived record.
         """
         pairs = memo.export_pairs()
         if not pairs:
             return None
+        if self._format == "packed":
+            key = self.key(log_fingerprint, options_fingerprint)
+            try:
+                payload = diff_memo_to_json_bytes(pairs)
+            except CacheError:
+                # a representative tree with non-JSON attribute values:
+                # the memo stays in-memory only
+                return None
+            with self._lock.held():
+                if not self._segment("graphs").reader().has(key):
+                    return None
+                self._segment("diff_memos").append_records([(key, payload, None)])
+                self._flush_touches_locked()
+            self._enforce_caps()
+            return self.root / _SEGMENT_FILES["diff_memos"]
         path = self.diffmemo_path_for(log_fingerprint, options_fingerprint)
         with self._lock.held():
             if not self.path_for(log_fingerprint, options_fingerprint).exists():
@@ -416,30 +648,37 @@ class GraphStore:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """All keys with a live graph entry, sorted."""
+        if self._format == "packed":
+            return self._segment("graphs").reader().keys()
+        return sorted(path.name[: -len(_SUFFIX)] for path in self.entries())
+
     def entries(self) -> list[FilePath]:
-        """All graph entry files currently in the store, sorted by name."""
+        """All JSON-layout graph entry files, sorted by name (always
+        empty in packed mode — use :meth:`keys`)."""
         return sorted(self.root.glob("*" + _SUFFIX))
 
     def widget_entries(self) -> list[FilePath]:
-        """All widget-set entry files currently in the store, sorted."""
+        """All JSON-layout widget-set entry files, sorted."""
         return sorted(self.root.glob("*" + _WIDGETS_SUFFIX))
 
     def proof_entries(self) -> list[FilePath]:
-        """All closure-proof entry files currently in the store, sorted."""
+        """All JSON-layout closure-proof entry files, sorted."""
         return sorted(self.root.glob("*" + _PROOFS_SUFFIX))
 
     def diffmemo_entries(self) -> list[FilePath]:
-        """All diff-memo entry files currently in the store, sorted."""
+        """All JSON-layout diff-memo entry files, sorted."""
         return sorted(self.root.glob("*" + _DIFFMEMO_SUFFIX))
 
     def __len__(self) -> int:
-        return len(self.entries())
+        return len(self.keys())
 
     def __iter__(self) -> Iterator[FilePath]:
         return iter(self.entries())
 
     def _files_by_key(self) -> dict[str, list[FilePath]]:
-        """Group every entry file under its store key."""
+        """Group every JSON-layout entry file under its store key."""
         by_key: dict[str, list[FilePath]] = {}
         for path in self.entries():
             by_key.setdefault(path.name[: -len(_SUFFIX)], []).append(path)
@@ -449,19 +688,24 @@ class GraphStore:
         return by_key
 
     def stats(self) -> dict[str, Any]:
-        """Occupancy counters: entry/file counts, total and *per-table*
+        """Occupancy counters: entry/record counts, total and *per-table*
         bytes, and caps.
 
         ``bytes_by_table`` breaks ``total_bytes`` down by table (graphs /
         widget_sets / proof_sets / diff_memos), so ``prune`` caps are
-        explainable — you can see which table the space went to.
+        explainable — you can see which table the space went to.  In
+        packed mode a ``tables`` sub-report adds live vs tombstoned
+        record counts, live bytes, and ``compaction_debt_bytes`` (bytes a
+        compaction would reclaim) per segment — read from the four
+        segment footers, not from statting every entry.
 
         Lock-free and therefore a *snapshot*: concurrent writers can move
         the numbers between two calls, but every individual report is
-        internally consistent (files are stat'ed once, counters never go
-        negative, ``n_files`` covers exactly the files ``total_bytes``
-        and ``bytes_by_table`` sum).
+        internally consistent (``n_files`` covers exactly the files
+        ``total_bytes`` and ``bytes_by_table`` sum).
         """
+        if self._format == "packed":
+            return self._stats_packed()
         total_bytes = 0
         n_files = 0
         counts = dict.fromkeys(_TABLE_NAMES, 0)
@@ -486,6 +730,7 @@ class GraphStore:
                         bytes_by_suffix[suffix] += size
                         break
         return {
+            "format": "json",
             "n_keys": len(surviving_keys),
             "n_graphs": counts[_SUFFIX],
             "n_widget_sets": counts[_WIDGETS_SUFFIX],
@@ -501,6 +746,65 @@ class GraphStore:
             "max_entries": self.max_entries,
         }
 
+    def _stats_packed(self) -> dict[str, Any]:
+        counts: dict[str, int] = {}
+        bytes_by_table: dict[str, int] = {}
+        tables: dict[str, dict[str, int]] = {}
+        surviving_keys: set[str] = set()
+        total_bytes = 0
+        n_files = 0
+        for table in _TABLE_ORDER:
+            segment = self._segment(table)
+            reader = segment.reader()
+            seg_stats = reader.stats()
+            counts[table] = seg_stats.n_live
+            bytes_by_table[table] = seg_stats.file_bytes
+            total_bytes += seg_stats.file_bytes
+            if seg_stats.file_bytes:
+                n_files += 1
+            surviving_keys.update(reader.keys())
+            tables[table] = {
+                "file_bytes": seg_stats.file_bytes,
+                "n_live": seg_stats.n_live,
+                "n_tombstoned": seg_stats.n_tombstoned,
+                "live_bytes": seg_stats.live_bytes,
+                "compaction_debt_bytes": seg_stats.dead_bytes,
+            }
+        return {
+            "format": "packed",
+            "n_keys": len(surviving_keys),
+            "n_graphs": counts["graphs"],
+            "n_widget_sets": counts["widget_sets"],
+            "n_proof_sets": counts["proof_sets"],
+            "n_diff_memos": counts["diff_memos"],
+            "n_files": n_files,
+            "total_bytes": total_bytes,
+            "bytes_by_table": dict(bytes_by_table),
+            "tables": tables,
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+        }
+
+    def compact(self) -> bool:
+        """Rewrite every packed segment down to its live records, packing
+        them into multi-record blocks (one decompression per ~64 records
+        on a bulk warm load).  Returns True when any segment was
+        rewritten; a no-op (False) on a JSON-format or debt-free store.
+
+        The store compacts segments on its own when their debt crosses a
+        threshold; calling this explicitly is maintenance — reclaim all
+        dead bytes now and leave every segment in its densest, fastest
+        to-bulk-load layout.
+        """
+        if self._format != "packed":
+            return False
+        with self._lock.held():
+            self._flush_touches_locked()
+            rewritten = False
+            for table in _TABLE_ORDER:
+                rewritten = self._segment(table).compact() or rewritten
+            return rewritten
+
     def prune(
         self, max_bytes: int | None = None, max_entries: int | None = None
     ) -> int:
@@ -512,9 +816,14 @@ class GraphStore:
         Runs entirely under the store lock: concurrent pruners from other
         processes serialise instead of interleaving their scans, so a key
         is evicted (and counted) by exactly one of them, and a derived
-        save cannot land between the scan and the unlink.  Derived files
-        whose graph entry is gone (left by a crashed writer mid-key) are
-        swept as part of their keyless group.
+        save cannot land between the scan and the removal.  Derived
+        records whose graph entry is gone (left by a crashed writer
+        mid-key) are swept regardless of recency.
+
+        In packed mode eviction appends tombstones and compacts the
+        segments, re-measuring real file sizes until the caps hold —
+        recency comes from record/touch timestamps in the segment
+        footers, so nothing ever stats per-entry files.
 
         Raises:
             ValueError: for negative caps (use ``clear()`` to empty the
@@ -528,6 +837,8 @@ class GraphStore:
         max_entries = max_entries if max_entries is not None else self.max_entries
         if max_bytes is None and max_entries is None:
             return 0
+        if self._format == "packed":
+            return self._prune_packed(max_bytes, max_entries)
         with self._lock.held():
             ranked: list[tuple[float, int, str, list[FilePath]]] = []
             for key, files in self._files_by_key().items():
@@ -567,6 +878,85 @@ class GraphStore:
                 removed += 1
             return removed
 
+    def _prune_packed(
+        self, max_bytes: int | None, max_entries: int | None
+    ) -> int:
+        """Tombstone + compact until the caps hold against *real* file
+        sizes.  Each loop iteration either reclaims dead bytes or evicts
+        at least one key, so it terminates."""
+        removed = 0
+        with self._lock.held():
+            self._flush_touches_locked()
+            while True:
+                readers = {}
+                for table in _TABLE_ORDER:
+                    segment = self._segment(table)
+                    segment.invalidate_reader()
+                    readers[table] = segment.reader()
+                indexes = {
+                    table: reader.index() for table, reader in readers.items()
+                }
+                info: dict[str, tuple[float, int, bool]] = {}
+                for table in _TABLE_ORDER:
+                    for key, entry in indexes[table].items():
+                        recency, size, has_graph = info.get(key, (0.0, 0, False))
+                        info[key] = (
+                            max(recency, entry.ts),
+                            size + readers[table].entry_cost(entry),
+                            has_graph or table == "graphs",
+                        )
+                actual_total = sum(r.size for r in readers.values())
+                n_keys = len(info)
+                orphans = any(not has_graph for _, _, has_graph in info.values())
+                over_entries = max_entries is not None and n_keys > max_entries
+                over_bytes = max_bytes is not None and actual_total > max_bytes
+                if not over_entries and not over_bytes and not orphans:
+                    break
+                total_dead = sum(r.stats().dead_bytes for r in readers.values())
+                if over_bytes and total_dead > 0 and not over_entries and not orphans:
+                    # over-cap purely from garbage: reclaim before deciding
+                    # to evict anything (cannot repeat — debt is 0 after)
+                    for table in _TABLE_ORDER:
+                        self._segment(table).compact()
+                    continue
+                ranked = sorted(
+                    (
+                        recency if has_graph else -1.0,
+                        size,
+                        key,
+                    )
+                    for key, (recency, size, has_graph) in info.items()
+                )
+                if not ranked:
+                    # caps smaller than the empty segments' fixed overhead:
+                    # nothing left to evict
+                    for table in _TABLE_ORDER:
+                        self._segment(table).compact()
+                    break
+                victims: list[str] = []
+                sim_keys = n_keys
+                sim_total = actual_total
+                for recency, size, key in ranked:
+                    sim_over_entries = (
+                        max_entries is not None and sim_keys > max_entries
+                    )
+                    sim_over_bytes = max_bytes is not None and sim_total > max_bytes
+                    if not sim_over_entries and not sim_over_bytes and recency >= 0:
+                        break
+                    victims.append(key)
+                    sim_keys -= 1
+                    sim_total -= size
+                for table in _TABLE_ORDER:
+                    doomed = [key for key in victims if key in indexes[table]]
+                    if doomed:
+                        self._segment(table).append_tombstones(doomed)
+                removed += len(victims)
+                for table in _TABLE_ORDER:
+                    self._segment(table).compact()
+                if not victims:
+                    break
+        return removed
+
     def _enforce_caps(self) -> None:
         """Apply the store's own caps after a save (no-op when uncapped)."""
         if self.max_bytes is not None or self.max_entries is not None:
@@ -581,20 +971,48 @@ class GraphStore:
 
         With both arguments, removes the single exact key; with one,
         removes every key sharing that side; with neither, removes
-        everything (same as :meth:`clear`).  A key's graph and widget-set
-        files are removed together.  Returns the number of keys removed.
+        everything (same as :meth:`clear`).  A key's graph and derived
+        records are removed together.  Returns the number of keys
+        removed.
         """
-        removed = 0
         log_part = log_fingerprint[:_KEY_DIGITS] if log_fingerprint else None
         opts_part = (
             options_fingerprint[:_KEY_DIGITS] if options_fingerprint else None
         )
+
+        def matches(key: str) -> bool:
+            entry_log, _, entry_opts = key.partition("-")
+            if log_part is not None and entry_log != log_part:
+                return False
+            if opts_part is not None and entry_opts != opts_part:
+                return False
+            return True
+
+        if self._format == "packed":
+            with self._lock.held():
+                doomed_keys: set[str] = set()
+                doomed_by_table: dict[str, list[str]] = {}
+                for table in _TABLE_ORDER:
+                    segment = self._segment(table)
+                    segment.invalidate_reader()
+                    table_keys = [
+                        key for key in segment.reader().keys() if matches(key)
+                    ]
+                    doomed_by_table[table] = table_keys
+                    doomed_keys.update(table_keys)
+                for table in _TABLE_ORDER:
+                    if doomed_by_table[table]:
+                        self._segment(table).append_tombstones(
+                            doomed_by_table[table]
+                        )
+                    self._pending_touches[table] -= set(doomed_by_table[table])
+                for table in _TABLE_ORDER:
+                    self._segment(table).compact()
+                return len(doomed_keys)
+        removed = 0
         with self._lock.held():
             for key, files in self._files_by_key().items():
-                entry_log, _, entry_opts = key.partition("-")
-                if log_part is not None and entry_log != log_part:
-                    continue
-                if opts_part is not None and entry_opts != opts_part:
+                if not matches(key):
                     continue
                 for path in files:
                     path.unlink(missing_ok=True)
@@ -604,6 +1022,165 @@ class GraphStore:
     def clear(self) -> int:
         """Remove every key; returns how many were removed."""
         return self.invalidate()
+
+    def invalidate_table(self, table: str) -> int:
+        """Drop every record of one *derived* table (widget_sets,
+        proof_sets, or diff_memos), leaving graphs intact — the targeted
+        version of :meth:`clear` for forcing a re-map/re-prove after a
+        library or rule change.  Returns the number of records removed.
+
+        Raises:
+            ValueError: for the graphs table (dropping it would orphan
+                every derived record — use :meth:`clear`) or an unknown
+                table name.
+        """
+        if table not in _DERIVED_TABLES:
+            raise ValueError(
+                f"table must be one of {_DERIVED_TABLES}, got {table!r}"
+            )
+        if self._format == "packed":
+            with self._lock.held():
+                segment = self._segment(table)
+                segment.invalidate_reader()
+                doomed = segment.reader().keys()
+                if doomed:
+                    segment.append_tombstones(doomed)
+                    segment.compact()
+                self._pending_touches[table].clear()
+                return len(doomed)
+        suffix = _SUFFIX_BY_TABLE[table]
+        removed = 0
+        with self._lock.held():
+            for path in sorted(self.root.glob("*" + suffix)):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def migrate(self, to: str) -> dict[str, Any]:
+        """Convert the store's on-disk layout in place; returns a summary
+        ``{"format", "migrated_keys", "orphans_dropped"}``.
+
+        Payloads are moved as raw bytes (a packed record *is* the JSON
+        file's content), so the conversion is lossless and byte-exact in
+        both directions.  Each direction is atomic per batch and
+        resumable: an interrupted ``json`` → ``packed`` run leaves
+        already-converted keys in the segments and the rest as files
+        (re-running finishes the job; ``format="auto"`` opens such a
+        directory as packed), and an interrupted ``packed`` → ``json``
+        run leaves the segments in place as the source of truth until the
+        final removal.  Derived records whose graph entry is missing are
+        dropped, not migrated.  Recency (LRU order) carries across via
+        file mtimes / record timestamps.
+
+        Raises:
+            ValueError: for a target other than ``"packed"`` / ``"json"``.
+        """
+        if to not in ("packed", "json"):
+            raise ValueError(f"migrate target must be 'packed' or 'json', got {to!r}")
+        if to == "packed":
+            return self._migrate_to_packed()
+        return self._migrate_to_json()
+
+    def _migrate_to_packed(self) -> dict[str, Any]:
+        migrated = 0
+        orphans = 0
+        with self._lock.held():
+            if not self._segments:
+                self._init_segments()
+            groups = list(self._files_by_key().items())
+            for start in range(0, len(groups), _MIGRATE_BATCH):
+                batch = groups[start : start + _MIGRATE_BATCH]
+                pending: dict[str, list[tuple[str, bytes, float | None]]] = {
+                    table: [] for table in _TABLE_ORDER
+                }
+                batch_files: list[FilePath] = []
+                for key, files in batch:
+                    present = {
+                        table: self.root / (key + _SUFFIX_BY_TABLE[table])
+                        for table in _TABLE_ORDER
+                    }
+                    if not present["graphs"].exists():
+                        # derived files without a graph can never hit:
+                        # drop them instead of migrating an orphan
+                        for path in files:
+                            path.unlink(missing_ok=True)
+                        orphans += 1
+                        continue
+                    for table in _TABLE_ORDER:
+                        path = present[table]
+                        try:
+                            data = path.read_bytes()
+                            ts = path.stat().st_mtime
+                        except OSError:
+                            continue
+                        pending[table].append((key, data, ts))
+                    batch_files.extend(files)
+                    migrated += 1
+                for table in _TABLE_ORDER:
+                    if pending[table]:
+                        self._segment(table).append_records(pending[table])
+                # source files go only after their records are committed,
+                # so an interruption never loses a key
+                for path in batch_files:
+                    path.unlink(missing_ok=True)
+            self._format = "packed"
+        return {
+            "format": "packed",
+            "migrated_keys": migrated,
+            "orphans_dropped": orphans,
+        }
+
+    def _migrate_to_json(self) -> dict[str, Any]:
+        migrated = 0
+        orphans = 0
+        with self._lock.held():
+            if not self._segments:
+                self._init_segments()
+            graph_reader = self._segment("graphs").reader()
+            graph_keys = set(graph_reader.keys())
+            for table in _TABLE_ORDER:
+                segment = self._segment(table)
+                reader = segment.reader()
+                suffix = _SUFFIX_BY_TABLE[table]
+                for key in reader.keys():
+                    if key not in graph_keys:
+                        orphans += 1
+                        continue
+                    entry = reader.entry(key)
+                    payload = reader.get(key)
+                    if payload is None or entry is None:
+                        continue
+                    target = self.root / (key + suffix)
+                    tmp = target.with_name(
+                        f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp"
+                    )
+                    try:
+                        tmp.write_bytes(payload)
+                        tmp.replace(target)
+                    finally:
+                        tmp.unlink(missing_ok=True)
+                    try:
+                        os.utime(target, (entry.ts, entry.ts))
+                    except OSError:
+                        pass
+                    if table == "graphs":
+                        migrated += 1
+            # the files are all in place: the segments stop being the
+            # source of truth only now
+            for table in _TABLE_ORDER:
+                self._segment(table).remove()
+            self._segments = {}
+            self._format = "json"
+            for table in _TABLE_ORDER:
+                self._pending_touches[table].clear()
+        return {
+            "format": "json",
+            "migrated_keys": migrated,
+            "orphans_dropped": orphans,
+        }
 
 
 def _touch(path: FilePath) -> None:

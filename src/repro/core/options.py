@@ -34,6 +34,15 @@ class PipelineOptions:
             are persisted there keyed by (log, options) fingerprints, and a
             later run over the same log skips the Mine stage entirely.
             ``None`` (the default) disables persistence.
+        max_plans_per_shape: optional LRU cap (>= 1) on the alignment
+            plans a :class:`~repro.treediff.memo.DiffMemo` keeps per
+            query-shape pair.  High-cardinality traffic (random literals,
+            low template repetition) otherwise grows one plan per literal
+            pattern without bound; capped, such pairs cost re-alignment
+            instead of memory.  ``None`` (the default) keeps every plan.
+            A pure resource knob — it never changes what mining produces,
+            so it is excluded from the options fingerprint (capped and
+            uncapped runs share cache entries).
     """
 
     window: int | None = 2
@@ -43,6 +52,7 @@ class PipelineOptions:
     library: list[WidgetType] = field(default_factory=default_library)
     annotations: GrammarAnnotations = SQL_ANNOTATIONS
     cache_dir: str | None = None
+    max_plans_per_shape: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.coverage <= 1.0:
@@ -51,3 +61,7 @@ class PipelineOptions:
             raise MappingError(f"window must be >= 2, got {self.window}")
         if not self.library:
             raise MappingError("widget library must not be empty")
+        if self.max_plans_per_shape is not None and self.max_plans_per_shape < 1:
+            raise MappingError(
+                f"max_plans_per_shape must be >= 1, got {self.max_plans_per_shape}"
+            )

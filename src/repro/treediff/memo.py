@@ -96,22 +96,42 @@ class DiffMemo:
     annotations (the cached :attr:`~repro.sqlparser.astnodes.Node.skeleton`
     is defined by :data:`~repro.sqlparser.grammar.SQL_ANNOTATIONS`).
 
+    Under high-cardinality traffic (random literals, low template
+    repetition) a shape pair accumulates one plan per distinct literal
+    pattern without bound.  ``max_plans_per_shape`` caps each shape's
+    pattern table with LRU order — a replay hit refreshes its plan, an
+    insert past the cap evicts the least-recently-used pattern — so
+    adversarial logs cost re-alignment, never unbounded memory.
+
+    Args:
+        max_plans_per_shape: optional cap (>= 1) on plans kept per shape
+            pair; ``None`` (the default) keeps every pattern.
+
     Attributes:
         n_replayed: pairs answered by plan replay (no alignment DP).
         n_full: pairs that ran the full alignment (first of their shape,
             pattern misses, fallbacks, and non-default-annotation calls).
         n_warmed: plans rebuilt from imported representative pairs.
+        n_evicted_plans: plans dropped by the per-shape LRU cap.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_plans_per_shape: int | None = None) -> None:
+        if max_plans_per_shape is not None and max_plans_per_shape < 1:
+            raise ValueError(
+                f"max_plans_per_shape must be >= 1, got {max_plans_per_shape}"
+            )
+        self.max_plans_per_shape = max_plans_per_shape
         # (skeleton(a), skeleton(b), prune) -> {literal pattern ->
         # (plan, representative_a, representative_b)}; patterns are
         # hashable tuples, so a shape pair that accumulates many
-        # patterns (non-template traffic) still looks up in O(1)
+        # patterns (non-template traffic) still looks up in O(1).  The
+        # inner dicts are insertion-ordered, which is what makes them an
+        # LRU when capped (hits reinsert, eviction pops the front).
         self._plans: dict[_ShapeKey, dict[_Pattern, tuple[_Plan, Node, Node]]] = {}
         self.n_replayed = 0
         self.n_full = 0
         self.n_warmed = 0
+        self.n_evicted_plans = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -162,14 +182,33 @@ class DiffMemo:
                 replayed = self._replay(plan, a, b, q1, q2, annotations)
                 if replayed is not None:
                     self.n_replayed += 1
+                    if self.max_plans_per_shape is not None:
+                        # LRU refresh: reinsert at the back of the
+                        # insertion-ordered pattern table
+                        entries[pattern] = entries.pop(pattern)
                     return replayed
                 # path/kind mismatch: the plan is wrong for this pair
                 # (skeleton hash collision); drop it and re-align
                 del entries[pattern]
         records = extract_diffs(a, b, q1, q2, prune=prune, annotations=annotations)
         self.n_full += 1
-        self._plans.setdefault(key, {})[pattern] = (_plan_from(records), a, b)
+        self._store_plan(key, pattern, (_plan_from(records), a, b))
         return records
+
+    def _store_plan(
+        self,
+        key: _ShapeKey,
+        pattern: _Pattern,
+        entry: tuple[_Plan, Node, Node],
+    ) -> None:
+        """Insert a plan as most-recently-used, evicting past the cap."""
+        entries = self._plans.setdefault(key, {})
+        entries[pattern] = entry
+        cap = self.max_plans_per_shape
+        if cap is not None:
+            while len(entries) > cap:
+                entries.pop(next(iter(entries)))
+                self.n_evicted_plans += 1
 
     @staticmethod
     def _replay(
@@ -249,7 +288,7 @@ class DiffMemo:
             if pattern in entries:
                 continue
             records = extract_diffs(rep_a, rep_b, prune=bool(prune))
-            entries[pattern] = (_plan_from(records), rep_a, rep_b)
+            self._store_plan(key, pattern, (_plan_from(records), rep_a, rep_b))
             self.n_warmed += 1
             added += 1
         return added

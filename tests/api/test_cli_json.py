@@ -167,6 +167,48 @@ class TestCacheCli:
         assert main(["cache", "clear", "--cache-dir", cache_dir, "--json"]) == 0
         assert _json_out(capsys)["n_keys"] == 0
 
+    def test_migrate_round_trip_via_cli(self, log_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "store")
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "migrate", "--cache-dir", cache_dir,
+                     "--to", "json", "--json"]) == 0
+        payload = _json_out(capsys)
+        assert payload["format"] == "json"
+        assert payload["migrated_keys"] == 1
+        assert payload["orphans_dropped"] == 0
+        assert main(["cache", "migrate", "--cache-dir", cache_dir,
+                     "--to", "packed", "--json"]) == 0
+        payload = _json_out(capsys)
+        assert payload["format"] == "packed"
+        assert payload["migrated_keys"] == 1
+        # the migrated store still serves a full hit
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        stages = {s["name"]: s["stats"] for s in _json_out(capsys)["run"]["stages"]}
+        assert stages["cache"]["widgets_hit"] is True
+
+    def test_migrate_to_current_format_reports_zero(
+        self, log_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "store")
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "migrate", "--cache-dir", cache_dir,
+                     "--to", "packed"]) == 0
+        assert "migrated 0 key(s)" in capsys.readouterr().out
+
+    def test_stats_text_reports_segment_accounting(
+        self, log_file, tmp_path, capsys
+    ):
+        cache_dir = str(tmp_path / "store")
+        assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "[packed]" in out
+        assert "live" in out
+        assert "compaction debt" in out
+
     def test_full_hit_visible_in_json(self, log_file, tmp_path, capsys):
         cache_dir = str(tmp_path / "store")
         assert main(["mine", log_file, "--cache-dir", cache_dir, "--json"]) == 0

@@ -110,7 +110,7 @@ class TestStoreTable:
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         queries, graph, memo = _mined()
-        store = GraphStore(tmp_path)
+        store = GraphStore(tmp_path, format="json")
         log_fp = log_fingerprint(queries)
         opts_fp = options_fingerprint(PipelineOptions())
         store.save(log_fp, opts_fp, graph)
@@ -120,7 +120,7 @@ class TestStoreTable:
 
     def test_eviction_takes_the_memo_with_the_key(self, tmp_path):
         queries, graph, memo = _mined()
-        store = GraphStore(tmp_path)
+        store = GraphStore(tmp_path, format="json")
         log_fp = log_fingerprint(queries)
         opts_fp = options_fingerprint(PipelineOptions())
         store.save(log_fp, opts_fp, graph)

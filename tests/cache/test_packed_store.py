@@ -1,0 +1,452 @@
+"""The packed GraphStore layout: parity with JSON, migration, eviction.
+
+The packed format's core contract is that a segment *record* is the
+JSON layout's *file content*, byte for byte.  These tests hold the two
+layouts side by side through identical save sequences and compare raw
+bytes after every append, then exercise what only the packed layout
+does: in-segment tombstone eviction, batched TOUCH recency, per-table
+segment accounting, and in-place migration in both directions.
+"""
+
+import time
+
+import pytest
+
+from repro import parse_sql
+from repro.api import generate
+from repro.cache.blockstore import SegmentReader
+from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.store import GraphStore
+from repro.core.closure import ClosureCache, expresses
+from repro.core.mapper import initialize, merge_widgets
+from repro.core.options import PipelineOptions
+from repro.graph.build import BuildStats, build_interaction_graph
+from repro.treediff.memo import DiffMemo
+
+SQL = [
+    "SELECT a FROM t WHERE x = 1",
+    "SELECT a FROM t WHERE x = 2",
+    "SELECT a FROM t WHERE x = 5",
+    "SELECT a FROM t WHERE x = 9",
+]
+
+
+def _mined(statements=None):
+    """One fully-derived payload set: graph, widgets, proofs, memo."""
+    options = PipelineOptions()
+    queries = [parse_sql(s) for s in (statements or SQL)]
+    stats = BuildStats()
+    memo = DiffMemo()
+    graph = build_interaction_graph(queries, window=2, stats=stats, memo=memo)
+    widgets = merge_widgets(
+        initialize(graph.diffs, options.library, options.annotations),
+        options.library,
+        options.annotations,
+        leaf_diffs=[d for d in graph.diffs if d.is_leaf],
+    )
+    cache = ClosureCache()
+    expresses(widgets, queries[0], queries[1], cache=cache)
+    return {
+        "options": options,
+        "log_fp": log_fingerprint(queries),
+        "opts_fp": options_fingerprint(options),
+        "graph": graph,
+        "stats": stats,
+        "widgets": widgets,
+        "proofs": cache,
+        "memo": memo,
+    }
+
+
+def _save_all(store, payload):
+    store.save(payload["log_fp"], payload["opts_fp"],
+               payload["graph"], payload["stats"])
+    store.save_widget_set(payload["log_fp"], payload["opts_fp"],
+                          payload["widgets"], payload["graph"])
+    store.save_closure_proofs(payload["log_fp"], payload["opts_fp"],
+                              payload["proofs"], payload["widgets"])
+    store.save_diff_memo(payload["log_fp"], payload["opts_fp"],
+                         payload["memo"])
+
+
+class TestFormatSelection:
+    def test_empty_directory_defaults_to_packed(self, tmp_path):
+        assert GraphStore(tmp_path).format == "packed"
+
+    def test_json_layout_auto_detected(self, tmp_path):
+        payload = _mined()
+        json_store = GraphStore(tmp_path, format="json")
+        json_store.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+        assert GraphStore(tmp_path).format == "json"
+
+    def test_packed_layout_auto_detected(self, tmp_path):
+        payload = _mined()
+        packed = GraphStore(tmp_path)
+        packed.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+        assert GraphStore(tmp_path).format == "packed"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            GraphStore(tmp_path, format="parquet")
+
+    def test_bad_zlib_level_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            GraphStore(tmp_path, zlib_level=42)
+
+
+class TestParity:
+    """A packed record is the JSON file's content, byte for byte."""
+
+    def _segment_bytes(self, root, name, key):
+        return SegmentReader(root / name).get(key)
+
+    def test_all_four_tables_byte_identical(self, tmp_path):
+        payload = _mined()
+        json_store = GraphStore(tmp_path / "json", format="json")
+        packed = GraphStore(tmp_path / "packed", format="packed")
+        key = json_store.key(payload["log_fp"], payload["opts_fp"])
+
+        # graph
+        json_store.save(payload["log_fp"], payload["opts_fp"],
+                        payload["graph"], payload["stats"])
+        packed.save(payload["log_fp"], payload["opts_fp"],
+                    payload["graph"], payload["stats"])
+        graph_file = json_store.path_for(payload["log_fp"], payload["opts_fp"])
+        assert (
+            self._segment_bytes(packed.root, "graphs.seg", key)
+            == graph_file.read_bytes()
+        )
+
+        # widget set
+        json_store.save_widget_set(payload["log_fp"], payload["opts_fp"],
+                                   payload["widgets"], payload["graph"])
+        packed.save_widget_set(payload["log_fp"], payload["opts_fp"],
+                               payload["widgets"], payload["graph"])
+        assert self._segment_bytes(
+            packed.root, "widgets.seg", key
+        ) == json_store.widgets_path_for(
+            payload["log_fp"], payload["opts_fp"]
+        ).read_bytes()
+
+        # closure proofs
+        json_store.save_closure_proofs(payload["log_fp"], payload["opts_fp"],
+                                       payload["proofs"], payload["widgets"])
+        packed.save_closure_proofs(payload["log_fp"], payload["opts_fp"],
+                                   payload["proofs"], payload["widgets"])
+        assert self._segment_bytes(
+            packed.root, "proofs.seg", key
+        ) == json_store.proofs_path_for(
+            payload["log_fp"], payload["opts_fp"]
+        ).read_bytes()
+
+        # diff memo
+        json_store.save_diff_memo(payload["log_fp"], payload["opts_fp"],
+                                  payload["memo"])
+        packed.save_diff_memo(payload["log_fp"], payload["opts_fp"],
+                              payload["memo"])
+        assert self._segment_bytes(
+            packed.root, "diffmemos.seg", key
+        ) == json_store.diffmemo_path_for(
+            payload["log_fp"], payload["opts_fp"]
+        ).read_bytes()
+
+    def test_parity_survives_rewrites(self, tmp_path):
+        """Re-saving a key keeps the layouts byte-identical (the packed
+        store may demote the append to a touch — what's *read* matters)."""
+        payload = _mined()
+        json_store = GraphStore(tmp_path / "json", format="json")
+        packed = GraphStore(tmp_path / "packed", format="packed")
+        key = json_store.key(payload["log_fp"], payload["opts_fp"])
+        for _ in range(3):
+            json_store.save(payload["log_fp"], payload["opts_fp"],
+                            payload["graph"], payload["stats"])
+            packed.save(payload["log_fp"], payload["opts_fp"],
+                        payload["graph"], payload["stats"])
+            assert self._segment_bytes(
+                packed.root, "graphs.seg", key
+            ) == json_store.path_for(
+                payload["log_fp"], payload["opts_fp"]
+            ).read_bytes()
+
+    def test_loads_round_trip_identically(self, tmp_path):
+        payload = _mined()
+        options = payload["options"]
+        json_store = GraphStore(tmp_path / "json", format="json")
+        packed = GraphStore(tmp_path / "packed", format="packed")
+        _save_all(json_store, payload)
+        _save_all(packed, payload)
+        for store in (json_store, packed):
+            graph, stats = store.load(payload["log_fp"], payload["opts_fp"])
+            assert graph.summary() == payload["graph"].summary()
+            assert stats.n_pairs_compared == payload["stats"].n_pairs_compared
+            widgets = store.load_widget_set(
+                payload["log_fp"], payload["opts_fp"], graph,
+                options.library, options.annotations,
+            )
+            assert len(widgets) == len(payload["widgets"])
+            assert store.load_closure_proofs(
+                payload["log_fp"], payload["opts_fp"], payload["widgets"]
+            )
+            assert (
+                len(store.load_diff_memo_pairs(
+                    payload["log_fp"], payload["opts_fp"]
+                ))
+                == payload["memo"].n_plans
+            )
+
+
+class TestMigration:
+    def test_round_trip_is_byte_exact(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path, format="packed")
+        _save_all(store, payload)
+        key = store.key(payload["log_fp"], payload["opts_fp"])
+        packed_bytes = {
+            name: SegmentReader(store.root / name).get(key)
+            for name in ("graphs.seg", "widgets.seg", "proofs.seg",
+                         "diffmemos.seg")
+        }
+
+        summary = store.migrate("json")
+        assert summary["format"] == "json" and summary["migrated_keys"] == 1
+        assert store.format == "json"
+        assert not (tmp_path / "graphs.seg").exists()
+        assert store.path_for(
+            payload["log_fp"], payload["opts_fp"]
+        ).read_bytes() == packed_bytes["graphs.seg"]
+        assert GraphStore(tmp_path).format == "json"  # auto-detect agrees
+
+        summary = store.migrate("packed")
+        assert summary["format"] == "packed" and summary["migrated_keys"] == 1
+        assert store.format == "packed"
+        assert not store.entries()
+        for name, expected in packed_bytes.items():
+            assert SegmentReader(store.root / name).get(key) == expected
+        # and the migrated store still loads through the public API
+        graph, _ = store.load(payload["log_fp"], payload["opts_fp"])
+        assert graph.summary() == payload["graph"].summary()
+
+    def test_migrate_to_current_format_is_a_noop(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        summary = store.migrate("packed")
+        assert summary["migrated_keys"] == 0
+        assert store.load(payload["log_fp"], payload["opts_fp"]) is not None
+
+    def test_migrate_rejects_unknown_target(self, tmp_path):
+        with pytest.raises(ValueError):
+            GraphStore(tmp_path).migrate("sqlite")
+
+    def test_packed_to_json_drops_orphans(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path, format="packed")
+        _save_all(store, payload)
+        # fabricate an orphan: a widgets record whose graph key is gone
+        store._segment("widget_sets").append_records(
+            [("0" * 16 + "-" + "1" * 16, b'{"version": 1}\n', None)]
+        )
+        summary = store.migrate("json")
+        assert summary["orphans_dropped"] == 1
+        assert len(store.widget_entries()) == 1  # only the real key
+
+    def test_json_to_packed_drops_orphans(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path, format="json")
+        _save_all(store, payload)
+        orphan = store.root / ("2" * 16 + "-" + "3" * 16 + ".widgets.json")
+        orphan.write_text('{"version": 1}\n')
+        summary = store.migrate("packed")
+        assert summary["orphans_dropped"] == 1
+        assert not orphan.exists()
+        widgets = SegmentReader(store.root / "widgets.seg")
+        assert widgets.keys() == [
+            store.key(payload["log_fp"], payload["opts_fp"])
+        ]
+
+    def test_many_keys_round_trip(self, tmp_path):
+        store = GraphStore(tmp_path, format="json")
+        fps = []
+        for i in range(6):
+            statements = [
+                f"SELECT a FROM t{i} WHERE x = {v}" for v in (1, 2, 5)
+            ]
+            payload = _mined(statements)
+            _save_all(store, payload)
+            fps.append((payload["log_fp"], payload["opts_fp"]))
+        assert store.migrate("packed")["migrated_keys"] == 6
+        assert len(store.keys()) == 6
+        for log_fp, opts_fp in fps:
+            assert store.load(log_fp, opts_fp) is not None
+        assert store.migrate("json")["migrated_keys"] == 6
+        assert len(store.entries()) == 6
+
+
+class TestPackedStats:
+    def test_per_table_accounting(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        stats = store.stats()
+        assert stats["format"] == "packed"
+        assert stats["n_keys"] == 1
+        assert stats["n_graphs"] == 1
+        assert stats["n_widget_sets"] == 1
+        assert stats["n_proof_sets"] == 1
+        assert stats["n_diff_memos"] == 1
+        assert sum(stats["bytes_by_table"].values()) == stats["total_bytes"]
+        for table in ("graphs", "widget_sets", "proof_sets", "diff_memos"):
+            entry = stats["tables"][table]
+            assert entry["n_live"] == 1
+            assert entry["n_tombstoned"] == 0
+            assert 0 < entry["live_bytes"] <= entry["file_bytes"]
+            assert entry["file_bytes"] == stats["bytes_by_table"][table]
+
+    def test_tombstones_and_debt_reported(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        store._segment("graphs").append_tombstones(
+            [store.key(payload["log_fp"], payload["opts_fp"])]
+        )
+        entry = store.stats()["tables"]["graphs"]
+        assert entry["n_live"] == 0
+        assert entry["n_tombstoned"] == 1
+        assert entry["compaction_debt_bytes"] > 0
+
+
+class TestCompactApi:
+    def test_compact_reclaims_debt_and_keeps_data(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        store._segment("graphs").append_tombstones(
+            [store.key(payload["log_fp"], payload["opts_fp"])]
+        )
+        before = store.stats()["tables"]["graphs"]
+        assert before["compaction_debt_bytes"] > 0
+        assert store.compact() is True
+        after = store.stats()["tables"]["graphs"]
+        assert after["compaction_debt_bytes"] == 0
+        assert after["file_bytes"] < before["file_bytes"]
+        # untouched tables kept their records through the rewrite
+        assert store.stats()["n_widget_sets"] == 1
+
+    def test_compact_on_clean_store_is_noop(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        store.compact()  # first call may rewrite once
+        assert store.compact() is False
+
+    def test_compact_on_json_store_is_noop(self, tmp_path):
+        store = GraphStore(tmp_path, format="json")
+        assert store.compact() is False
+
+
+class TestPackedEviction:
+    def _fill(self, store, n):
+        fps = []
+        for i in range(n):
+            payload = _mined(
+                [f"SELECT a FROM t{i} WHERE x = {v}" for v in (1, 2)]
+            )
+            store.save(payload["log_fp"], payload["opts_fp"],
+                       payload["graph"])
+            fps.append((payload["log_fp"], payload["opts_fp"]))
+            time.sleep(0.01)  # strictly increasing record timestamps
+        return fps
+
+    def test_max_entries_evicts_lru(self, tmp_path):
+        store = GraphStore(tmp_path)
+        fps = self._fill(store, 3)
+        # touch the oldest key by loading it, then persist the recency
+        assert store.load(*fps[0]) is not None
+        store.flush_recency()
+        assert store.prune(max_entries=2) == 1
+        assert store.load(*fps[0]) is not None  # recently used: survived
+        assert store.load(*fps[1]) is None  # LRU: evicted
+        assert store.load(*fps[2]) is not None
+
+    def test_eviction_takes_derived_tables_along(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        assert store.prune(max_entries=0) == 1
+        stats = store.stats()
+        assert stats["n_keys"] == 0
+        assert stats["n_widget_sets"] == 0
+        assert stats["n_proof_sets"] == 0
+        assert stats["n_diff_memos"] == 0
+        assert store.load(payload["log_fp"], payload["opts_fp"]) is None
+
+    def test_max_bytes_reclaims_space_on_disk(self, tmp_path):
+        store = GraphStore(tmp_path)
+        self._fill(store, 4)
+        # densest layout first, so the halved cap can only be met by
+        # genuinely evicting keys, not by reclaiming garbage
+        store.compact()
+        total = store.stats()["total_bytes"]
+        removed = store.prune(max_bytes=total // 2)
+        assert removed >= 1
+        # eviction compacts: the cap holds for *file* bytes, not an
+        # estimate — prune no longer leaves dead records behind
+        assert store.stats()["total_bytes"] <= total // 2
+
+    def test_save_enforces_caps_inline(self, tmp_path):
+        store = GraphStore(tmp_path, max_entries=2)
+        self._fill(store, 4)
+        assert len(store.keys()) <= 2
+
+    def test_invalidate_by_fingerprint(self, tmp_path):
+        store = GraphStore(tmp_path)
+        fps = self._fill(store, 2)
+        assert store.invalidate(log_fingerprint=fps[0][0]) == 1
+        assert store.load(*fps[0]) is None
+        assert store.load(*fps[1]) is not None
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_invalidate_table_drops_one_derived_table(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        assert store.invalidate_table("widget_sets") == 1
+        stats = store.stats()
+        assert stats["n_widget_sets"] == 0
+        assert stats["n_graphs"] == 1
+        assert stats["n_diff_memos"] == 1
+        with pytest.raises(ValueError):
+            store.invalidate_table("graphs")
+
+
+class TestPackedCorruption:
+    def test_torn_segment_tail_never_crashes_the_store(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        with open(tmp_path / "graphs.seg", "ab") as handle:
+            handle.write(b"\x02torn-half-frame")
+        fresh = GraphStore(tmp_path)
+        assert fresh.load(payload["log_fp"], payload["opts_fp"]) is not None
+        assert fresh.stats()["n_graphs"] == 1
+        assert fresh.prune(max_entries=1) == 0
+
+    def test_stomped_segment_is_a_miss_not_a_crash(self, tmp_path):
+        payload = _mined()
+        store = GraphStore(tmp_path)
+        _save_all(store, payload)
+        (tmp_path / "graphs.seg").write_bytes(b"\xde\xad\xbe\xef" * 100)
+        fresh = GraphStore(tmp_path)
+        assert fresh.load(payload["log_fp"], payload["opts_fp"]) is None
+        assert fresh.stats()["n_graphs"] == 0
+        # a new save rotates the stomped file aside and starts clean
+        fresh.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+        assert fresh.load(payload["log_fp"], payload["opts_fp"]) is not None
+
+    def test_pipeline_survives_corrupt_cache(self, tmp_path):
+        options = PipelineOptions(cache_dir=str(tmp_path))
+        cold = generate(SQL, options=options)
+        (tmp_path / "graphs.seg").write_bytes(b"junk")
+        warm = generate(SQL, options=options)  # re-mines, doesn't crash
+        assert warm.interface.widget_summary() == cold.interface.widget_summary()

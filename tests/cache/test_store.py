@@ -79,7 +79,7 @@ class TestGraphStore:
         assert loaded_stats.n_pairs_compared == stats.n_pairs_compared
 
     def test_corrupt_entry_is_a_miss(self, asts, tmp_path):
-        store = GraphStore(tmp_path)
+        store = GraphStore(tmp_path, format="json")
         log_fp = log_fingerprint(asts)
         opts_fp = options_fingerprint(PipelineOptions())
         store.save(log_fp, opts_fp, build_interaction_graph(asts, window=2))

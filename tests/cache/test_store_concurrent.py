@@ -6,7 +6,9 @@ Marked ``stress``: excluded from the default (tier-1) run by the
 
 Several worker processes hammer one store directory with a tight
 ``max_bytes`` cap, so LRU eviction runs constantly while other workers
-are saving and loading the very same keys.  The invariants:
+are saving and loading the very same keys.  Both on-disk layouts run
+the same matrix (``store_format`` fixture): packed segment files and
+one-JSON-file-per-record.  The invariants:
 
 * no corrupt entries — every file still present at the end decodes, and
   every mid-run load either hits (a valid graph) or misses (``None``),
@@ -91,11 +93,13 @@ def _payloads():
     return payloads
 
 
-def _hammer(root: str, seed: int, failures: "mp.Queue") -> None:
+def _hammer(
+    root: str, seed: int, failures: "mp.Queue", fmt: str = "auto"
+) -> None:
     """One worker: N_OPS random interleaved store operations."""
     rng = random.Random(seed)
     try:
-        store = GraphStore(root, max_bytes=MAX_BYTES)
+        store = GraphStore(root, max_bytes=MAX_BYTES, format=fmt)
         payloads = _payloads()
         options = PipelineOptions()
         for _ in range(N_OPS):
@@ -163,54 +167,40 @@ def _assert_stats_consistent(stats: dict) -> None:
     assert stats["n_keys"] >= 0
     assert stats["n_files"] >= 0
     assert stats["total_bytes"] >= 0
-    assert (
-        stats["n_files"]
-        == stats["n_graphs"]
-        + stats["n_widget_sets"]
-        + stats["n_proof_sets"]
-        + stats["n_diff_memos"]
-    )
     assert sum(stats["bytes_by_table"].values()) == stats["total_bytes"]
-    assert stats["n_keys"] <= stats["n_files"]
+    if stats["format"] == "json":
+        assert (
+            stats["n_files"]
+            == stats["n_graphs"]
+            + stats["n_widget_sets"]
+            + stats["n_proof_sets"]
+            + stats["n_diff_memos"]
+        )
+        assert stats["n_keys"] <= stats["n_files"]
+    else:
+        # one file per table: per-table accounting must be coherent
+        assert stats["n_files"] <= 4
+        for table, entry in stats["tables"].items():
+            assert entry["n_live"] >= 0, table
+            assert entry["n_tombstoned"] >= 0, table
+            assert entry["live_bytes"] >= 0, table
+            assert entry["compaction_debt_bytes"] >= 0, table
+            assert entry["file_bytes"] == stats["bytes_by_table"][table]
+            assert (
+                entry["live_bytes"] + entry["compaction_debt_bytes"]
+                <= entry["file_bytes"] or entry["file_bytes"] == 0
+            ), table
     if stats["n_files"] == 0:
         assert stats["total_bytes"] == 0
 
 
-def test_concurrent_save_load_prune_leaves_a_coherent_store(tmp_path):
-    root = tmp_path / "store"
-    ctx = mp.get_context("fork")
-    failures: mp.Queue = ctx.Queue()
-    processes = [
-        ctx.Process(target=_hammer, args=(str(root), seed, failures))
-        for seed in range(N_PROCESSES)
-    ]
-    for process in processes:
-        process.start()
-
-    # concurrent observer: every stats() snapshot must be coherent while
-    # the workers are mid-flight
-    observer = GraphStore(root)
-    while any(p.is_alive() for p in processes):
-        _assert_stats_consistent(observer.stats())
-    for process in processes:
-        process.join(timeout=120)
-        assert process.exitcode == 0
-
-    reported = []
-    while not failures.empty():
-        reported.append(failures.get())
-    assert not reported, reported
-
-    store = GraphStore(root)
-    options = PipelineOptions()
-
-    # 1. no corrupt entries: everything still on disk decodes
+def _assert_no_orphans_json(store: GraphStore, options: PipelineOptions) -> None:
+    """Every surviving file decodes, and derived files sit next to their
+    graph entry."""
     for path in store.entries():
         graph, _stats, _extra = load_graph(path)  # raises on corruption
         assert graph.queries
     graph_keys = {p.name[: -len(".graph.jsonl")] for p in store.entries()}
-
-    # 2. no orphaned derived files, and each decodes against its graph
     for path in store.widget_entries():
         key = path.name[: -len(".widgets.json")]
         assert key in graph_keys, f"orphaned widget set {path.name}"
@@ -225,6 +215,77 @@ def test_concurrent_save_load_prune_leaves_a_coherent_store(tmp_path):
         assert key in graph_keys, f"orphaned diff memo {path.name}"
         assert load_diff_memo(path)
 
+
+def _assert_no_orphans_packed(store: GraphStore, options: PipelineOptions) -> None:
+    """Every live record in every segment decodes, and derived keys are a
+    subset of the graph keys."""
+    from repro.cache.blockstore import SegmentReader
+    from repro.cache.serialize import graph_from_jsonl_bytes
+
+    graphs = SegmentReader(store.root / "graphs.seg")
+    graph_keys = set(graphs.keys())
+    decoded = {}
+    for key in graph_keys:
+        payload = graphs.get(key)
+        assert payload is not None, f"live graph record {key} unreadable"
+        graph, _stats, _extra = graph_from_jsonl_bytes(payload)
+        assert graph.queries
+        decoded[key] = graph
+    for name, check in (
+        ("widgets.seg", "widgets"),
+        ("proofs.seg", "proofs"),
+        ("diffmemos.seg", "memo"),
+    ):
+        reader = SegmentReader(store.root / name)
+        for key in reader.keys():
+            assert key in graph_keys, f"orphaned {check} record {key}"
+            assert reader.get(key) is not None, f"{name}[{key}] unreadable"
+
+
+@pytest.fixture(params=["packed", "json"])
+def store_format(request):
+    return request.param
+
+
+def test_concurrent_save_load_prune_leaves_a_coherent_store(
+    tmp_path, store_format
+):
+    root = tmp_path / "store"
+    ctx = mp.get_context("fork")
+    failures: mp.Queue = ctx.Queue()
+    processes = [
+        ctx.Process(
+            target=_hammer, args=(str(root), seed, failures, store_format)
+        )
+        for seed in range(N_PROCESSES)
+    ]
+    for process in processes:
+        process.start()
+
+    # concurrent observer: every stats() snapshot must be coherent while
+    # the workers are mid-flight
+    observer = GraphStore(root, format=store_format)
+    while any(p.is_alive() for p in processes):
+        _assert_stats_consistent(observer.stats())
+    for process in processes:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+
+    reported = []
+    while not failures.empty():
+        reported.append(failures.get())
+    assert not reported, reported
+
+    store = GraphStore(root)
+    assert store.format == store_format  # layout auto-detects
+    options = PipelineOptions()
+
+    # 1 + 2. no corrupt entries, no orphaned derived records
+    if store_format == "json":
+        _assert_no_orphans_json(store, options)
+    else:
+        _assert_no_orphans_packed(store, options)
+
     # 3. final occupancy is coherent, and one more prune enforces the cap
     final = store.stats()
     _assert_stats_consistent(final)
@@ -232,11 +293,11 @@ def test_concurrent_save_load_prune_leaves_a_coherent_store(tmp_path):
     assert store.stats()["total_bytes"] <= MAX_BYTES
 
 
-def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path):
+def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path, store_format):
     """All processes prune aggressively while two keep saving: the lock
     serialises the scans, so caps hold and keys evict atomically."""
     root = tmp_path / "store"
-    store = GraphStore(root)
+    store = GraphStore(root, format=store_format)
     payloads = _payloads()
     for payload in payloads:
         store.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
@@ -250,7 +311,7 @@ def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path):
 
     def prune_hard(seed: int, failures: "mp.Queue") -> None:
         try:
-            local = GraphStore(str(root))
+            local = GraphStore(str(root), format=store_format)
             rng = random.Random(seed)
             for _ in range(30):
                 local.prune(max_entries=rng.choice([1, 2, 3]))
@@ -263,7 +324,9 @@ def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path):
         ctx.Process(target=prune_hard, args=(seed, failures)) for seed in range(3)
     ]
     savers = [
-        ctx.Process(target=_hammer, args=(str(root), 100 + seed, failures))
+        ctx.Process(
+            target=_hammer, args=(str(root), 100 + seed, failures, store_format)
+        )
         for seed in range(2)
     ]
     for process in pruners + savers:
@@ -276,12 +339,9 @@ def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path):
         reported.append(failures.get())
     assert not reported, reported
 
-    graph_keys = {p.name[: -len(".graph.jsonl")] for p in store.entries()}
-    for path in store.widget_entries():
-        assert path.name[: -len(".widgets.json")] in graph_keys
-    for path in store.proof_entries():
-        assert path.name[: -len(".proofs.json")] in graph_keys
-    for path in store.diffmemo_entries():
-        assert path.name[: -len(".diffmemo.json")] in graph_keys
+    if store_format == "json":
+        _assert_no_orphans_json(store, PipelineOptions())
+    else:
+        _assert_no_orphans_packed(store, PipelineOptions())
     assert store.prune(max_entries=1) >= 0
     assert store.stats()["n_keys"] <= 1

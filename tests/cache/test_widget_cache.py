@@ -1,8 +1,6 @@
 """Widget-set cache: serialisation round-trips, the store's second table,
 full-hit pipeline wiring, invalidation, and LRU eviction."""
 
-import json
-
 import pytest
 
 from repro.api import generate
@@ -105,7 +103,7 @@ class TestStoreWidgetTable:
 
     def test_corrupt_widget_entry_is_a_miss(self, mined, tmp_path):
         asts, graph, options, widgets = mined
-        store = GraphStore(tmp_path)
+        store = GraphStore(tmp_path, format="json")
         log_fp = log_fingerprint(asts)
         opts_fp = options_fingerprint(options)
         store.save_widget_set(log_fp, opts_fp, widgets, graph)
@@ -119,7 +117,7 @@ class TestStoreWidgetTable:
 
     def test_invalidate_removes_both_tables(self, mined, tmp_path):
         asts, graph, options, widgets = mined
-        store = GraphStore(tmp_path)
+        store = GraphStore(tmp_path, format="json")
         log_fp = log_fingerprint(asts)
         opts_fp = options_fingerprint(options)
         store.save(log_fp, opts_fp, graph)
@@ -152,9 +150,8 @@ class TestFullHitPipeline:
         options = PipelineOptions(cache_dir=str(tmp_path))
         cold = generate(SQL, options=options)
         store = GraphStore(tmp_path)
-        # drop only the widget entries, keep the graphs
-        for path in store.widget_entries():
-            path.unlink()
+        # drop only the widget-set table, keep the graphs
+        store.invalidate_table("widget_sets")
         half_warm = generate(SQL, options=options)
         assert half_warm.run.stage("cache").stats["widgets_hit"] is False
         assert half_warm.run.stage("mine").stats["skipped"] is True
@@ -171,9 +168,8 @@ class TestFullHitPipeline:
     def test_corrupt_widget_file_degrades_to_graph_hit(self, tmp_path):
         options = PipelineOptions(cache_dir=str(tmp_path))
         cold = generate(SQL, options=options)
-        store = GraphStore(tmp_path)
-        for path in store.widget_entries():
-            path.write_text(json.dumps({"version": 1, "widgets": "nope"}))
+        # stomp the whole widget-set segment with garbage
+        (tmp_path / "widgets.seg").write_bytes(b"\x00garbage" * 64)
         warm = generate(SQL, options=options)
         assert warm.run.stage("cache").stats["widgets_hit"] is False
         assert warm.interface.widget_summary() == cold.interface.widget_summary()
@@ -197,7 +193,7 @@ class TestEviction:
         import os
         import time
 
-        store = GraphStore(tmp_path, max_entries=3)
+        store = GraphStore(tmp_path, max_entries=3, format="json")
         self._fill(store, 3)
         entries = store.entries()
         assert len(entries) == 3
@@ -216,6 +212,9 @@ class TestEviction:
     def test_max_bytes_evicts_until_under_cap(self, tmp_path):
         store = GraphStore(tmp_path)
         self._fill(store, 4)
+        # densest layout first: otherwise compaction alone can satisfy
+        # the halved cap and nothing needs evicting
+        store.compact()
         total = store.stats()["total_bytes"]
         capped = GraphStore(tmp_path, max_bytes=total // 2)
         removed = capped.prune()
@@ -226,7 +225,7 @@ class TestEviction:
         import os
         import time
 
-        store = GraphStore(tmp_path)
+        store = GraphStore(tmp_path, format="json")
         self._fill(store, 2)
         first, second = store.entries()
         past = time.time() - 1000
