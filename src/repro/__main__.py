@@ -12,7 +12,18 @@ Subcommands:
   ``--pool-size`` worker processes behind bounded ``--queue-depth``
   queues, and the drained per-client interfaces are reported.  With
   ``--cache-dir`` the workers share one graph store and publish their
-  graphs, widget sets, and closure proofs on drain.
+  graphs, widget sets, and closure proofs on drain; add
+  ``--daemon-socket`` to route that store through a running daemon.
+  ``--follow`` streams each append's outcome live as workers finish it
+  (JSONL events under ``--json``) instead of reporting only at drain.
+  ``Ctrl-C`` mid-replay drains what completed, reports partial stats,
+  and exits 130.
+* ``daemon``  — run the long-lived store daemon
+  (:class:`~repro.service.daemon.StoreDaemon`): one process owns the
+  cache directory's segment files and serves them over a unix-domain
+  socket; ``serve``/``mine`` attach with ``--daemon-socket``, and
+  ``cache stats --remote`` reads its per-client meters.  Stop with
+  ``Ctrl-C`` (clean exit 0).
 * ``cache``   — manage a persistent cache directory: ``cache stats``
   reports occupancy (per-segment live/tombstoned counts and compaction
   debt for the packed layout), ``cache prune`` evicts
@@ -40,8 +51,12 @@ Example::
     python -m repro mine mylog.sql --json --cache-dir .repro-cache
     python -m repro mine clientA.sql clientB.sql clientC.sql --workers 2
     python -m repro serve multiclient.jsonl --pool-size 4 --queue-depth 8
+    python -m repro daemon --cache-dir .repro-cache --socket /tmp/repro.sock
+    python -m repro serve multiclient.jsonl --follow \
+        --cache-dir .repro-cache --daemon-socket /tmp/repro.sock
     python -m repro check mylog.sql "SELECT * FROM t WHERE x = 5"
     python -m repro cache stats --cache-dir .repro-cache --json
+    python -m repro cache stats --cache-dir .repro-cache --remote /tmp/repro.sock
     python -m repro cache prune --cache-dir .repro-cache --max-entries 100
     python -m repro cache migrate --cache-dir .repro-cache --to json
 """
@@ -49,6 +64,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 from pathlib import Path
@@ -65,6 +81,7 @@ def _options(args: argparse.Namespace) -> PipelineOptions:
         lca_pruning=not args.no_pruning,
         merge=not args.no_merge,
         cache_dir=args.cache_dir,
+        daemon_socket=getattr(args, "daemon_socket", None),
     )
 
 
@@ -80,6 +97,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir",
                         help="persist mined interaction graphs in this "
                              "directory and reuse them on repeat runs")
+    parser.add_argument("--daemon-socket",
+                        help="route the cache store through the daemon "
+                             "on this unix socket (requires --cache-dir; "
+                             "falls back to direct access when no daemon "
+                             "answers)")
 
 
 def _html_target(
@@ -181,6 +203,33 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if verdict else 1
 
 
+def _print_follow_event(ack: "AppendAck", json_mode: bool) -> None:
+    """One live line per processed append (``serve --follow``)."""
+    if json_mode:
+        print(
+            json.dumps(
+                {
+                    "event": "result",
+                    "client": ack.client_id,
+                    "seq": ack.seq,
+                    "ok": ack.ok,
+                    "n_queries": ack.n_queries,
+                    "n_widgets": ack.n_widgets,
+                    "error": ack.error,
+                }
+            ),
+            flush=True,
+        )
+    elif ack.ok:
+        print(
+            f"[{ack.client_id}] batch #{ack.seq}: {ack.n_queries} queries "
+            f"-> {ack.n_widgets} widget(s) in {ack.seconds * 1000:.0f} ms",
+            flush=True,
+        )
+    else:
+        print(f"[{ack.client_id}] batch #{ack.seq} FAILED: {ack.error}", flush=True)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import SessionPool
 
@@ -203,14 +252,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 pending[client] = rest
             else:
                 del pending[client]
+    interrupted = False
+    results: dict[str, Any] = {}
     with SessionPool(
         options=_options(args),
         pool_size=args.pool_size,
         queue_depth=args.queue_depth,
     ) as pool:
-        for client, batch in arrivals:
-            pool.submit(client, batch)
-        results = pool.drain()
+        try:
+            if args.follow:
+                results = asyncio.run(
+                    pool.serve(
+                        iter(arrivals),
+                        on_result=lambda ack: _print_follow_event(ack, args.json),
+                    )
+                )
+            else:
+                for client, batch in arrivals:
+                    pool.submit(client, batch)
+                results = pool.drain()
+        except KeyboardInterrupt:
+            # mid-replay Ctrl-C: collect what the workers completed, report
+            # partial stats, and exit with the conventional 130 — never
+            # die silently with results sitting in the outbox
+            interrupted = True
+            try:
+                results = pool.drain(strict=False)
+            except (KeyboardInterrupt, ReproError):
+                results = {}  # second Ctrl-C or dead worker: report stats only
         stats = pool.stats()
     payload = {
         "pool": {
@@ -228,16 +297,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             for client, result in sorted(results.items())
         },
     }
+    if interrupted:
+        payload["interrupted"] = True
     if args.json:
-        print(json.dumps(payload, indent=2))
+        if args.follow:
+            # --follow --json is a JSONL stream: one final summary event
+            # after the per-result events
+            print(json.dumps({"event": "drained", **payload}), flush=True)
+        else:
+            print(json.dumps(payload, indent=2))
     else:
+        served = "partially served" if interrupted else "served"
         print(
-            f"served {stats.n_submitted} batch(es) from "
+            f"{served} {stats.n_submitted} batch(es) from "
             f"{stats.n_clients} client(s) across {stats.pool_size} worker(s)"
         )
         for client, result in sorted(results.items()):
             print(f"# {client}: {result.provenance['n_queries']} queries")
             print(result.interface.describe())
+        if interrupted:
+            print("interrupted: results above cover completed batches only")
+    return 130 if interrupted else 0
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.daemon import StoreDaemon
+
+    daemon = StoreDaemon(
+        args.cache_dir,
+        args.socket,
+        max_bytes=args.max_bytes,
+        max_entries=args.max_entries,
+        quota_requests=args.quota_requests,
+        quota_bytes=args.quota_bytes,
+    )
+    print(
+        f"store daemon (pid {os.getpid()}) serving {args.cache_dir} "
+        f"on {args.socket}",
+        flush=True,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        pass  # Ctrl-C is the normal way to stop a foreground daemon
+    finally:
+        daemon.stop()
     return 0
 
 
@@ -248,7 +354,14 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     # error out, not report a plausible empty store (and leave litter)
     if not Path(args.cache_dir).is_dir():
         raise ReproError(f"cache directory {args.cache_dir} does not exist")
-    store = GraphStore(args.cache_dir)
+    remote = getattr(args, "remote", None)
+    store = GraphStore(args.cache_dir, remote=remote)
+    if remote is not None and store.remote is None:
+        print(
+            f"warning: no daemon answered on {remote}; "
+            "reporting the local store directly",
+            file=sys.stderr,
+        )
     if args.cache_command == "stats":
         payload = store.stats()
         if args.json:
@@ -274,6 +387,18 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                     )
                 else:
                     print(f"  {table}: {n_bytes} bytes")
+            daemon = payload.get("daemon")
+            if daemon:
+                print(
+                    f"daemon pid {daemon['pid']} on {daemon['socket']}, "
+                    f"up {daemon['uptime_seconds']:.0f}s"
+                )
+                for client, meter in daemon["clients"].items():
+                    print(
+                        f"  client {client}: {meter['requests']} request(s), "
+                        f"{meter['bytes_in']} B in / {meter['bytes_out']} B out, "
+                        f"{meter['refused']} refused"
+                    )
         return 0
     if args.cache_command == "migrate":
         try:
@@ -374,7 +499,31 @@ def main(argv: list[str] | None = None) -> int:
                             "submits block when a shard is full (default 8)")
     serve.add_argument("--batch-size", type=int, default=8,
                        help="statements per submitted batch (default 8)")
+    serve.add_argument("--follow", action="store_true",
+                       help="stream each append's outcome live as workers "
+                            "finish it (JSONL events with --json) instead "
+                            "of reporting only at drain")
     serve.set_defaults(fn=_cmd_serve)
+
+    daemon = commands.add_parser(
+        "daemon",
+        help="run the long-lived store daemon owning a cache directory",
+    )
+    daemon.add_argument("--cache-dir", required=True,
+                        help="the GraphStore directory the daemon owns "
+                             "(created if missing)")
+    daemon.add_argument("--socket", required=True,
+                        help="unix-domain socket path to listen on "
+                             "(keep it short; ~100 byte OS limit)")
+    daemon.add_argument("--max-bytes", type=int,
+                        help="fleet-wide LRU cap on total store bytes")
+    daemon.add_argument("--max-entries", type=int,
+                        help="fleet-wide LRU cap on cached keys")
+    daemon.add_argument("--quota-requests", type=int,
+                        help="per-client cap on total requests")
+    daemon.add_argument("--quota-bytes", type=int,
+                        help="per-client cap on total transferred bytes")
+    daemon.set_defaults(fn=_cmd_daemon)
 
     recall = commands.add_parser("recall", help="train/holdout recall")
     recall.add_argument("log", help="query log file, one statement per line")
@@ -402,6 +551,11 @@ def main(argv: list[str] | None = None) -> int:
                          help="the GraphStore directory to manage")
         sub.add_argument("--json", action="store_true",
                          help="dump the result as JSON")
+        if sub_name == "stats":
+            sub.add_argument("--remote",
+                             help="read through the store daemon on this "
+                                  "unix socket (adds its per-client "
+                                  "request/byte meters to the report)")
         if sub_name == "prune":
             sub.add_argument("--max-bytes", type=int,
                              help="keep at most this many bytes of entries")

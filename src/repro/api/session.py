@@ -141,7 +141,9 @@ class InterfaceSession:
         self._proofs_probed: str | None = None
         self._proofs_adopted = 0
         self._store = (
-            GraphStore(self.options.cache_dir)
+            GraphStore(
+                self.options.cache_dir, remote=self.options.daemon_socket
+            )
             if self.options.cache_dir is not None
             else None
         )

@@ -241,7 +241,9 @@ class CacheStage(Stage):
             return state
         if not state.queries:
             raise LogError("cache lookup needs a parsed query log")
-        store = GraphStore(state.options.cache_dir)
+        store = GraphStore(
+            state.options.cache_dir, remote=state.options.daemon_socket
+        )
         try:
             log_fp = log_fingerprint(state.queries)
             opts_fp = options_fingerprint(state.options)

@@ -97,8 +97,9 @@ def options_fingerprint(options: PipelineOptions) -> str:
     Covers the mining knobs (window, LCA pruning), the mapping knobs
     (merge, coverage), the widget library (name, cost coefficients, flags,
     and the rule function's qualified name), and the grammar annotations.
-    ``cache_dir`` itself is deliberately excluded — where a graph is cached
-    must not change whether it is found.
+    ``cache_dir`` and ``daemon_socket`` are deliberately excluded — where
+    a graph is cached, and whether it travels through a store daemon, must
+    not change whether it is found.
     """
     library_signature = [
         {

@@ -64,6 +64,16 @@ replaces them atomically, *loads* stay deliberately lock-free — a reader
 racing an eviction simply misses.  In JSON mode single-file saves are
 atomic (write-then-rename) and only multi-file operations take the lock,
 exactly as before.
+
+Remote mode: constructed with ``remote=<socket path>``, the store
+becomes a thin client of a :class:`~repro.service.daemon.StoreDaemon` —
+the same public API, but every byte operation (record get/put, prune,
+stats) travels over a unix-domain socket to the one process that owns
+the segment files.  Encoding/decoding stays in this process; the daemon
+only moves bytes.  When no daemon answers (never started, crashed), the
+store *fails open* to direct in-process access — behaviourally the
+pre-daemon store — and keeps working; see
+:mod:`repro.cache.client` for the transport and failure semantics.
 """
 
 from __future__ import annotations
@@ -74,6 +84,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 from uuid import uuid4
 
 from repro.cache.blockstore import DEFAULT_LEVEL, Segment
+from repro.cache.client import DaemonUnavailable, QuotaExceeded, StoreClient
 from repro.cache.lock import StoreLock
 from repro.cache.serialize import (
     diff_memo_from_json_bytes,
@@ -154,6 +165,11 @@ _DERIVED_TABLES = ("widget_sets", "proof_sets", "diff_memos")
 #: a batch are only removed after its records are committed).
 _MIGRATE_BATCH = 256
 
+#: Sentinel returned by ``GraphStore._via_remote`` when the daemon
+#: vanished mid-operation and the store fell open to direct access — the
+#: caller then re-runs the operation against the local layout.
+_FELL_BACK = object()
+
 
 class GraphStore:
     """Load/save/invalidate cached graphs and widget sets under one
@@ -167,6 +183,12 @@ class GraphStore:
         format: ``"auto"`` (open whatever the directory holds, packed for
             a fresh one), ``"packed"``, or ``"json"``.
         zlib_level: compression level for packed segments (0-9).
+        remote: unix-domain socket of a running
+            :class:`~repro.service.daemon.StoreDaemon`; when set, all
+            store operations go through the daemon (``format`` and the
+            caps then describe the *fallback* store).  When no daemon
+            answers — at construction or later — the store fails open to
+            direct access on ``root``.
     """
 
     def __init__(
@@ -176,6 +198,7 @@ class GraphStore:
         max_entries: int | None = None,
         format: str = "auto",
         zlib_level: int = DEFAULT_LEVEL,
+        remote: str | None = None,
     ) -> None:
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -193,15 +216,58 @@ class GraphStore:
         self.zlib_level = zlib_level
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = StoreLock(self.root)
-        self._format = self._resolve_format(format)
+        self._requested_format = format
         self._segments: dict[str, Segment] = {}
         #: loads record recency here; the next locked write appends the
         #: batch as TOUCH markers (see flush_recency)
         self._pending_touches: dict[str, set[str]] = {
             table: set() for table in _TABLE_ORDER
         }
+        self._remote: StoreClient | None = None
+        if remote is not None:
+            client = StoreClient(remote)
+            try:
+                client.ping()
+                self._remote = client
+            except DaemonUnavailable:
+                # fail open at construction: no daemon is a degraded
+                # deployment, not an error
+                client.close()
+        if self._remote is not None:
+            self._format = "remote"
+        else:
+            self._attach_local()
+
+    def _attach_local(self) -> None:
+        """Resolve the on-disk format and open it for direct access (the
+        daemon-less constructor path, and the fail-open path)."""
+        self._format = self._resolve_format(self._requested_format)
         if self._format == "packed":
             self._init_segments()
+        self._heal_mixed_state()
+
+    def _fail_open(self) -> None:
+        """Drop an unreachable daemon and continue with direct access.
+
+        One-way: once a store fell open it stays local for its lifetime
+        (flip-flopping between a recovering daemon and direct access
+        would interleave two writers' lock domains).  Constructing a new
+        ``GraphStore(remote=...)`` re-attaches.
+        """
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
+        self._attach_local()
+
+    def _via_remote(self, fn: Any, *args: Any) -> Any:
+        """Run one remote operation; on transport failure fall open and
+        return the :data:`_FELL_BACK` sentinel so the caller re-runs the
+        operation against the local store."""
+        try:
+            return fn(*args)
+        except DaemonUnavailable:
+            self._fail_open()
+            return _FELL_BACK
 
     def _resolve_format(self, requested: str) -> str:
         if requested != "auto":
@@ -226,10 +292,48 @@ class GraphStore:
             for table in _TABLE_ORDER
         }
 
+    def _heal_mixed_state(self) -> None:
+        """Finish an interrupted layout migration.
+
+        A ``cache migrate`` killed between batches leaves *both* segment
+        files and legacy per-key JSON files in the directory.  Opening
+        such a store used to silently serve only one side — ``auto``
+        resolves to packed, so the not-yet-migrated JSON keys became
+        invisible misses, and an explicitly-``json`` open would write new
+        entries that a later ``auto`` open (which prefers segments)
+        would never see.  Now the mixed state is detected at open and
+        the migration is *resumed* toward the resolved format, so the
+        store always presents every key in exactly one layout.  Both
+        directions are lossless: the torn run's already-converted keys
+        and still-pending keys are disjoint (a batch's source files are
+        only removed after its records commit), and payloads are
+        byte-identical across layouts.
+        """
+        if self._format == "packed":
+            strays = next(self.root.glob("*" + _SUFFIX), None) is not None or any(
+                next(self.root.glob("*" + suffix), None) is not None
+                for suffix in _DERIVED_SUFFIXES
+            )
+            if strays:
+                self._migrate_to_packed()
+        elif self._format == "json":
+            if any(
+                (self.root / name).exists() for name in _SEGMENT_FILES.values()
+            ):
+                self._migrate_to_json()
+
     @property
     def format(self) -> str:
-        """The resolved on-disk format: ``"packed"`` or ``"json"``."""
+        """The resolved on-disk format — ``"packed"`` or ``"json"`` —
+        or ``"remote"`` while attached to a store daemon."""
         return self._format
+
+    @property
+    def remote(self) -> str | None:
+        """The daemon socket this store is attached to, or ``None`` when
+        operating directly on the local layout (including after a
+        fail-open)."""
+        return self._remote.socket_path if self._remote is not None else None
 
     # ------------------------------------------------------------------
     # keys
@@ -299,6 +403,10 @@ class GraphStore:
         automatically; long-running read-only consumers may call it so
         their hits count for cross-process LRU.
         """
+        if self._remote is not None:
+            # every load already went through the daemon, whose recency
+            # is exact — there is nothing batched locally to flush
+            return
         if self._format != "packed":
             return
         if any(self._pending_touches[table] for table in _TABLE_ORDER):
@@ -306,11 +414,193 @@ class GraphStore:
                 self._flush_touches_locked()
 
     # ------------------------------------------------------------------
+    # byte-level record surface
+    # ------------------------------------------------------------------
+    # The daemon serves these over its socket: records travel as raw
+    # payload bytes (identical across layouts), so the daemon never
+    # encodes or decodes a graph and its lock hold times stay tiny.
+
+    def record_get(self, table: str, key: str) -> bytes | None:
+        """Raw payload bytes of one record, or ``None`` on a miss.  A
+        hit counts as recency (TOUCH marker / mtime bump)."""
+        if table not in _TABLE_ORDER:
+            raise ValueError(f"unknown table {table!r}")
+        if self._remote is not None:
+            outcome = self._via_remote(self._remote_record_get, table, key)
+            if outcome is not _FELL_BACK:
+                return outcome  # type: ignore[no-any-return]
+        if self._format == "packed":
+            return self._load_record(table, key)
+        path = self.root / (key + _SUFFIX_BY_TABLE[table])
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        _touch(path)
+        return data
+
+    def record_has(self, table: str, key: str) -> bool:
+        """True when a live record exists for ``key`` in ``table``."""
+        if table not in _TABLE_ORDER:
+            raise ValueError(f"unknown table {table!r}")
+        if self._remote is not None:
+            outcome = self._via_remote(self._remote_record_has, table, key)
+            if outcome is not _FELL_BACK:
+                return bool(outcome)
+        if self._format == "packed":
+            return self._segment(table).reader().has(key)
+        return (self.root / (key + _SUFFIX_BY_TABLE[table])).exists()
+
+    def record_put(
+        self,
+        table: str,
+        key: str,
+        payload: bytes,
+        graph_payload: bytes | None = None,
+    ) -> bool:
+        """Store one record's raw payload bytes under ``key``.
+
+        Derived tables keep the no-orphan invariant: when the key has no
+        live graph record the save is refused (returns ``False``) unless
+        ``graph_payload`` is supplied, in which case the graph record is
+        written first under the same lock — the byte-level equivalent of
+        :meth:`save_widget_set`'s re-save-if-evicted guarantee.
+        """
+        if table not in _TABLE_ORDER:
+            raise ValueError(f"unknown table {table!r}")
+        if self._remote is not None:
+            outcome = self._via_remote(
+                self._remote_record_put, table, key, payload, graph_payload
+            )
+            if outcome is not _FELL_BACK:
+                return bool(outcome)
+        if self._format == "packed":
+            with self._lock.held():
+                if table != "graphs" and not self._segment("graphs").reader().has(
+                    key
+                ):
+                    if graph_payload is None:
+                        return False
+                    self._segment("graphs").append_records(
+                        [(key, graph_payload, None)]
+                    )
+                self._segment(table).append_records([(key, payload, None)])
+                self._flush_touches_locked()
+            self._enforce_caps()
+            return True
+        graph_path = self.root / (key + _SUFFIX)
+        with self._lock.held():
+            writes: list[tuple[FilePath, bytes]] = []
+            if table != "graphs" and not graph_path.exists():
+                if graph_payload is None:
+                    return False
+                writes.append((graph_path, graph_payload))
+            writes.append((self.root / (key + _SUFFIX_BY_TABLE[table]), payload))
+            for target, data in writes:
+                tmp = target.with_name(
+                    f"{target.name}.{os.getpid()}-{uuid4().hex[:8]}.tmp"
+                )
+                try:
+                    tmp.write_bytes(data)
+                    tmp.replace(target)
+                finally:
+                    tmp.unlink(missing_ok=True)
+        self._enforce_caps()
+        return True
+
+    # ------------------------------------------------------------------
+    # remote dispatch (thin byte shims over StoreClient)
+    # ------------------------------------------------------------------
+    def _client(self) -> StoreClient:
+        client = self._remote
+        if client is None:  # pragma: no cover - guarded by callers
+            raise CacheError("store is not attached to a daemon")
+        return client
+
+    def _remote_record_get(self, table: str, key: str) -> bytes | None:
+        try:
+            header, payload = self._client().call("get", table=table, key=key)
+        except QuotaExceeded:
+            # an over-quota client degrades to cache misses; it still
+            # works, it just stops being accelerated
+            return None
+        return payload if header.get("found") else None
+
+    def _remote_record_has(self, table: str, key: str) -> bool:
+        try:
+            header, _ = self._client().call("has", table=table, key=key)
+        except QuotaExceeded:
+            return False
+        return bool(header.get("found"))
+
+    def _remote_record_put(
+        self,
+        table: str,
+        key: str,
+        payload: bytes,
+        graph_payload: bytes | None,
+    ) -> bool:
+        try:
+            header, _ = self._client().call(
+                "put",
+                payload=payload,
+                extra=graph_payload or b"",
+                table=table,
+                key=key,
+                has_graph_payload=graph_payload is not None,
+            )
+        except QuotaExceeded:
+            # saves are an optimisation; over quota they are skipped, and
+            # the daemon's per-client counters make the denial visible
+            return False
+        return bool(header.get("stored"))
+
+    def _remote_keys(self) -> list[str]:
+        header, _ = self._client().call("keys", table="graphs")
+        return [str(key) for key in header.get("keys", [])]
+
+    def _remote_stats(self) -> dict[str, Any]:
+        header, _ = self._client().call("stats")
+        payload = dict(header.get("store", {}))
+        payload["daemon"] = header.get("daemon", {})
+        return payload
+
+    def _remote_prune(
+        self, max_bytes: int | None, max_entries: int | None
+    ) -> int:
+        header, _ = self._client().call(
+            "prune", max_bytes=max_bytes, max_entries=max_entries
+        )
+        return int(header.get("removed", 0))
+
+    def _remote_invalidate(
+        self, log_fingerprint: str | None, options_fingerprint: str | None
+    ) -> int:
+        header, _ = self._client().call(
+            "invalidate",
+            log_fingerprint=log_fingerprint,
+            options_fingerprint=options_fingerprint,
+        )
+        return int(header.get("removed", 0))
+
+    def _remote_invalidate_table(self, table: str) -> int:
+        header, _ = self._client().call("invalidate_table", table=table)
+        return int(header.get("removed", 0))
+
+    def _remote_compact(self) -> bool:
+        header, _ = self._client().call("compact")
+        return bool(header.get("rewritten"))
+
+    # ------------------------------------------------------------------
     # graph table
     # ------------------------------------------------------------------
     def has(self, log_fingerprint: str, options_fingerprint: str) -> bool:
         """True when a graph entry exists for this key (it may still fail
         to load if written by an incompatible version)."""
+        if self._remote is not None:
+            return self.record_has(
+                "graphs", self.key(log_fingerprint, options_fingerprint)
+            )
         if self._format == "packed":
             key = self.key(log_fingerprint, options_fingerprint)
             return self._segment("graphs").reader().has(key)
@@ -327,6 +617,17 @@ class GraphStore:
         load touches the entry (LRU recency for eviction).
         """
         key = self.key(log_fingerprint, options_fingerprint)
+        if self._remote is not None:
+            payload = self.record_get("graphs", key)
+            if payload is None:
+                return None
+            try:
+                graph, stats, _extra = graph_from_jsonl_bytes(
+                    payload, label=f"daemon:graphs[{key}]"
+                )
+            except CacheError:
+                return None
+            return graph, stats
         if self._format == "packed":
             payload = self._load_record("graphs", key)
             if payload is None:
@@ -358,6 +659,12 @@ class GraphStore:
         """Persist a mined graph under this key; returns the file the
         entry landed in (the key's own file in JSON mode, ``graphs.seg``
         in packed mode)."""
+        if self._remote is not None:
+            key = self.key(log_fingerprint, options_fingerprint)
+            self.record_put("graphs", key, graph_to_jsonl_bytes(graph, stats))
+            if self._format == "json":  # fell open mid-save
+                return self.path_for(log_fingerprint, options_fingerprint)
+            return self.root / _SEGMENT_FILES["graphs"]
         if self._format == "packed":
             key = self.key(log_fingerprint, options_fingerprint)
             payload = graph_to_jsonl_bytes(graph, stats)
@@ -395,6 +702,20 @@ class GraphStore:
         (foreign version, stale library, corruption) is a miss.
         """
         key = self.key(log_fingerprint, options_fingerprint)
+        if self._remote is not None:
+            payload = self.record_get("widget_sets", key)
+            if payload is None:
+                return None
+            try:
+                return widgets_from_json_bytes(
+                    payload,
+                    graph,
+                    library,
+                    annotations,
+                    label=f"daemon:widgets[{key}]",
+                )
+            except CacheError:
+                return None
         if self._format == "packed":
             payload = self._load_record("widget_sets", key)
             if payload is None:
@@ -438,6 +759,17 @@ class GraphStore:
         Raises:
             CacheError: when the widgets do not belong to ``graph``.
         """
+        if self._remote is not None:
+            key = self.key(log_fingerprint, options_fingerprint)
+            self.record_put(
+                "widget_sets",
+                key,
+                widgets_to_json_bytes(widgets, graph),
+                graph_payload=graph_to_jsonl_bytes(graph),
+            )
+            if self._format == "json":  # fell open mid-save
+                return self.widgets_path_for(log_fingerprint, options_fingerprint)
+            return self.root / _SEGMENT_FILES["widget_sets"]
         if self._format == "packed":
             key = self.key(log_fingerprint, options_fingerprint)
             payload = widgets_to_json_bytes(widgets, graph)
@@ -474,6 +806,16 @@ class GraphStore:
         exactly those widgets.  Any decode failure is a miss.
         """
         key = self.key(log_fingerprint, options_fingerprint)
+        if self._remote is not None:
+            payload = self.record_get("proof_sets", key)
+            if payload is None:
+                return None
+            try:
+                return proofs_from_json_bytes(
+                    payload, label=f"daemon:proofs[{key}]"
+                )
+            except CacheError:
+                return None
         if self._format == "packed":
             payload = self._load_record("proof_sets", key)
             if payload is None:
@@ -534,6 +876,13 @@ class GraphStore:
         triples = cache.export_proofs(widgets)
         if not triples:
             return None
+        if self._remote is not None:
+            key = self.key(log_fingerprint, options_fingerprint)
+            if not self.record_put("proof_sets", key, proofs_to_json_bytes(triples)):
+                return None
+            if self._format == "json":  # fell open mid-save
+                return self.proofs_path_for(log_fingerprint, options_fingerprint)
+            return self.root / _SEGMENT_FILES["proof_sets"]
         if self._format == "packed":
             key = self.key(log_fingerprint, options_fingerprint)
             payload = proofs_to_json_bytes(triples)
@@ -567,6 +916,16 @@ class GraphStore:
         failure is a miss.
         """
         key = self.key(log_fingerprint, options_fingerprint)
+        if self._remote is not None:
+            payload = self.record_get("diff_memos", key)
+            if payload is None:
+                return None
+            try:
+                return diff_memo_from_json_bytes(
+                    payload, label=f"daemon:diffmemos[{key}]"
+                )
+            except CacheError:
+                return None
         if self._format == "packed":
             payload = self._load_record("diff_memos", key)
             if payload is None:
@@ -617,6 +976,19 @@ class GraphStore:
         pairs = memo.export_pairs()
         if not pairs:
             return None
+        if self._remote is not None:
+            key = self.key(log_fingerprint, options_fingerprint)
+            try:
+                payload = diff_memo_to_json_bytes(pairs)
+            except CacheError:
+                # a representative tree with non-JSON attribute values:
+                # the memo stays in-memory only
+                return None
+            if not self.record_put("diff_memos", key, payload):
+                return None
+            if self._format == "json":  # fell open mid-save
+                return self.diffmemo_path_for(log_fingerprint, options_fingerprint)
+            return self.root / _SEGMENT_FILES["diff_memos"]
         if self._format == "packed":
             key = self.key(log_fingerprint, options_fingerprint)
             try:
@@ -650,6 +1022,10 @@ class GraphStore:
     # ------------------------------------------------------------------
     def keys(self) -> list[str]:
         """All keys with a live graph entry, sorted."""
+        if self._remote is not None:
+            outcome = self._via_remote(self._remote_keys)
+            if outcome is not _FELL_BACK:
+                return sorted(outcome)
         if self._format == "packed":
             return self._segment("graphs").reader().keys()
         return sorted(path.name[: -len(_SUFFIX)] for path in self.entries())
@@ -703,7 +1079,15 @@ class GraphStore:
         the numbers between two calls, but every individual report is
         internally consistent (``n_files`` covers exactly the files
         ``total_bytes`` and ``bytes_by_table`` sum).
+
+        Through a daemon, the report is the daemon store's own (always
+        packed) plus a ``daemon`` sub-report with uptime and the
+        per-client request/byte meters.
         """
+        if self._remote is not None:
+            outcome = self._via_remote(self._remote_stats)
+            if outcome is not _FELL_BACK:
+                return dict(outcome)
         if self._format == "packed":
             return self._stats_packed()
         total_bytes = 0
@@ -796,6 +1180,10 @@ class GraphStore:
         dead bytes now and leave every segment in its densest, fastest
         to-bulk-load layout.
         """
+        if self._remote is not None:
+            outcome = self._via_remote(self._remote_compact)
+            if outcome is not _FELL_BACK:
+                return bool(outcome)
         if self._format != "packed":
             return False
         with self._lock.held():
@@ -833,6 +1221,12 @@ class GraphStore:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         if max_entries is not None and max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if self._remote is not None:
+            # explicit caps travel as given; None defers to the *daemon*
+            # store's configured caps, which own eviction fleet-wide
+            outcome = self._via_remote(self._remote_prune, max_bytes, max_entries)
+            if outcome is not _FELL_BACK:
+                return int(outcome)
         max_bytes = max_bytes if max_bytes is not None else self.max_bytes
         max_entries = max_entries if max_entries is not None else self.max_entries
         if max_bytes is None and max_entries is None:
@@ -975,6 +1369,12 @@ class GraphStore:
         records are removed together.  Returns the number of keys
         removed.
         """
+        if self._remote is not None:
+            outcome = self._via_remote(
+                self._remote_invalidate, log_fingerprint, options_fingerprint
+            )
+            if outcome is not _FELL_BACK:
+                return int(outcome)
         log_part = log_fingerprint[:_KEY_DIGITS] if log_fingerprint else None
         opts_part = (
             options_fingerprint[:_KEY_DIGITS] if options_fingerprint else None
@@ -1038,6 +1438,10 @@ class GraphStore:
             raise ValueError(
                 f"table must be one of {_DERIVED_TABLES}, got {table!r}"
             )
+        if self._remote is not None:
+            outcome = self._via_remote(self._remote_invalidate_table, table)
+            if outcome is not _FELL_BACK:
+                return int(outcome)
         if self._format == "packed":
             with self._lock.held():
                 segment = self._segment(table)
@@ -1080,6 +1484,11 @@ class GraphStore:
         """
         if to not in ("packed", "json"):
             raise ValueError(f"migrate target must be 'packed' or 'json', got {to!r}")
+        if self._remote is not None:
+            raise CacheError(
+                "cannot migrate a store through a daemon: the layout is the "
+                "daemon's to own — stop it and migrate in-process"
+            )
         if to == "packed":
             return self._migrate_to_packed()
         return self._migrate_to_json()

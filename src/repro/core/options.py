@@ -34,6 +34,14 @@ class PipelineOptions:
             are persisted there keyed by (log, options) fingerprints, and a
             later run over the same log skips the Mine stage entirely.
             ``None`` (the default) disables persistence.
+        daemon_socket: unix-domain socket of a running
+            :class:`~repro.service.daemon.StoreDaemon` serving
+            ``cache_dir``.  When set (and ``cache_dir`` is set), the
+            pipeline's store attaches as a thin client instead of
+            opening the segment files itself; when no daemon answers it
+            fails open to direct access.  Purely a deployment knob — it
+            never changes what mining produces, so like ``cache_dir`` it
+            is excluded from the options fingerprint.
         max_plans_per_shape: optional LRU cap (>= 1) on the alignment
             plans a :class:`~repro.treediff.memo.DiffMemo` keeps per
             query-shape pair.  High-cardinality traffic (random literals,
@@ -52,6 +60,7 @@ class PipelineOptions:
     library: list[WidgetType] = field(default_factory=default_library)
     annotations: GrammarAnnotations = SQL_ANNOTATIONS
     cache_dir: str | None = None
+    daemon_socket: str | None = None
     max_plans_per_shape: int | None = None
 
     def __post_init__(self) -> None:

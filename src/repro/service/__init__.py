@@ -9,6 +9,14 @@ file-lock-guarded :class:`~repro.cache.store.GraphStore`.  See
 the shared-store guarantees.
 """
 
-from repro.service.pool import AppendAck, PoolStats, SessionPool
+from repro.service.daemon import StoreDaemon, running_daemon
+from repro.service.pool import AppendAck, CloseReport, PoolStats, SessionPool
 
-__all__ = ["SessionPool", "AppendAck", "PoolStats"]
+__all__ = [
+    "SessionPool",
+    "AppendAck",
+    "CloseReport",
+    "PoolStats",
+    "StoreDaemon",
+    "running_daemon",
+]

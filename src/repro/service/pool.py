@@ -54,19 +54,23 @@ Usage::
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import inspect
 import itertools
 import multiprocessing as mp
+import signal
+import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Any, AsyncIterator, Iterable
+from typing import Any, AsyncIterator, Callable, Iterable
 
 from repro.api.result import GenerationResult
 from repro.api.session import InterfaceSession
 from repro.core.options import PipelineOptions
 from repro.errors import ServiceError
 
-__all__ = ["SessionPool", "AppendAck", "PoolStats"]
+__all__ = ["SessionPool", "AppendAck", "CloseReport", "PoolStats"]
 
 #: Default bound of each worker's inbox queue, in batches.  Deep enough
 #: to keep a worker busy while the producer parses the next arrivals,
@@ -77,6 +81,7 @@ _OP_APPEND = "append"
 _OP_DRAIN = "drain"
 _OP_RELEASE = "release"
 _OP_STOP = "stop"
+_OP_CLOSE = "close"
 
 
 @dataclass(frozen=True)
@@ -90,11 +95,42 @@ class AppendAck:
     n_widgets: int
     seconds: float
     error: str | None = None
+    #: The append's full :class:`GenerationResult` — attached only for
+    #: appends submitted while a streaming :meth:`SessionPool.serve`
+    #: (``on_result=...``) is active; ``None`` otherwise, because
+    #: shipping every interface revision through the outbox would tax
+    #: the non-streaming ingest path for nothing.
+    result: GenerationResult | None = None
 
     @property
     def ok(self) -> bool:
         """True when the append was applied to the client's session."""
         return self.error is None
+
+
+@dataclass(frozen=True)
+class CloseReport:
+    """What :meth:`SessionPool.close` managed to save — and what it
+    lost.  ``close()`` used to swallow both: a worker wedged in
+    ``flush_to_store`` was ``terminate()``d mid-write and its queued
+    flush errors vanished with its queue."""
+
+    #: Store-publication failures reported by workers while closing
+    #: (including any still queued from earlier drains).
+    flush_errors: tuple[str, ...] = ()
+    #: Clients whose sessions missed the flush deadline (or lived on a
+    #: worker that had to be killed); their *drained* results were
+    #: delivered, but their latest state is not in the store.
+    unflushed_clients: tuple[str, ...] = ()
+    #: Workers that never acknowledged the close and were terminated.
+    terminated_workers: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """True when every session flushed and every worker exited."""
+        return not (
+            self.flush_errors or self.unflushed_clients or self.terminated_workers
+        )
 
 
 @dataclass(frozen=True)
@@ -107,6 +143,20 @@ class PoolStats:
     n_completed: int
     n_failed: int
     n_clients: int
+
+
+def _exit_on_sigterm(signum: int, frame: Any) -> None:
+    """SIGTERM → ``SystemExit``: unwind instead of dying on the spot.
+
+    ``Process.terminate()`` sends SIGTERM, whose *default* disposition
+    kills the process without running ``finally`` blocks — a worker
+    terminated inside ``with store_lock.held()`` used to leave the lock
+    to kernel cleanup mid-write.  Raising ``SystemExit`` lets the
+    ``finally`` chain release the lock (an in-progress ``flock`` wait is
+    interrupted by the signal too), so escalated shutdown degrades to an
+    orderly exit whenever the worker is in Python code at all.
+    """
+    raise SystemExit(143)
 
 
 def _worker_main(
@@ -123,12 +173,14 @@ def _worker_main(
     drain sentinel enqueued after a client's batches is necessarily
     handled after them.
     """
+    with _swallow_os_error():
+        signal.signal(signal.SIGTERM, _exit_on_sigterm)
     sessions: dict[str, InterfaceSession] = {}
     while True:
         message = inbox.get()
         op = message[0]
         if op == _OP_APPEND:
-            _, seq, client_id, batch = message
+            _, seq, client_id, batch, want_result = message
             started = time.perf_counter()
             try:
                 session = sessions.get(client_id)
@@ -144,6 +196,7 @@ def _worker_main(
                         n_queries=len(session),
                         n_widgets=len(result.interface.widgets),
                         seconds=time.perf_counter() - started,
+                        result=result if want_result else None,
                     )
                 )
             except BaseException as exc:  # the pool must survive bad batches
@@ -176,8 +229,58 @@ def _worker_main(
             _, client_ids = message
             for client_id in client_ids:
                 sessions.pop(client_id, None)
+        elif op == _OP_CLOSE:
+            _, flush_deadline = message
+            outbox.put(_close_worker(worker_id, sessions, flush_deadline))
+            break
         elif op == _OP_STOP:
             break
+
+
+def _close_worker(
+    worker_id: int,
+    sessions: dict[str, InterfaceSession],
+    flush_deadline: float,
+) -> tuple[str, int, list[str], list[str]]:
+    """Flush every session to the store under a deadline.
+
+    The flush runs on a *daemon* thread and the worker waits at most
+    ``flush_deadline`` seconds: a flush wedged on the store lock (or a
+    hung daemon socket) can no longer wedge ``close()`` — the worker
+    reports which clients it could not publish and exits; the wedged
+    thread dies with the process, and process exit releases any held
+    ``flock``.  Returns the ``("closed", ...)`` outbox message.
+    """
+    close_errors: list[str] = []
+    flushed: set[str] = set()
+    done = threading.Event()
+
+    def _flush_all() -> None:
+        for client_id, session in list(sessions.items()):
+            if session.result is not None:
+                try:
+                    session.flush_to_store()  # no-op without a cache_dir
+                except Exception as exc:
+                    close_errors.append(f"{client_id}: {exc}")
+            flushed.add(client_id)
+        done.set()
+
+    thread = threading.Thread(
+        target=_flush_all, daemon=True, name=f"repro-close-flush-{worker_id}"
+    )
+    thread.start()
+    finished = done.wait(flush_deadline)
+    unflushed = [] if finished else sorted(set(sessions) - set(flushed))
+    return ("closed", worker_id, list(close_errors), unflushed)
+
+
+@contextlib.contextmanager
+def _swallow_os_error() -> Any:
+    """Signal registration is best-effort (restricted environments)."""
+    try:
+        yield
+    except (OSError, ValueError):  # pragma: no cover - platform-specific
+        pass
 
 
 def _shard_of(client_id: str, pool_size: int) -> int:
@@ -233,6 +336,10 @@ class SessionPool:
         self._flush_errors: list[str] = []
         self._clients: set[str] = set()
         self._closed = False
+        self._close_report: CloseReport | None = None
+        # while a streaming serve() is active, appends carry their full
+        # GenerationResult back in the ack (see AppendAck.result)
+        self._attach_results = False
         self._outbox = self._ctx.Queue()
         self._inboxes = [
             self._ctx.Queue(maxsize=queue_depth) for _ in range(pool_size)
@@ -264,30 +371,102 @@ class SessionPool:
     async def __aexit__(self, *exc_info: Any) -> None:
         await asyncio.to_thread(self.close)
 
-    def close(self) -> None:
+    def close(self, flush_timeout: float = 10.0) -> CloseReport:
         """Stop every worker and release the queues.  Idempotent.
 
         Pending (submitted but undrained) work is still processed — the
-        stop sentinel queues behind it — but its results are discarded;
-        call :meth:`drain` first to keep them.
+        close sentinel queues behind it — and each worker publishes its
+        sessions to the shared store under ``flush_timeout`` seconds
+        before exiting; undrained *results* are still discarded, so call
+        :meth:`drain` first to keep them.
+
+        Unlike the old fire-and-forget teardown, nothing is swallowed:
+        the returned :class:`CloseReport` carries every flush error the
+        workers managed to queue (including ones from earlier drains
+        that no drain call collected), the clients whose sessions missed
+        the flush deadline, and any worker that had to be terminated.  A
+        terminated worker now exits by ``SystemExit`` (SIGTERM handler),
+        so a held store lock is released by its ``finally`` block rather
+        than left to kernel cleanup mid-write.
         """
+        import queue as queue_mod
+
         if self._closed:
-            return
+            return self._close_report or CloseReport()
         self._closed = True
-        for inbox, worker in zip(self._inboxes, self._workers):
+        awaiting: set[int] = set()
+        terminated: list[str] = []
+        unflushed: set[str] = set()
+        close_errors: list[str] = []
+        for worker_id, (inbox, worker) in enumerate(
+            zip(self._inboxes, self._workers)
+        ):
+            if not worker.is_alive():
+                # died before close: its queue owes us no reply, and
+                # whatever sessions lived there were never published
+                unflushed.update(self._clients_of(worker_id))
+                continue
             try:
-                # bounded put: a dead worker leaves its queue full forever,
-                # and close() must never hang on it
-                inbox.put((_OP_STOP,), timeout=5)
+                # bounded put: a dead or wedged worker leaves its queue
+                # full forever, and close() must never hang on it
+                inbox.put((_OP_CLOSE, flush_timeout), timeout=5)
+                awaiting.add(worker_id)
             except Exception:  # queue.Full, or a queue already torn down
-                worker.terminate()
+                self._terminate_worker(worker_id, terminated, unflushed)
+        deadline = time.monotonic() + flush_timeout + 5.0
+        while awaiting and time.monotonic() < deadline:
+            try:
+                message = self._outbox.get(timeout=0.2)
+            except queue_mod.Empty:
+                for worker_id in sorted(awaiting):
+                    if not self._workers[worker_id].is_alive():
+                        # crashed before answering: its sessions are gone
+                        awaiting.discard(worker_id)
+                        unflushed.update(self._clients_of(worker_id))
+                continue
+            if isinstance(message, AppendAck):
+                self._record_ack(message)
+            elif message[0] == "closed":
+                _, worker_id, worker_errors, worker_unflushed = message
+                awaiting.discard(worker_id)
+                close_errors.extend(worker_errors)
+                unflushed.update(worker_unflushed)
+            elif message[0] == "drained":
+                # a drain reply nobody collected: keep its flush errors
+                self._flush_errors.extend(message[4])
+        for worker_id in sorted(awaiting):
+            self._terminate_worker(worker_id, terminated, unflushed)
         for worker in self._workers:
-            worker.join(timeout=30)
+            worker.join(timeout=10)
             if worker.is_alive():  # pragma: no cover - defensive
-                worker.terminate()
+                worker.kill()
                 worker.join(timeout=5)
         for queue in (*self._inboxes, self._outbox):
             queue.close()
+        self._flush_errors.extend(close_errors)
+        self._close_report = CloseReport(
+            flush_errors=tuple(close_errors),
+            unflushed_clients=tuple(sorted(unflushed)),
+            terminated_workers=tuple(terminated),
+        )
+        return self._close_report
+
+    def _clients_of(self, worker_id: int) -> list[str]:
+        """Every known client sharded onto ``worker_id``."""
+        return [
+            client_id
+            for client_id in self._clients
+            if _shard_of(client_id, self.pool_size) == worker_id
+        ]
+
+    def _terminate_worker(
+        self, worker_id: int, terminated: list[str], unflushed: set[str]
+    ) -> None:
+        worker = self._workers[worker_id]
+        worker.terminate()
+        terminated.append(worker.name)
+        # whatever lived there was not (necessarily) published
+        unflushed.update(self._clients_of(worker_id))
 
     def _require_open(self) -> None:
         if self._closed:
@@ -315,7 +494,9 @@ class SessionPool:
         self._require_open()
         seq = next(self._seq)
         shard = _shard_of(client_id, self.pool_size)
-        self._inboxes[shard].put((_OP_APPEND, seq, client_id, batch))
+        self._inboxes[shard].put(
+            (_OP_APPEND, seq, client_id, batch, self._attach_results)
+        )
         self._n_submitted += 1
         self._clients.add(client_id)
         return seq
@@ -460,7 +641,11 @@ class SessionPool:
     # async serving
     # ------------------------------------------------------------------
     async def serve(
-        self, stream: Any, drain: bool = True, strict: bool = True
+        self,
+        stream: Any,
+        drain: bool = True,
+        strict: bool = True,
+        on_result: Callable[[AppendAck], Any] | None = None,
     ) -> dict[str, GenerationResult]:
         """Consume a stream of ``(client_id, batch)`` events and serve
         them through the pool; the async replacement for per-session
@@ -474,18 +659,74 @@ class SessionPool:
         results are returned; ``drain=False`` returns an empty dict and
         leaves synchronisation to the caller.
 
+        With ``on_result``, serving is **live**: the callback (sync or
+        async, invoked on the event loop) receives each append's
+        :class:`AppendAck` — with ``ack.result`` carrying the client's
+        updated interface — *as the worker finishes it*, not at the
+        drain barrier.  Every ack for a batch this call submitted is
+        delivered before the final drain runs, so a subscriber always
+        sees the live updates before the caller sees the drained
+        results.  Failed appends are delivered too (``ack.ok`` false,
+        ``ack.result`` ``None``) so a subscriber can surface them
+        immediately even under ``strict=False``.
+
         Raises:
             ServiceError: as :meth:`submit` / :meth:`drain`.
         """
-        if hasattr(stream, "__aiter__"):
-            async for client_id, batch in stream:
-                await asyncio.to_thread(self.submit, client_id, batch)
-        else:
-            for client_id, batch in stream:
-                await asyncio.to_thread(self.submit, client_id, batch)
+        dispatched = 0
+
+        async def _dispatch_new() -> None:
+            """Deliver any newly arrived acks, in arrival order."""
+            nonlocal dispatched
+            if on_result is None:
+                return
+            self._collect_ready()
+            while dispatched < len(self._acks):
+                ack = self._acks[dispatched]
+                dispatched += 1
+                outcome = on_result(ack)
+                if inspect.isawaitable(outcome):
+                    await outcome
+
+        if on_result is not None:
+            self._attach_results = True
+            dispatched = len(self._acks)  # past acks are not this serve's
+        try:
+            if hasattr(stream, "__aiter__"):
+                async for client_id, batch in stream:
+                    await asyncio.to_thread(self.submit, client_id, batch)
+                    await _dispatch_new()
+            else:
+                for client_id, batch in stream:
+                    await asyncio.to_thread(self.submit, client_id, batch)
+                    await _dispatch_new()
+            if on_result is not None:
+                # deliver every outstanding ack *before* the drain barrier
+                while self.pending() > 0:
+                    await asyncio.to_thread(self._wait_for_message, 0.2)
+                    await _dispatch_new()
+                    self._require_open()
+                await _dispatch_new()
+        finally:
+            self._attach_results = False
         if not drain:
             return {}
         return await asyncio.to_thread(self.drain, strict)
+
+    def _wait_for_message(self, timeout: float) -> None:
+        """Block up to ``timeout`` for one outbox message and absorb it
+        (acks recorded, drain replies stashed) — the blocking counterpart
+        of :meth:`_collect_ready` for streaming waits."""
+        import queue as queue_mod
+
+        try:
+            message = self._outbox.get(timeout=timeout)
+        except queue_mod.Empty:
+            return
+        if isinstance(message, AppendAck):
+            self._record_ack(message)
+        else:
+            self._stashed_replies.append(message)
 
     # ------------------------------------------------------------------
     # introspection

@@ -1,0 +1,189 @@
+"""CLI surface of the daemon work: ``serve --follow``, interrupt
+handling, ``python -m repro daemon``, and ``cache stats --remote``."""
+
+import json
+import shutil
+import socket as socket_mod
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.__main__ import main
+from repro.cache.client import StoreClient
+from repro.cache.store import GraphStore
+from repro.service import SessionPool
+
+
+@pytest.fixture
+def sock_path():
+    workdir = tempfile.mkdtemp(prefix="repro-sock-", dir="/tmp")
+    yield f"{workdir}/d.sock"
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+@pytest.fixture
+def multi_log(tmp_path):
+    rows = [
+        {"sql": f"SELECT a FROM t WHERE x = {i}", "client": "alice", "sequence": i}
+        for i in range(4)
+    ] + [
+        {"sql": f"SELECT b FROM u WHERE y = {i}", "client": "bob", "sequence": i}
+        for i in range(3)
+    ]
+    path = tmp_path / "multi.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(row) for row in rows) + "\n", encoding="utf-8"
+    )
+    return str(path)
+
+
+class TestServeFollow:
+    def test_follow_json_is_a_jsonl_stream_of_results_then_summary(
+        self, multi_log, capsys
+    ):
+        assert main(["serve", multi_log, "--pool-size", "2", "--batch-size",
+                     "2", "--follow", "--json"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        results, summary = lines[:-1], lines[-1]
+        # alice: 4 queries / batch 2 -> 2 batches; bob: 3 -> 2 batches
+        assert len(results) == 4
+        assert all(event["event"] == "result" for event in results)
+        assert all(event["ok"] for event in results)
+        assert {event["client"] for event in results} == {"alice", "bob"}
+        # the running n_queries per client grows batch by batch
+        alice = [e["n_queries"] for e in results if e["client"] == "alice"]
+        assert alice == [2, 4]
+        assert summary["event"] == "drained"
+        assert summary["clients"]["alice"]["n_queries"] == 4
+        assert summary["clients"]["bob"]["n_queries"] == 3
+
+    def test_follow_human_prints_live_lines(self, multi_log, capsys):
+        assert main(["serve", multi_log, "--pool-size", "1", "--batch-size",
+                     "4", "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "[alice]" in out and "[bob]" in out
+        assert "widget(s) in" in out  # the live per-batch line
+        assert "served" in out  # the summary still follows
+
+
+class TestServeInterrupt:
+    def test_ctrl_c_mid_replay_reports_partial_and_exits_130(
+        self, multi_log, capsys, monkeypatch
+    ):
+        submitted = []
+        original = SessionPool.submit
+
+        def interrupting_submit(self, client_id, batch):
+            if len(submitted) >= 2:
+                raise KeyboardInterrupt
+            submitted.append(client_id)
+            return original(self, client_id, batch)
+
+        monkeypatch.setattr(SessionPool, "submit", interrupting_submit)
+        assert main(["serve", multi_log, "--pool-size", "1", "--batch-size",
+                     "2", "--json"]) == 130
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["interrupted"] is True
+        # what completed before the interrupt is still reported
+        assert payload["pool"]["n_batches"] == 2
+        assert payload["clients"]  # partial results, not silence
+
+    def test_ctrl_c_human_mode_labels_the_partial_results(
+        self, multi_log, capsys, monkeypatch
+    ):
+        monkeypatch.setattr(
+            SessionPool,
+            "submit",
+            lambda self, client_id, batch: (_ for _ in ()).throw(
+                KeyboardInterrupt()
+            ),
+        )
+        assert main(["serve", multi_log, "--pool-size", "1"]) == 130
+        out = capsys.readouterr().out
+        assert "partially served" in out
+        assert "completed batches only" in out
+
+
+class TestDaemonCommand:
+    def test_daemon_serves_until_shutdown_rpc(self, tmp_path, sock_path, capsys):
+        cache_dir = tmp_path / "store"
+        rc: list[int] = []
+        thread = threading.Thread(
+            target=lambda: rc.append(
+                main(["daemon", "--cache-dir", str(cache_dir),
+                      "--socket", sock_path])
+            ),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 10
+        client = StoreClient(sock_path, timeout=2.0)
+        while time.monotonic() < deadline:
+            try:
+                client.ping()
+                break
+            except Exception:
+                time.sleep(0.05)
+        else:
+            raise AssertionError("daemon never came up")
+
+        # a real client can use it while it runs
+        store = GraphStore(tmp_path / "client", remote=sock_path)
+        assert store.format == "remote"
+
+        client.call("shutdown")
+        thread.join(timeout=10)
+        assert rc == [0]
+        assert not socket_mod.socket(
+            socket_mod.AF_UNIX
+        ).connect_ex(sock_path) == 0  # nobody is listening any more
+        out = capsys.readouterr().out
+        assert "store daemon" in out and sock_path in out
+
+
+class TestCacheStatsRemote:
+    def _populate(self, tmp_path, sock_path):
+        store = GraphStore(tmp_path / "client", remote=sock_path)
+        from tests.cache.test_packed_store import _mined, _save_all
+
+        _save_all(store, _mined())
+
+    def test_remote_stats_include_the_daemon_block(
+        self, tmp_path, sock_path, capsys
+    ):
+        from repro.service import running_daemon
+
+        client_dir = tmp_path / "client-dir"
+        client_dir.mkdir()
+        with running_daemon(tmp_path / "served", sock_path):
+            self._populate(tmp_path, sock_path)
+            assert main(["cache", "stats", "--cache-dir", str(client_dir),
+                         "--remote", sock_path, "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["n_keys"] == 1
+            assert payload["daemon"]["socket"] == sock_path
+            assert payload["daemon"]["clients"]
+
+            assert main(["cache", "stats", "--cache-dir", str(client_dir),
+                         "--remote", sock_path]) == 0
+            out = capsys.readouterr().out
+            assert "daemon pid" in out
+            assert "client " in out and "request(s)" in out
+
+    def test_unreachable_daemon_warns_and_reports_locally(
+        self, tmp_path, capsys
+    ):
+        client_dir = tmp_path / "client-dir"
+        client_dir.mkdir()
+        assert main(["cache", "stats", "--cache-dir", str(client_dir),
+                     "--remote", "/tmp/absent-repro.sock", "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "no daemon answered" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["n_keys"] == 0
+        assert "daemon" not in payload

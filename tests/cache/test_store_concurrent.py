@@ -94,12 +94,19 @@ def _payloads():
 
 
 def _hammer(
-    root: str, seed: int, failures: "mp.Queue", fmt: str = "auto"
+    root: str,
+    seed: int,
+    failures: "mp.Queue",
+    fmt: str = "auto",
+    remote: str | None = None,
 ) -> None:
     """One worker: N_OPS random interleaved store operations."""
     rng = random.Random(seed)
     try:
-        store = GraphStore(root, max_bytes=MAX_BYTES, format=fmt)
+        store = GraphStore(root, max_bytes=MAX_BYTES, format=fmt, remote=remote)
+        if remote is not None and store.remote is None:
+            failures.put(f"worker {seed}: never attached to the daemon")
+            return
         payloads = _payloads()
         options = PipelineOptions()
         for _ in range(N_OPS):
@@ -345,3 +352,63 @@ def test_concurrent_pruners_never_break_caps_or_orphan(tmp_path, store_format):
         _assert_no_orphans_packed(store, PipelineOptions())
     assert store.prune(max_entries=1) >= 0
     assert store.stats()["n_keys"] <= 1
+
+
+def test_concurrent_rpc_save_load_prune_through_a_daemon(tmp_path):
+    """The same interleaved matrix, but every worker goes through the
+    store daemon: prune-vs-save races serialise on the daemon's ops
+    lock instead of the flock, and the shared LRU stays exact."""
+    import shutil
+    import tempfile
+
+    from repro.service import running_daemon
+
+    root = tmp_path / "store"
+    sock_dir = tempfile.mkdtemp(prefix="repro-sock-", dir="/tmp")
+    sock = f"{sock_dir}/d.sock"
+    ctx = mp.get_context("fork")
+    failures: mp.Queue = ctx.Queue()
+    try:
+        with running_daemon(root, sock, max_bytes=MAX_BYTES) as daemon:
+            processes = [
+                ctx.Process(
+                    target=_hammer_remote, args=(str(root), seed, failures, sock)
+                )
+                for seed in range(N_PROCESSES)
+            ]
+            for process in processes:
+                process.start()
+            for process in processes:
+                process.join(timeout=120)
+                assert process.exitcode == 0
+            meters = daemon.daemon_stats()["clients"]
+            # every worker really spoke RPC (constructor ping + traffic)
+            assert len(meters) >= N_PROCESSES
+            assert sum(m["requests"] for m in meters.values()) >= N_PROCESSES
+    finally:
+        shutil.rmtree(sock_dir, ignore_errors=True)
+
+    reported = []
+    while not failures.empty():
+        reported.append(failures.get())
+    assert not reported, reported
+
+    store = GraphStore(root)
+    assert store.format == "packed"
+    _assert_no_orphans_packed(store, PipelineOptions())
+    final = store.stats()
+    _assert_stats_consistent(final)
+    store.prune(max_bytes=MAX_BYTES)
+    assert store.stats()["total_bytes"] <= MAX_BYTES
+
+
+def _hammer_remote(root: str, seed: int, failures: "mp.Queue", sock: str) -> None:
+    """A _hammer worker that must stay attached to the daemon end to end
+    (a mid-run fail-open would silently bypass the RPC path under test)."""
+    _hammer(root, seed, failures, remote=sock)
+    try:
+        probe = GraphStore(root, remote=sock)
+        if probe.remote is None:
+            failures.put(f"worker {seed}: daemon unreachable after the run")
+    except BaseException as exc:  # noqa: BLE001 - report, don't hang join
+        failures.put(f"worker {seed}: post-run probe: {exc}")

@@ -1,0 +1,298 @@
+"""The store daemon: RPC round trips, lifecycle, fail-open, quotas.
+
+The daemon's contract is *byte dumbness*: a ``GraphStore(remote=...)``
+client must see exactly the records an in-process store would, because
+the daemon only moves the same payload bytes the local layouts persist.
+These tests drive the full client API through a live daemon, then
+exercise what only the remote mode does: fail-open when the daemon dies
+mid-session, re-attachment after a restart, stale-socket reclaim, and
+per-client quota refusals that degrade to misses instead of falling
+back to direct disk access (which would defeat the quota).
+"""
+
+import shutil
+import socket
+import tempfile
+import time
+
+import pytest
+
+from repro.cache.blockstore import SegmentReader
+from repro.cache.client import DaemonUnavailable, QuotaExceeded, StoreClient
+from repro.cache.store import GraphStore
+from repro.errors import CacheError, ServiceError
+from repro.service import StoreDaemon, running_daemon
+from tests.cache.test_packed_store import _mined, _save_all
+
+
+@pytest.fixture
+def sock_path():
+    """A socket path short enough for AF_UNIX (~100-byte limit) —
+    pytest's tmp_path nests too deep to be safe."""
+    workdir = tempfile.mkdtemp(prefix="repro-sock-", dir="/tmp")
+    yield f"{workdir}/d.sock"
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+@pytest.fixture
+def payload():
+    return _mined()
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return predicate()
+
+
+class TestRoundTrip:
+    def test_all_four_tables_through_the_daemon(self, tmp_path, sock_path, payload):
+        daemon_root = tmp_path / "served"
+        client_root = tmp_path / "client-side"
+        with running_daemon(daemon_root, sock_path):
+            store = GraphStore(client_root, remote=sock_path)
+            assert store.format == "remote"
+            assert store.remote == sock_path
+            _save_all(store, payload)
+
+            graph, _stats = store.load(payload["log_fp"], payload["opts_fp"])
+            assert graph.summary() == payload["graph"].summary()
+            widgets = store.load_widget_set(
+                payload["log_fp"], payload["opts_fp"], graph,
+                payload["options"].library, payload["options"].annotations,
+            )
+            assert len(widgets) == len(payload["widgets"])
+            assert store.load_proof_triples(
+                payload["log_fp"], payload["opts_fp"]
+            )
+            pairs = store.load_diff_memo_pairs(
+                payload["log_fp"], payload["opts_fp"]
+            )
+            assert len(pairs) == payload["memo"].n_plans
+
+            key = store.key(payload["log_fp"], payload["opts_fp"])
+            assert store.keys() == [key]
+            assert store.has(payload["log_fp"], payload["opts_fp"])
+
+        # every byte landed in the daemon's directory, none in the
+        # client's local root
+        assert not list(client_root.glob("*")) or not any(
+            p.stat().st_size for p in client_root.glob("*.seg")
+        )
+        assert SegmentReader(daemon_root / "graphs.seg").keys() == [key]
+
+    def test_record_bytes_identical_to_in_process_store(
+        self, tmp_path, sock_path, payload
+    ):
+        """The packed record a daemon persists is byte-for-byte the one
+        an in-process packed store writes for the same save."""
+        local = GraphStore(tmp_path / "local", format="packed")
+        _save_all(local, payload)
+        with running_daemon(tmp_path / "served", sock_path):
+            remote = GraphStore(tmp_path / "unused", remote=sock_path)
+            _save_all(remote, payload)
+        key = local.key(payload["log_fp"], payload["opts_fp"])
+        for name in ("graphs.seg", "widgets.seg", "proofs.seg", "diffmemos.seg"):
+            assert (
+                SegmentReader(tmp_path / "served" / name).get(key)
+                == SegmentReader(tmp_path / "local" / name).get(key)
+            ), name
+
+    def test_two_clients_share_one_store(self, tmp_path, sock_path, payload):
+        with running_daemon(tmp_path / "served", sock_path):
+            writer = GraphStore(tmp_path / "a", remote=sock_path)
+            reader = GraphStore(tmp_path / "b", remote=sock_path)
+            _save_all(writer, payload)
+            graph, _ = reader.load(payload["log_fp"], payload["opts_fp"])
+            assert graph.summary() == payload["graph"].summary()
+
+    def test_stats_reports_store_and_per_client_meters(
+        self, tmp_path, sock_path, payload
+    ):
+        with running_daemon(tmp_path / "served", sock_path):
+            store = GraphStore(tmp_path / "x", remote=sock_path)
+            _save_all(store, payload)
+            stats = store.stats()
+            assert stats["n_keys"] == 1
+            daemon_stats = stats["daemon"]
+            assert daemon_stats["pid"] > 0
+            assert daemon_stats["socket"] == sock_path
+            clients = daemon_stats["clients"]
+            assert len(clients) == 1
+            meter = next(iter(clients.values()))
+            assert meter["requests"] >= 4  # the four saves at minimum
+            assert meter["bytes_in"] > 0
+            assert meter["refused"] == 0
+
+    def test_prune_and_invalidate_through_the_daemon(
+        self, tmp_path, sock_path, payload
+    ):
+        with running_daemon(tmp_path / "served", sock_path):
+            store = GraphStore(tmp_path / "x", remote=sock_path)
+            _save_all(store, payload)
+            removed = store.invalidate(payload["log_fp"], payload["opts_fp"])
+            assert removed >= 1
+            assert not store.has(payload["log_fp"], payload["opts_fp"])
+            _save_all(store, payload)
+            assert store.prune(max_entries=0) == 1
+            assert store.keys() == []
+
+    def test_migrate_through_a_daemon_is_refused(self, tmp_path, sock_path):
+        with running_daemon(tmp_path / "served", sock_path):
+            store = GraphStore(tmp_path / "x", remote=sock_path)
+            with pytest.raises(CacheError, match="migrate"):
+                store.migrate("json")
+
+
+class TestLifecycle:
+    def test_client_fails_open_when_daemon_dies(self, tmp_path, sock_path, payload):
+        root = tmp_path / "store"
+        daemon = StoreDaemon(root, sock_path)
+        daemon.start()
+        try:
+            store = GraphStore(root, remote=sock_path)
+            _save_all(store, payload)
+        finally:
+            daemon.stop()
+        # daemon gone mid-session: the next operation falls open to the
+        # local layout instead of erroring, and the fallback sees every
+        # record the daemon persisted
+        graph, _ = store.load(payload["log_fp"], payload["opts_fp"])
+        assert graph.summary() == payload["graph"].summary()
+        assert store.format == "packed"
+        assert store.remote is None
+
+    def test_fail_open_is_one_way(self, tmp_path, sock_path, payload):
+        root = tmp_path / "store"
+        daemon = StoreDaemon(root, sock_path)
+        daemon.start()
+        store = GraphStore(root, remote=sock_path)
+        daemon.stop()
+        store.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+        assert store.format == "packed"
+        # a recovered daemon must NOT pull this store back to remote
+        # mode: flip-flopping would interleave two writers' lock domains
+        with running_daemon(root, sock_path):
+            assert store.has(payload["log_fp"], payload["opts_fp"])
+            assert store.remote is None
+
+    def test_new_client_reattaches_after_restart(self, tmp_path, sock_path, payload):
+        root = tmp_path / "store"
+        with running_daemon(root, sock_path):
+            GraphStore(tmp_path / "a", remote=sock_path)
+            first = GraphStore(tmp_path / "a2", remote=sock_path)
+            _save_all(first, payload)
+        with running_daemon(root, sock_path):
+            fresh = GraphStore(tmp_path / "b", remote=sock_path)
+            assert fresh.format == "remote"
+            graph, _ = fresh.load(payload["log_fp"], payload["opts_fp"])
+            assert graph.summary() == payload["graph"].summary()
+
+    def test_stale_socket_file_is_reclaimed(self, tmp_path, sock_path):
+        # a dead daemon leaves its socket file behind; binding must
+        # replace it rather than fail with EADDRINUSE
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(sock_path)
+        stale.close()  # closed without accept(): nobody answers here
+        with running_daemon(tmp_path / "store", sock_path) as daemon:
+            assert daemon.running
+            assert StoreClient(sock_path).ping()["pid"] == daemon.daemon_stats()["pid"]
+
+    def test_live_daemon_on_the_socket_is_an_error(self, tmp_path, sock_path):
+        with running_daemon(tmp_path / "a", sock_path):
+            with pytest.raises(ServiceError, match="already listening"):
+                StoreDaemon(tmp_path / "b", sock_path)._claim_socket()
+
+    def test_shutdown_rpc_stops_the_daemon(self, tmp_path, sock_path):
+        daemon = StoreDaemon(tmp_path / "store", sock_path)
+        daemon.start()
+        client = StoreClient(sock_path)
+        reply, _ = client.call("shutdown")
+        assert reply["ok"]
+        assert _wait_until(lambda: not daemon.running)
+        daemon.stop()  # idempotent after an RPC shutdown
+
+    def test_missing_daemon_constructor_fails_open(self, tmp_path, payload):
+        """remote= pointing nowhere never blocks a worker: the store
+        opens its local layout instead."""
+        store = GraphStore(tmp_path / "store", remote="/tmp/no-such-daemon.sock")
+        assert store.format == "packed"
+        assert store.remote is None
+        store.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+        assert store.has(payload["log_fp"], payload["opts_fp"])
+
+
+class TestQuota:
+    def test_refusals_degrade_to_misses_without_falling_open(
+        self, tmp_path, sock_path, payload
+    ):
+        root = tmp_path / "store"
+        with running_daemon(root, sock_path, quota_requests=4):
+            store = GraphStore(tmp_path / "x", remote=sock_path)  # ping: req 1
+            store.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+            assert store.has(payload["log_fp"], payload["opts_fp"])  # req 3
+            assert store.load(payload["log_fp"], payload["opts_fp"])  # req 4
+            # over quota now: reads become misses, writes no-ops — but
+            # the store must NOT fall open to direct disk access, which
+            # would hand the refused client the whole store
+            assert store.load(payload["log_fp"], payload["opts_fp"]) is None
+            assert not store.record_put(
+                "graphs", "f" * 16 + "-" + "e" * 16, b'{"v": 1}\n'
+            )
+            assert store.format == "remote"
+            # ping/stats stay unmetered so a refused client can see why
+            stats = store.stats()
+            meter = next(iter(stats["daemon"]["clients"].values()))
+            assert meter["refused"] >= 2
+
+    def test_quota_is_per_client(self, tmp_path, sock_path):
+        key = "a" * 16 + "-" + "b" * 16
+        with running_daemon(tmp_path / "store", sock_path, quota_requests=2):
+            greedy = StoreClient(sock_path, client_id="greedy")
+            frugal = StoreClient(sock_path, client_id="frugal")
+            for _ in range(2):
+                greedy.call("has", table="graphs", key=key)
+            with pytest.raises(QuotaExceeded):
+                greedy.call("has", table="graphs", key=key)
+            # one client exhausting its quota must not starve another
+            reply, _ = frugal.call("has", table="graphs", key=key)
+            assert reply["ok"] and reply["found"] is False
+
+    def test_byte_quota_refuses_large_clients(self, tmp_path, sock_path, payload):
+        with running_daemon(tmp_path / "store", sock_path, quota_bytes=64):
+            store = GraphStore(tmp_path / "x", remote=sock_path)
+            # first save may exceed the cap mid-flight or be refused
+            # outright; either way the follow-up must be refused and the
+            # client must stay attached
+            store.save(payload["log_fp"], payload["opts_fp"], payload["graph"])
+            assert not store.record_put(
+                "graphs", "a" * 16 + "-" + "b" * 16, b'{"v": 1}\n'
+            )
+            assert store.format == "remote"
+
+
+class TestProtocol:
+    def test_unknown_op_is_an_error_not_a_hangup(self, tmp_path, sock_path):
+        with running_daemon(tmp_path / "store", sock_path):
+            client = StoreClient(sock_path)
+            with pytest.raises(CacheError, match="unknown op"):
+                client.call("frobnicate")
+            # the connection survives the refusal
+            assert client.ping()["pid"] > 0
+
+    def test_client_reconnects_after_a_dropped_connection(
+        self, tmp_path, sock_path
+    ):
+        with running_daemon(tmp_path / "store", sock_path):
+            client = StoreClient(sock_path)
+            assert client.ping()
+            client._drop()  # simulate a broken pipe
+            assert client.ping()  # transparent reconnect
+
+    def test_unreachable_socket_raises_daemon_unavailable(self):
+        client = StoreClient("/tmp/absent-repro-daemon.sock")
+        with pytest.raises(DaemonUnavailable):
+            client.ping()
