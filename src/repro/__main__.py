@@ -206,24 +206,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _print_follow_event(ack: "AppendAck", json_mode: bool) -> None:
     """One live line per processed append (``serve --follow``)."""
     if json_mode:
-        print(
-            json.dumps(
-                {
-                    "event": "result",
-                    "client": ack.client_id,
-                    "seq": ack.seq,
-                    "ok": ack.ok,
-                    "n_queries": ack.n_queries,
-                    "n_widgets": ack.n_widgets,
-                    "error": ack.error,
-                }
-            ),
-            flush=True,
-        )
+        event = {
+            "event": "result",
+            "client": ack.client_id,
+            "seq": ack.seq,
+            "ok": ack.ok,
+            "n_queries": ack.n_queries,
+            "n_widgets": ack.n_widgets,
+            "error": ack.error,
+        }
+        if ack.compiled is not None:
+            # serve --compile: the compiled interface (structural patch
+            # or full page) rides on the same JSONL event
+            event["compiled"] = ack.compiled
+        print(json.dumps(event), flush=True)
     elif ack.ok:
+        compiled = ""
+        if ack.compiled is not None:
+            kind = ack.compiled.get("kind", "patch")
+            if kind == "error":
+                compiled = f" (compile failed: {ack.compiled['error']})"
+            elif kind == "page_html":
+                compiled = f" (page: {len(ack.compiled['html'])} bytes)"
+            elif kind == "page":
+                compiled = " (full page patch)"
+            else:
+                compiled = (
+                    f" (patch: {len(ack.compiled.get('blocks', {}))} block(s), "
+                    f"{len(ack.compiled.get('closure_set', {}))} combo(s))"
+                )
         print(
             f"[{ack.client_id}] batch #{ack.seq}: {ack.n_queries} queries "
-            f"-> {ack.n_widgets} widget(s) in {ack.seconds * 1000:.0f} ms",
+            f"-> {ack.n_widgets} widget(s) in {ack.seconds * 1000:.0f} ms"
+            f"{compiled}",
             flush=True,
         )
     else:
@@ -235,6 +250,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.batch_size < 1:
         raise ReproError(f"--batch-size must be >= 1, got {args.batch_size}")
+    if getattr(args, "compile", None) and not args.follow:
+        raise ReproError("--compile requires --follow (it streams per-append)")
     log = load_log(args.log)
     by_client = log.by_client()
     # round-robin interleave of per-client batches: the arrival pattern a
@@ -265,6 +282,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     pool.serve(
                         iter(arrivals),
                         on_result=lambda ack: _print_follow_event(ack, args.json),
+                        compile=getattr(args, "compile", None),
                     )
                 )
             else:
@@ -373,6 +391,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{payload['n_widget_sets']} widget set(s), "
                 f"{payload['n_proof_sets']} proof set(s), "
                 f"{payload['n_diff_memos']} diff memo(s), "
+                f"{payload['n_compiled']} compiled page(s), "
                 f"{payload['total_bytes']} bytes"
             )
             for table, n_bytes in payload["bytes_by_table"].items():
@@ -503,6 +522,12 @@ def main(argv: list[str] | None = None) -> int:
                        help="stream each append's outcome live as workers "
                             "finish it (JSONL events with --json) instead "
                             "of reporting only at drain")
+    serve.add_argument("--compile", choices=("page", "patch"),
+                       help="with --follow: compile each append's interface "
+                            "in the worker and stream it on the event — "
+                            "'patch' emits structural patches (replaced "
+                            "widget blocks + closure delta), 'page' the "
+                            "full HTML page")
     serve.set_defaults(fn=_cmd_serve)
 
     daemon = commands.add_parser(

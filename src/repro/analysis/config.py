@@ -99,6 +99,30 @@ class LintConfig:
     #: base-class names marking a pipeline stage
     stage_bases: tuple[str, ...] = ("Stage",)
 
+    # RL006 — compiled-artifact hygiene
+    #: modules whose compiled-payload builders are checked
+    compiled_modules: tuple[str, ...] = ("*repro/compiler/*.py",)
+    #: functions whose return value becomes a persisted compiled payload
+    #: (``*_to_state`` names are always included)
+    compiled_payload_builders: tuple[str, ...] = (
+        "to_state",
+        "make_patch",
+        "apply_patch",
+    )
+    #: identifier fragments marking a receiver as a parsed-AST value
+    #: (whose salted attributes must never be persisted).  Entries of
+    #: four characters or fewer match exactly; longer entries match as
+    #: case-insensitive substrings — the RL004 convention.
+    node_identifiers: tuple[str, ...] = (
+        "query",
+        "node",
+        "tree",
+        "subtree",
+        "q0",
+        "q1",
+        "q2",
+    )
+
     def merged(self, data: dict[str, Any]) -> "LintConfig":
         """A copy with ``data`` (kebab-case TOML keys) overriding fields.
 

@@ -9,6 +9,8 @@ RL003 frozen-result-immutable  result objects are never mutated
 RL004 proof-polarity           only positive proofs are exported
 RL005 stage-purity             ``Stage.run`` returns state, mutates
                                nothing module-level
+RL006 compiled-artifact-       compiled-page payloads never embed
+      hygiene                  salted node hashes
 ===== ======================== ======================================
 
 The rules are deliberately *lexical*: they reason about one file at a
@@ -31,6 +33,7 @@ __all__ = [
     "FrozenResultImmutability",
     "ProofPolarity",
     "StagePurity",
+    "CompiledArtifactHygiene",
 ]
 
 #: method names that mutate their receiver in place (RL005)
@@ -481,4 +484,124 @@ class StagePurity(Rule):
                     node,
                     f"Stage.run mutates module-level binding '{root}' "
                     f"via .{node.func.attr}()",
+                )
+
+
+@register
+class CompiledArtifactHygiene(Rule):
+    """RL006: compiled-artifact payloads never embed salted node hashes.
+
+    RL002's invariant applied to the incremental compiler: the page
+    states and patches built in ``repro/compiler/`` are persisted (the
+    store's ``compiled`` table) and streamed to remote subscribers, so a
+    ``Node.fingerprint``/``skeleton`` value embedded in one poisons every
+    cross-process replay.  RL002 watches ``json.dump`` and ``*_to_dict``;
+    the compiler's payloads are built by ``to_state``/``make_patch``/
+    ``apply_patch`` (and any ``*_to_state``), which this rule treats as
+    sinks.
+
+    The compiler legitimately names its *stable* content digests
+    ``fingerprint`` (``CompiledPage.fingerprint`` is a sha256 prefix), so
+    a bare attribute-name match would drown in false positives.  The rule
+    instead flags salted reads whose receiver chain mentions a parsed-AST
+    identifier (``query.fingerprint``, ``node.skeleton``,
+    ``interface.initial_query.fingerprint``, ...) — the
+    ``node_identifiers`` vocabulary — plus names bound from such reads.
+    In-memory uses (proof keys, memo lookups) outside the builder returns
+    stay clean.
+    """
+
+    id = "RL006"
+    name = "compiled-artifact-hygiene"
+    description = (
+        "salted Node fingerprint/skeleton values must not flow into "
+        "compiled-payload builders (to_state/make_patch/apply_patch)"
+    )
+
+    def start_module(self, ctx: ModuleContext) -> None:
+        self._active = ctx.path_matches(ctx.config.compiled_modules)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> None:
+        if not self._active:
+            return
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        if not self._is_builder(node.name, ctx):
+            return
+        tainted = self._tainted_names(node, ctx)
+        for sub in walk_in_scope(node):
+            if isinstance(sub, ast.Return) and sub.value is not None:
+                self._flag(sub.value, tainted, ctx, node.name)
+
+    @staticmethod
+    def _is_builder(name: str, ctx: ModuleContext) -> bool:
+        return name in ctx.config.compiled_payload_builders or name.endswith(
+            "_to_state"
+        )
+
+    def _salted_node_reads(
+        self, expr: ast.AST, ctx: ModuleContext
+    ) -> list[ast.Attribute]:
+        """Salted attribute reads whose receiver is a parsed-AST value."""
+        salted = set(ctx.config.salted_attributes)
+        return [
+            sub
+            for sub in ast.walk(expr)
+            if isinstance(sub, ast.Attribute)
+            and sub.attr in salted
+            and self._node_receiver(sub.value, ctx)
+        ]
+
+    @staticmethod
+    def _node_receiver(receiver: ast.AST, ctx: ModuleContext) -> bool:
+        sources = ctx.config.node_identifiers
+        for identifier in _identifiers(receiver):
+            lowered = identifier.lower().lstrip("_")
+            if any(
+                lowered == source or (len(source) > 4 and source in lowered)
+                for source in sources
+            ):
+                return True
+        return False
+
+    def _tainted_names(self, scope: ast.AST, ctx: ModuleContext) -> set[str]:
+        """Names bound (in the builder body) from a salted node read."""
+        tainted: set[str] = set()
+        for node in walk_in_scope(scope):
+            value: ast.AST | None = None
+            targets: list[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.NamedExpr):
+                value, targets = node.value, [node.target]
+            if value is None or not self._salted_node_reads(value, ctx):
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    tainted.add(target.id)
+        return tainted
+
+    def _flag(
+        self,
+        expr: ast.AST,
+        tainted: set[str],
+        ctx: ModuleContext,
+        builder: str,
+    ) -> None:
+        for read in self._salted_node_reads(expr, ctx):
+            ctx.report(
+                self,
+                read,
+                f"process-salted '.{read.attr}' of a query/node value "
+                f"flows into compiled payload builder '{builder}'",
+            )
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and sub.id in tainted:
+                ctx.report(
+                    self,
+                    sub,
+                    f"'{sub.id}' (bound from a salted node hash) flows "
+                    f"into compiled payload builder '{builder}'",
                 )

@@ -72,10 +72,11 @@ from repro.api.stages import (
 from repro.cache.fingerprint import LogFingerprinter, options_fingerprint
 from repro.cache.serialize import load_graph, save_graph
 from repro.cache.store import GraphStore
+from repro.compiler.incremental import IncrementalCompiler
 from repro.core.closure import ClosureCache
 from repro.core.mapper import MapCache
 from repro.core.options import PipelineOptions
-from repro.errors import CacheError, LogError
+from repro.errors import CacheError, CompileError, LogError
 from repro.graph.build import BuildStats, extend_interaction_graph
 from repro.graph.interaction import InteractionGraph
 from repro.sqlparser.astnodes import Node
@@ -83,6 +84,7 @@ from repro.sqlparser.parser import parse_sql
 from repro.treediff.memo import DiffMemo
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.runtime import Database
     from repro.core.interface import Interface
 
 __all__ = ["InterfaceSession"]
@@ -140,6 +142,14 @@ class InterfaceSession:
         # already probed in the store (probe once per interface revision)
         self._proofs_probed: str | None = None
         self._proofs_adopted = 0
+        # incremental page compiler, created lazily on the first
+        # compile()/compile_patch() and kept across appends so per-widget
+        # artifacts and closure slices carry over (see
+        # repro.compiler.incremental)
+        self._compiler: IncrementalCompiler | None = None
+        # accumulated-log fingerprint for which a persisted compiled page
+        # was already probed in the store
+        self._compiled_probed: str | None = None
         self._store = (
             GraphStore(
                 self.options.cache_dir, remote=self.options.daemon_socket
@@ -223,6 +233,97 @@ class InterfaceSession:
             query = parse_sql(query)
         self._adopt_cached_proofs()
         return self._last.interface.expresses(query, cache=self._closure_cache)
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        title: str = "Precision Interface",
+        database: "Database | None" = None,
+        limit: int = 2048,
+        columns: int = 2,
+    ) -> str:
+        """The current interface compiled to its HTML page, incrementally.
+
+        Byte-identical to ``compile_html(session.interface, ...)``, but
+        steady-state cost is proportional to the *dirty* part of the
+        page: the session's :class:`IncrementalCompiler` consumes the
+        merge layer's per-path partition revisions, so only widgets whose
+        partition moved since the last compile re-render, and only
+        closure combinations involving a dirty widget re-render (and,
+        with a database, re-execute — gated on the session's closure
+        proofs).  The compiler survives appends; call this after each
+        append for the incremental saving.
+
+        Raises:
+            LogError: when nothing has been appended yet.
+            CompileError: when the interface has no widgets.
+        """
+        compiler = self._compiler_for(title, database, limit, columns)
+        self._adopt_cached_proofs()
+        page = compiler.compile(
+            self._last.interface,
+            index=self._map_cache.index,
+            closure_cache=self._closure_cache,
+        )
+        return page.html()
+
+    def compile_patch(
+        self,
+        title: str = "Precision Interface",
+        database: "Database | None" = None,
+        limit: int = 2048,
+        columns: int = 2,
+    ) -> dict[str, Any]:
+        """Compile incrementally and return the *structural patch* since
+        the previous compile: replaced widget blocks plus the closure
+        delta (wire format of :func:`repro.compiler.incremental.make_patch`).
+
+        The first call (or a title/layout change) returns a full
+        ``kind="page"`` patch; :func:`repro.compiler.incremental.apply_patch`
+        folds the stream into a page state whose
+        :func:`~repro.compiler.incremental.page_html` is byte-identical
+        to a full recompile at every step.
+
+        Raises:
+            LogError: when nothing has been appended yet.
+            CompileError: when the interface has no widgets.
+        """
+        compiler = self._compiler_for(title, database, limit, columns)
+        self._adopt_cached_proofs()
+        return compiler.compile_patch(
+            self._last.interface,
+            index=self._map_cache.index,
+            closure_cache=self._closure_cache,
+        )
+
+    def _compiler_for(
+        self,
+        title: str,
+        database: "Database | None",
+        limit: int,
+        columns: int,
+    ) -> IncrementalCompiler:
+        """The session's compiler, recreated when the compile options
+        change (artifacts and slices are only sound for one configuration)."""
+        if self._last is None:
+            raise LogError("cannot compile before the first append")
+        compiler = self._compiler
+        if (
+            compiler is None
+            or compiler.title != title
+            or compiler.database is not database
+            or compiler.limit != limit
+            or compiler.columns != columns
+        ):
+            compiler = IncrementalCompiler(
+                title=title, database=database, limit=limit, columns=columns
+            )
+            self._compiler = compiler
+            self._compiled_probed = None
+        self._adopt_cached_compiled(compiler)
+        return compiler
 
     # ------------------------------------------------------------------
     # persistence
@@ -498,6 +599,33 @@ class InterfaceSession:
             self._last.interface.widgets, triples
         )
 
+    def _adopt_cached_compiled(self, compiler: IncrementalCompiler) -> int:
+        """Warm the compiler's closure-slice cache from the store's fifth
+        table, once per accumulated-log fingerprint.
+
+        The persisted page's slices are keyed by content-addressed widget
+        fingerprints (see
+        :meth:`~repro.compiler.incremental.IncrementalCompiler.import_state`),
+        so a stale or foreign record can cost time but never correctness.
+        Returns the number of slices adopted.
+        """
+        if self._store is None or not self._graph.queries:
+            return 0
+        log_fp = self._fingerprinter.hexdigest()
+        if self._compiled_probed == log_fp:
+            return 0
+        self._compiled_probed = log_fp
+        state = self._store.load_compiled_page(
+            log_fp, options_fingerprint(self.options)
+        )
+        if state is None:
+            return 0
+        try:
+            return compiler.import_state(state)
+        except CompileError:
+            # foreign patch version: the record is unusable, not an error
+            return 0
+
     def flush_to_store(self) -> None:
         """Publish the accumulated graph and widget set to the store.
 
@@ -537,6 +665,12 @@ class InterfaceSession:
             # session over this log starts with a warm closure cache
             self._store.save_closure_proofs(
                 log_fp, opts_fp, self._closure_cache, self._last.interface.widgets
+            )
+        if self._compiler is not None and self._compiler.page is not None:
+            # the compiled page rides along so the next session over this
+            # log serves its first page from replayed closure slices
+            self._store.save_compiled_page(
+                log_fp, opts_fp, self._compiler.page.to_state()
             )
 
     # ------------------------------------------------------------------

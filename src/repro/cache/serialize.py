@@ -85,6 +85,12 @@ __all__ = [
     "load_diff_memo",
     "diff_memo_to_json_bytes",
     "diff_memo_from_json_bytes",
+    "compiled_page_to_dict",
+    "compiled_page_from_dict",
+    "save_compiled_page",
+    "load_compiled_page",
+    "compiled_page_to_json_bytes",
+    "compiled_page_from_json_bytes",
     "derived_interval_annotations",
 ]
 
@@ -895,6 +901,88 @@ def diff_memo_from_json_bytes(
         CacheError: exactly as :func:`load_diff_memo` for the same content.
     """
     return diff_memo_from_dict(_json_doc_from_bytes(data, label))
+
+
+# ----------------------------------------------------------------------
+# compiled interface pages
+# ----------------------------------------------------------------------
+#
+# The incremental compiler's page state (see
+# :meth:`repro.compiler.incremental.CompiledPage.to_state`) is already a
+# plain-JSON dict of rendered strings: widget blocks, closure SQL/results,
+# and *content* fingerprints (sha256 over rendered text — never the
+# process-salted ``Node.fingerprint``/``skeleton``, which lint rules
+# RL002/RL006 keep out of every persisted payload).  The codec therefore
+# only wraps the state in the versioned envelope every table shares.
+
+def compiled_page_to_dict(state: dict[str, Any]) -> dict[str, Any]:
+    """Encode a compiled-page state (see
+    :meth:`~repro.compiler.incremental.CompiledPage.to_state`)."""
+    return {"version": FORMAT_VERSION, "page": state}
+
+
+def compiled_page_from_dict(payload: dict[str, Any]) -> dict[str, Any]:
+    """Decode a :func:`compiled_page_to_dict` payload back into the page
+    state dict, ready for
+    :meth:`~repro.compiler.incremental.IncrementalCompiler.import_state`.
+
+    Raises:
+        CacheError: on a version mismatch or a malformed payload.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise CacheError(
+            f"unsupported compiled-page format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    state = payload.get("page")
+    if not isinstance(state, dict):
+        raise CacheError("malformed compiled-page payload")
+    return state
+
+
+def save_compiled_page(path: str | FilePath, state: dict[str, Any]) -> None:
+    """Atomically write a compiled-page payload next to its graph entry."""
+    _write_json_atomic(path, compiled_page_to_dict(state))
+
+
+def load_compiled_page(path: str | FilePath) -> dict[str, Any]:
+    """Read a :func:`save_compiled_page` file back.
+
+    Raises:
+        CacheError: on unreadable files, bad JSON, or any
+            :func:`compiled_page_from_dict` failure.
+    """
+    file_path = FilePath(path)
+    try:
+        text = file_path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise CacheError(f"cannot read compiled-page file {file_path}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CacheError(f"bad JSON in compiled-page file {file_path}") from exc
+    if not isinstance(payload, dict):
+        raise CacheError(f"{file_path} is not a compiled-page payload")
+    return compiled_page_from_dict(payload)
+
+
+def compiled_page_to_json_bytes(state: dict[str, Any]) -> bytes:
+    """The exact bytes :func:`save_compiled_page` would write (packed
+    payload)."""
+    return _json_doc_bytes(compiled_page_to_dict(state))
+
+
+def compiled_page_from_json_bytes(
+    data: bytes, label: str = "<compiled-page record>"
+) -> dict[str, Any]:
+    """Decode :func:`compiled_page_to_json_bytes` output (packed read path).
+
+    Raises:
+        CacheError: exactly as :func:`load_compiled_page` for the same
+            content.
+    """
+    return compiled_page_from_dict(_json_doc_from_bytes(data, label))
 
 
 # ----------------------------------------------------------------------

@@ -1,9 +1,9 @@
 """Content-addressed on-disk store for mined graphs, widget sets,
-closure proofs, and diff memos.
+closure proofs, diff memos, and compiled interface pages.
 
 A :class:`GraphStore` is a directory of cache entries keyed by
-``(log fingerprint, options fingerprint)``.  Each key owns up to four
-records — four content-addressed tables over the same key space:
+``(log fingerprint, options fingerprint)``.  Each key owns up to five
+records — five content-addressed tables over the same key space:
 
 * **graphs** — the mined interaction graph (JSONL payload, see
   :func:`~repro.cache.serialize.graph_to_jsonl_bytes`), skipping the Mine
@@ -17,19 +17,24 @@ records — four content-addressed tables over the same key space:
   :class:`~repro.service.SessionPool` workers;
 * **diff_memos** — the Mine stage's skeleton-level alignment plans as
   representative shape pairs, so resumed sessions and pool workers
-  inherit a hot :class:`~repro.treediff.memo.DiffMemo`.
+  inherit a hot :class:`~repro.treediff.memo.DiffMemo`;
+* **compiled** — the incremental compiler's page state (per-widget
+  artifacts + closure table, see
+  :mod:`repro.compiler.incremental`), so a resumed session serves its
+  first page — and warms its closure-slice cache — without re-rendering
+  anything.
 
 Two on-disk formats carry the same payload bytes:
 
 * ``format="packed"`` (the default for new stores) — one append-only
   block-compressed segment file per table (``graphs.seg``,
-  ``widgets.seg``, ``proofs.seg``, ``diffmemos.seg``; see
-  :mod:`repro.cache.blockstore`).  A save appends one record, a lookup is
-  an mmap + bisect + single-block decode, eviction appends a tombstone,
-  and ``stats()``/``prune()`` read four footers instead of statting every
-  file in the directory;
+  ``widgets.seg``, ``proofs.seg``, ``diffmemos.seg``, ``compiled.seg``;
+  see :mod:`repro.cache.blockstore`).  A save appends one record, a
+  lookup is an mmap + bisect + single-block decode, eviction appends a
+  tombstone, and ``stats()``/``prune()`` read five footers instead of
+  statting every file in the directory;
 * ``format="json"`` — the legacy one-file-per-table-per-key layout
-  (``<key>.graph.jsonl`` + three ``.json`` derived files), kept as the
+  (``<key>.graph.jsonl`` + four ``.json`` derived files), kept as the
   interchange/debug path.  A packed record's payload is the *exact
   bytes* of the corresponding JSON file, so the two formats are
   byte-identical per entry and :meth:`migrate` converts either way
@@ -49,8 +54,8 @@ Space management is optional and LRU: construct the store with
 ``max_bytes`` and/or ``max_entries`` and every save evicts the
 least-recently-*used* keys until the caps hold; :meth:`prune` applies
 caps on demand and :meth:`stats` reports occupancy.  Eviction is per-key
-— a key's graph, widget, proof, and memo records leave together, never
-orphaning a derived entry.  Recency in packed mode is a record timestamp:
+— a key's graph, widget, proof, memo, and compiled records leave
+together, never orphaning a derived entry.  Recency in packed mode is a record timestamp:
 loads batch recency bumps in memory and the next save (or
 :meth:`flush_recency`, or :meth:`prune`) appends them as TOUCH markers,
 so cross-process recency is exact at every eviction decision.
@@ -87,16 +92,20 @@ from repro.cache.blockstore import DEFAULT_LEVEL, Segment
 from repro.cache.client import DaemonUnavailable, QuotaExceeded, StoreClient
 from repro.cache.lock import StoreLock
 from repro.cache.serialize import (
+    compiled_page_from_json_bytes,
+    compiled_page_to_json_bytes,
     diff_memo_from_json_bytes,
     diff_memo_to_json_bytes,
     graph_from_jsonl_bytes,
     graph_to_jsonl_bytes,
+    load_compiled_page,
     load_diff_memo,
     load_graph,
     load_proofs,
     load_widgets,
     proofs_from_json_bytes,
     proofs_to_json_bytes,
+    save_compiled_page,
     save_diff_memo,
     save_graph,
     save_proofs,
@@ -127,10 +136,16 @@ _SUFFIX = ".graph.jsonl"
 _WIDGETS_SUFFIX = ".widgets.json"
 _PROOFS_SUFFIX = ".proofs.json"
 _DIFFMEMO_SUFFIX = ".diffmemo.json"
+_COMPILED_SUFFIX = ".compiled.json"
 
 #: Suffixes of the derived tables — files that are only meaningful next
 #: to their key's graph entry.
-_DERIVED_SUFFIXES = (_WIDGETS_SUFFIX, _PROOFS_SUFFIX, _DIFFMEMO_SUFFIX)
+_DERIVED_SUFFIXES = (
+    _WIDGETS_SUFFIX,
+    _PROOFS_SUFFIX,
+    _DIFFMEMO_SUFFIX,
+    _COMPILED_SUFFIX,
+)
 
 #: stats() table names, keyed by entry-file suffix (JSON layout).
 _TABLE_NAMES = {
@@ -138,11 +153,12 @@ _TABLE_NAMES = {
     _WIDGETS_SUFFIX: "widget_sets",
     _PROOFS_SUFFIX: "proof_sets",
     _DIFFMEMO_SUFFIX: "diff_memos",
+    _COMPILED_SUFFIX: "compiled",
 }
 
 #: Table processing order: graphs first, so a derived record is never
 #: written (or migrated) before the graph record it belongs to.
-_TABLE_ORDER = ("graphs", "widget_sets", "proof_sets", "diff_memos")
+_TABLE_ORDER = ("graphs", "widget_sets", "proof_sets", "diff_memos", "compiled")
 
 #: Segment file per table (packed layout).
 _SEGMENT_FILES = {
@@ -150,6 +166,7 @@ _SEGMENT_FILES = {
     "widget_sets": "widgets.seg",
     "proof_sets": "proofs.seg",
     "diff_memos": "diffmemos.seg",
+    "compiled": "compiled.seg",
 }
 
 #: JSON entry-file suffix per table (inverse of _TABLE_NAMES).
@@ -157,7 +174,7 @@ _SUFFIX_BY_TABLE = {name: suffix for suffix, name in _TABLE_NAMES.items()}
 
 #: Tables a caller may drop wholesale via invalidate_table (never the
 #: graphs table — that would orphan every derived record).
-_DERIVED_TABLES = ("widget_sets", "proof_sets", "diff_memos")
+_DERIVED_TABLES = ("widget_sets", "proof_sets", "diff_memos", "compiled")
 
 #: Keys migrated per append batch.  Batching keeps json->packed
 #: migration O(keys) instead of O(keys^2) footer rebuilds, while an
@@ -371,6 +388,14 @@ class GraphStore:
         """Where the JSON-layout diff-memo entry for this key lives."""
         return self.root / (
             self.key(log_fingerprint, options_fingerprint) + _DIFFMEMO_SUFFIX
+        )
+
+    def compiled_path_for(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> FilePath:
+        """Where the JSON-layout compiled-page entry for this key lives."""
+        return self.root / (
+            self.key(log_fingerprint, options_fingerprint) + _COMPILED_SUFFIX
         )
 
     # ------------------------------------------------------------------
@@ -1018,6 +1043,94 @@ class GraphStore:
         return path
 
     # ------------------------------------------------------------------
+    # compiled-page table
+    # ------------------------------------------------------------------
+    def load_compiled_page(
+        self, log_fingerprint: str, options_fingerprint: str
+    ) -> dict[str, Any] | None:
+        """Return this key's persisted compiled-page state, or ``None``.
+
+        Feed it to
+        :meth:`~repro.compiler.incremental.IncrementalCompiler.import_state`:
+        every adopted artifact and closure slice is revalidated against
+        the session's own widgets by fingerprint, so a stale or foreign
+        record can cost time but never correctness.  Any decode failure
+        is a miss.
+        """
+        key = self.key(log_fingerprint, options_fingerprint)
+        if self._remote is not None:
+            payload = self.record_get("compiled", key)
+            if payload is None:
+                return None
+            try:
+                return compiled_page_from_json_bytes(
+                    payload, label=f"daemon:compiled[{key}]"
+                )
+            except CacheError:
+                return None
+        if self._format == "packed":
+            payload = self._load_record("compiled", key)
+            if payload is None:
+                return None
+            try:
+                return compiled_page_from_json_bytes(
+                    payload, label=f"compiled.seg[{key}]"
+                )
+            except CacheError:
+                return None
+        path = self.compiled_path_for(log_fingerprint, options_fingerprint)
+        if not path.exists():
+            return None
+        try:
+            state = load_compiled_page(path)
+        except CacheError:
+            return None
+        _touch(path)
+        return state
+
+    def save_compiled_page(
+        self,
+        log_fingerprint: str,
+        options_fingerprint: str,
+        state: dict[str, Any],
+    ) -> FilePath | None:
+        """Persist a compiled-page state under this key; returns the file
+        written, or ``None`` when nothing was.
+
+        Nothing is written when the key's graph entry no longer exists (a
+        pruner evicted it): like closure proofs and diff memos, a
+        compiled page is a pure accelerator, and the caller cannot
+        re-create the graph entry from what it holds, so the save is
+        skipped rather than orphaning a derived record.
+        """
+        if self._remote is not None:
+            key = self.key(log_fingerprint, options_fingerprint)
+            if not self.record_put(
+                "compiled", key, compiled_page_to_json_bytes(state)
+            ):
+                return None
+            if self._format == "json":  # fell open mid-save
+                return self.compiled_path_for(log_fingerprint, options_fingerprint)
+            return self.root / _SEGMENT_FILES["compiled"]
+        if self._format == "packed":
+            key = self.key(log_fingerprint, options_fingerprint)
+            payload = compiled_page_to_json_bytes(state)
+            with self._lock.held():
+                if not self._segment("graphs").reader().has(key):
+                    return None
+                self._segment("compiled").append_records([(key, payload, None)])
+                self._flush_touches_locked()
+            self._enforce_caps()
+            return self.root / _SEGMENT_FILES["compiled"]
+        path = self.compiled_path_for(log_fingerprint, options_fingerprint)
+        with self._lock.held():
+            if not self.path_for(log_fingerprint, options_fingerprint).exists():
+                return None
+            save_compiled_page(path, state)
+        self._enforce_caps()
+        return path
+
+    # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
     def keys(self) -> list[str]:
@@ -1047,6 +1160,10 @@ class GraphStore:
         """All JSON-layout diff-memo entry files, sorted."""
         return sorted(self.root.glob("*" + _DIFFMEMO_SUFFIX))
 
+    def compiled_entries(self) -> list[FilePath]:
+        """All JSON-layout compiled-page entry files, sorted."""
+        return sorted(self.root.glob("*" + _COMPILED_SUFFIX))
+
     def __len__(self) -> int:
         return len(self.keys())
 
@@ -1068,11 +1185,11 @@ class GraphStore:
         bytes, and caps.
 
         ``bytes_by_table`` breaks ``total_bytes`` down by table (graphs /
-        widget_sets / proof_sets / diff_memos), so ``prune`` caps are
-        explainable — you can see which table the space went to.  In
-        packed mode a ``tables`` sub-report adds live vs tombstoned
+        widget_sets / proof_sets / diff_memos / compiled), so ``prune``
+        caps are explainable — you can see which table the space went to.
+        In packed mode a ``tables`` sub-report adds live vs tombstoned
         record counts, live bytes, and ``compaction_debt_bytes`` (bytes a
-        compaction would reclaim) per segment — read from the four
+        compaction would reclaim) per segment — read from the five
         segment footers, not from statting every entry.
 
         Lock-free and therefore a *snapshot*: concurrent writers can move
@@ -1120,6 +1237,7 @@ class GraphStore:
             "n_widget_sets": counts[_WIDGETS_SUFFIX],
             "n_proof_sets": counts[_PROOFS_SUFFIX],
             "n_diff_memos": counts[_DIFFMEMO_SUFFIX],
+            "n_compiled": counts[_COMPILED_SUFFIX],
             "n_files": n_files,
             "total_bytes": total_bytes,
             "bytes_by_table": {
@@ -1161,6 +1279,7 @@ class GraphStore:
             "n_widget_sets": counts["widget_sets"],
             "n_proof_sets": counts["proof_sets"],
             "n_diff_memos": counts["diff_memos"],
+            "n_compiled": counts["compiled"],
             "n_files": n_files,
             "total_bytes": total_bytes,
             "bytes_by_table": dict(bytes_by_table),
@@ -1425,7 +1544,7 @@ class GraphStore:
 
     def invalidate_table(self, table: str) -> int:
         """Drop every record of one *derived* table (widget_sets,
-        proof_sets, or diff_memos), leaving graphs intact — the targeted
+        proof_sets, diff_memos, or compiled), leaving graphs intact — the targeted
         version of :meth:`clear` for forcing a re-map/re-prove after a
         library or rule change.  Returns the number of records removed.
 

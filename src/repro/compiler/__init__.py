@@ -1,6 +1,17 @@
-"""Interface compilation: grid layout, HTML generation, exec/render runtime."""
+"""Interface compilation: grid layout, HTML generation, exec/render
+runtime, and incremental (dirty-driven) page maintenance."""
 
 from repro.compiler.html import compile_html
+from repro.compiler.incremental import (
+    CompiledPage,
+    CompileStats,
+    IncrementalCompiler,
+    WidgetArtifact,
+    apply_patch,
+    make_patch,
+    page_html,
+    widget_fingerprint,
+)
 from repro.compiler.layout import LayoutPlan, WidgetCell, describe_layout, grid_layout
 from repro.compiler.runtime import Database, Table, execute, render_text
 
@@ -14,4 +25,12 @@ __all__ = [
     "Table",
     "execute",
     "render_text",
+    "IncrementalCompiler",
+    "CompiledPage",
+    "CompileStats",
+    "WidgetArtifact",
+    "widget_fingerprint",
+    "make_patch",
+    "apply_patch",
+    "page_html",
 ]

@@ -50,7 +50,7 @@ from pathlib import Path as FilePath
 from typing import Any, Iterator
 
 from repro.cache.client import read_message, write_message
-from repro.cache.store import GraphStore
+from repro.cache.store import _TABLE_ORDER, GraphStore
 from repro.errors import CacheError, ServiceError
 
 __all__ = ["ClientMeter", "StoreDaemon", "running_daemon"]
@@ -62,7 +62,7 @@ _METERED_OPS = frozenset(
     {"get", "put", "has", "keys", "prune", "invalidate", "invalidate_table", "compact"}
 )
 
-_TABLES = ("graphs", "widget_sets", "proof_sets", "diff_memos")
+_TABLES = _TABLE_ORDER
 
 
 class ClientMeter:

@@ -101,6 +101,14 @@ class AppendAck:
     #: shipping every interface revision through the outbox would tax
     #: the non-streaming ingest path for nothing.
     result: GenerationResult | None = None
+    #: The append's compiled interface — attached only for appends
+    #: submitted while a ``serve(compile=...)`` mode is active.  In
+    #: ``"patch"`` mode this is the structural patch
+    #: (:func:`repro.compiler.incremental.make_patch` wire format); in
+    #: ``"page"`` mode it is ``{"kind": "page_html", "html": ...}``.  A
+    #: compile failure rides along as ``{"kind": "error", "error": ...}``
+    #: without failing the append itself.
+    compiled: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -180,7 +188,7 @@ def _worker_main(
         message = inbox.get()
         op = message[0]
         if op == _OP_APPEND:
-            _, seq, client_id, batch, want_result = message
+            _, seq, client_id, batch, want_result, compile_mode = message
             started = time.perf_counter()
             try:
                 session = sessions.get(client_id)
@@ -188,6 +196,26 @@ def _worker_main(
                     session = InterfaceSession(options=options)
                     sessions[client_id] = session
                 result = session.append_batch(batch)
+                compiled = None
+                if compile_mode is not None:
+                    # compile inside the worker — the incremental
+                    # compiler's artifacts live with the session, so the
+                    # steady-state cost is the dirty part of the page; a
+                    # compile failure must not fail the (already applied)
+                    # append
+                    try:
+                        if compile_mode == "patch":
+                            compiled = session.compile_patch()
+                        else:
+                            compiled = {
+                                "kind": "page_html",
+                                "html": session.compile(),
+                            }
+                    except Exception as exc:
+                        compiled = {
+                            "kind": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                        }
                 outbox.put(
                     AppendAck(
                         client_id=client_id,
@@ -197,6 +225,7 @@ def _worker_main(
                         n_widgets=len(result.interface.widgets),
                         seconds=time.perf_counter() - started,
                         result=result if want_result else None,
+                        compiled=compiled,
                     )
                 )
             except BaseException as exc:  # the pool must survive bad batches
@@ -340,6 +369,9 @@ class SessionPool:
         # while a streaming serve() is active, appends carry their full
         # GenerationResult back in the ack (see AppendAck.result)
         self._attach_results = False
+        # while a serve(compile=...) is active, appends also carry the
+        # compiled interface (page or structural patch; AppendAck.compiled)
+        self._compile_mode: str | None = None
         self._outbox = self._ctx.Queue()
         self._inboxes = [
             self._ctx.Queue(maxsize=queue_depth) for _ in range(pool_size)
@@ -495,7 +527,14 @@ class SessionPool:
         seq = next(self._seq)
         shard = _shard_of(client_id, self.pool_size)
         self._inboxes[shard].put(
-            (_OP_APPEND, seq, client_id, batch, self._attach_results)
+            (
+                _OP_APPEND,
+                seq,
+                client_id,
+                batch,
+                self._attach_results,
+                self._compile_mode,
+            )
         )
         self._n_submitted += 1
         self._clients.add(client_id)
@@ -646,6 +685,7 @@ class SessionPool:
         drain: bool = True,
         strict: bool = True,
         on_result: Callable[[AppendAck], Any] | None = None,
+        compile: str | None = None,
     ) -> dict[str, GenerationResult]:
         """Consume a stream of ``(client_id, batch)`` events and serve
         them through the pool; the async replacement for per-session
@@ -670,9 +710,23 @@ class SessionPool:
         ``ack.result`` ``None``) so a subscriber can surface them
         immediately even under ``strict=False``.
 
+        With ``compile="patch"`` (or ``"page"``), each append is also
+        compiled *in the worker* and the ack's ``compiled`` field carries
+        the structural interface patch (or the full page HTML) — the
+        opt-in that turns a serve into interface streaming.  Workers keep
+        their sessions' incremental compilers across appends, so the
+        steady-state compile cost is the dirty part of the page, and the
+        emitted patch stream folds (:func:`repro.compiler.incremental.apply_patch`)
+        into pages byte-identical to a full recompile.
+
         Raises:
-            ServiceError: as :meth:`submit` / :meth:`drain`.
+            ServiceError: as :meth:`submit` / :meth:`drain`, and for an
+                unknown ``compile`` mode.
         """
+        if compile not in (None, "page", "patch"):
+            raise ServiceError(
+                f"compile must be 'page', 'patch', or None, got {compile!r}"
+            )
         dispatched = 0
 
         async def _dispatch_new() -> None:
@@ -691,6 +745,7 @@ class SessionPool:
         if on_result is not None:
             self._attach_results = True
             dispatched = len(self._acks)  # past acks are not this serve's
+        self._compile_mode = compile
         try:
             if hasattr(stream, "__aiter__"):
                 async for client_id, batch in stream:
@@ -709,6 +764,7 @@ class SessionPool:
                 await _dispatch_new()
         finally:
             self._attach_results = False
+            self._compile_mode = None
         if not drain:
             return {}
         return await asyncio.to_thread(self.drain, strict)

@@ -96,10 +96,11 @@ def test_unknown_config_key_fails_loudly():
 # ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
-def test_registry_has_the_five_shipped_rules():
+def test_registry_has_the_six_shipped_rules():
     ids = [cls.id for cls in all_rule_classes()]
-    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    assert ids == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
     assert get_rule_class("RL001").name == "lock-discipline"
+    assert get_rule_class("RL006").name == "compiled-artifact-hygiene"
 
 
 def test_register_rejects_malformed_ids():
@@ -128,6 +129,7 @@ def test_resolve_rules_select_and_ignore():
         "RL001",
         "RL003",
         "RL005",
+        "RL006",
     ]
     with pytest.raises(KeyError):
         resolve_rules(select=("RL999",))

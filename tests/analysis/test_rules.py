@@ -300,6 +300,66 @@ class TestStagePurity:
 
 
 # ----------------------------------------------------------------------
+# RL006 — compiled-artifact hygiene
+# ----------------------------------------------------------------------
+COMPILER_PATH = "src/repro/compiler/incremental.py"
+
+
+class TestCompiledArtifactHygiene:
+    def test_flags_salted_node_read_in_to_state(self):
+        source = """
+        def page_to_state(page, query):
+            return {"fp": query.fingerprint, "blocks": page.blocks}
+        """
+        assert rule_ids(source, path=COMPILER_PATH) == ["RL006"]
+
+    def test_flags_tainted_name_flow_into_make_patch(self):
+        source = """
+        def make_patch(before, after, node):
+            key = node.skeleton
+            return {"base": key}
+        """
+        assert rule_ids(source, path=COMPILER_PATH) == ["RL006"]
+
+    def test_flags_nested_node_receiver(self):
+        source = """
+        def to_state(self, interface):
+            return {"q0": interface.initial_query.fingerprint}
+        """
+        assert rule_ids(source, path=COMPILER_PATH) == ["RL006"]
+
+    def test_quiet_on_stable_compiled_fingerprints(self):
+        # CompiledPage.fingerprint / WidgetArtifact.fingerprint hold the
+        # process-stable sha256 digest; the attribute *name* alone is not
+        # the violation
+        source = """
+        def to_state(self):
+            return {"fingerprint": self.fingerprint}
+
+        def make_patch(before, after):
+            return {"base": before.fingerprint, "fingerprint": after.fingerprint}
+        """
+        assert rule_ids(source, path=COMPILER_PATH) == []
+
+    def test_quiet_on_in_memory_proof_keys(self):
+        # salted hashes as in-process memo keys are fine; only the
+        # persisted payload builders are sinks
+        source = """
+        def render_combo(self, interface, query):
+            proof_key = (interface.initial_query.fingerprint, query.fingerprint)
+            return self._results[proof_key]
+        """
+        assert rule_ids(source, path=COMPILER_PATH) == []
+
+    def test_only_compiler_modules_are_in_scope(self):
+        source = """
+        def to_state(query):
+            return {"fp": query.fingerprint}
+        """
+        assert rule_ids(source, path="src/repro/api/session.py") == []
+
+
+# ----------------------------------------------------------------------
 # configuration reaches the rules
 # ----------------------------------------------------------------------
 def test_vocabulary_comes_from_the_config():

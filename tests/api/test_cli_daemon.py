@@ -70,6 +70,39 @@ class TestServeFollow:
         assert "widget(s) in" in out  # the live per-batch line
         assert "served" in out  # the summary still follows
 
+    def test_follow_compile_patch_streams_foldable_patches(
+        self, multi_log, capsys
+    ):
+        from repro.compiler.incremental import apply_patch, page_html
+
+        assert main(["serve", multi_log, "--pool-size", "2", "--batch-size",
+                     "2", "--follow", "--json", "--compile", "patch"]) == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        results = lines[:-1]
+        assert all("compiled" in event for event in results)
+        # each client's first event is a full page, later ones fold on top
+        states = {}
+        for event in results:
+            states[event["client"]] = apply_patch(
+                states.get(event["client"]), event["compiled"]
+            )
+        for state in states.values():
+            assert page_html(state).startswith("<!DOCTYPE html>")
+
+    def test_follow_compile_human_annotates_lines(self, multi_log, capsys):
+        assert main(["serve", multi_log, "--pool-size", "1", "--batch-size",
+                     "4", "--follow", "--compile", "patch"]) == 0
+        out = capsys.readouterr().out
+        # single-batch clients compile once: a full page patch each
+        assert "full page patch" in out
+
+    def test_compile_requires_follow(self, multi_log, capsys):
+        assert main(["serve", multi_log, "--compile", "page"]) == 2
+        assert "--compile requires --follow" in capsys.readouterr().err
+
 
 class TestServeInterrupt:
     def test_ctrl_c_mid_replay_reports_partial_and_exits_130(

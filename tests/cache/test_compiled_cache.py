@@ -1,0 +1,221 @@
+"""The store's fifth table: persisted compiled pages.
+
+Covers the serialisation round trip, the store's skip-if-no-graph and
+per-key eviction guarantees, byte parity between the packed and JSON
+layouts (including migration in both directions and through the
+daemon), ``stats()``'s per-table accounting, and the session-level
+adopt/flush wiring.
+"""
+
+import json
+import shutil
+import tempfile
+
+import pytest
+
+from repro import parse_sql
+from repro.api import InterfaceSession
+from repro.cache.blockstore import SegmentReader
+from repro.cache.fingerprint import log_fingerprint, options_fingerprint
+from repro.cache.serialize import (
+    compiled_page_from_dict,
+    compiled_page_to_dict,
+    load_compiled_page,
+    save_compiled_page,
+)
+from repro.cache.store import GraphStore
+from repro.compiler.incremental import IncrementalCompiler
+from repro.core.options import PipelineOptions
+from repro.errors import CacheError
+from repro.graph.build import build_interaction_graph
+from repro.service import running_daemon
+from tests.helpers import generate_iface
+
+STATEMENTS = [
+    "SELECT a FROM t WHERE x = 1",
+    "SELECT a FROM t WHERE x = 2",
+    "SELECT a FROM t WHERE x = 5",
+    "SELECT a FROM t WHERE x = 9",
+]
+
+
+@pytest.fixture
+def sock_path():
+    workdir = tempfile.mkdtemp(prefix="repro-sock-", dir="/tmp")
+    yield f"{workdir}/d.sock"
+    shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _payload():
+    """Graph + compiled page state for one key."""
+    queries = [parse_sql(s) for s in STATEMENTS]
+    graph = build_interaction_graph(queries, window=2)
+    page = IncrementalCompiler(limit=32).compile(generate_iface(STATEMENTS))
+    return {
+        "log_fp": log_fingerprint(queries),
+        "opts_fp": options_fingerprint(PipelineOptions()),
+        "graph": graph,
+        "state": page.to_state(),
+    }
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        state = _payload()["state"]
+        assert compiled_page_from_dict(compiled_page_to_dict(state)) == state
+
+    def test_file_round_trip(self, tmp_path):
+        state = _payload()["state"]
+        path = tmp_path / "page.compiled.json"
+        save_compiled_page(path, state)
+        assert load_compiled_page(path) == state
+
+    def test_version_mismatch_refused(self, tmp_path):
+        state = _payload()["state"]
+        path = tmp_path / "page.compiled.json"
+        save_compiled_page(path, state)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CacheError):
+            load_compiled_page(path)
+
+    def test_malformed_payload_refused(self):
+        with pytest.raises(CacheError):
+            compiled_page_from_dict({"version": 1, "page": []})
+
+
+@pytest.mark.parametrize("fmt", ["packed", "json"])
+class TestStoreTable:
+    def test_save_needs_graph_entry(self, tmp_path, fmt):
+        p = _payload()
+        store = GraphStore(tmp_path, format=fmt)
+        # no graph entry yet: the save is skipped, never orphaning
+        assert store.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"]) is None
+        assert store.load_compiled_page(p["log_fp"], p["opts_fp"]) is None
+        store.save(p["log_fp"], p["opts_fp"], p["graph"])
+        assert (
+            store.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+            is not None
+        )
+        assert store.load_compiled_page(p["log_fp"], p["opts_fp"]) == p["state"]
+
+    def test_eviction_takes_the_page_with_the_key(self, tmp_path, fmt):
+        p = _payload()
+        store = GraphStore(tmp_path, format=fmt)
+        store.save(p["log_fp"], p["opts_fp"], p["graph"])
+        store.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        assert store.prune(max_entries=0) == 1
+        assert not store.compiled_entries()
+        assert store.load_compiled_page(p["log_fp"], p["opts_fp"]) is None
+
+    def test_invalidate_table_drops_only_compiled(self, tmp_path, fmt):
+        p = _payload()
+        store = GraphStore(tmp_path, format=fmt)
+        store.save(p["log_fp"], p["opts_fp"], p["graph"])
+        store.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        assert store.invalidate_table("compiled") == 1
+        assert store.load_compiled_page(p["log_fp"], p["opts_fp"]) is None
+        assert store.has(p["log_fp"], p["opts_fp"])  # the graph survives
+
+    def test_stats_count_table_and_bytes(self, tmp_path, fmt):
+        p = _payload()
+        store = GraphStore(tmp_path, format=fmt)
+        store.save(p["log_fp"], p["opts_fp"], p["graph"])
+        store.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        stats = store.stats()
+        assert stats["n_compiled"] == 1
+        assert stats["bytes_by_table"]["compiled"] > 0
+        assert sum(stats["bytes_by_table"].values()) == stats["total_bytes"]
+
+
+class TestLayoutParity:
+    def test_corrupt_json_entry_is_a_miss(self, tmp_path):
+        p = _payload()
+        store = GraphStore(tmp_path, format="json")
+        store.save(p["log_fp"], p["opts_fp"], p["graph"])
+        store.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        store.compiled_path_for(p["log_fp"], p["opts_fp"]).write_text("{not json")
+        assert store.load_compiled_page(p["log_fp"], p["opts_fp"]) is None
+
+    def test_packed_record_is_the_json_file_byte_for_byte(self, tmp_path):
+        p = _payload()
+        packed = GraphStore(tmp_path / "packed", format="packed")
+        packed.save(p["log_fp"], p["opts_fp"], p["graph"])
+        packed.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        jsons = GraphStore(tmp_path / "json", format="json")
+        jsons.save(p["log_fp"], p["opts_fp"], p["graph"])
+        jsons.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        key = packed.key(p["log_fp"], p["opts_fp"])
+        record = SegmentReader(tmp_path / "packed" / "compiled.seg").get(key)
+        file_bytes = jsons.compiled_path_for(p["log_fp"], p["opts_fp"]).read_bytes()
+        assert record == file_bytes
+
+    def test_migration_round_trip_is_byte_exact(self, tmp_path):
+        p = _payload()
+        store = GraphStore(tmp_path, format="packed")
+        store.save(p["log_fp"], p["opts_fp"], p["graph"])
+        store.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        key = store.key(p["log_fp"], p["opts_fp"])
+        original = SegmentReader(tmp_path / "compiled.seg").get(key)
+
+        assert store.migrate("json")["migrated_keys"] == 1
+        store = GraphStore(tmp_path)
+        assert store.format == "json"
+        assert (
+            store.compiled_path_for(p["log_fp"], p["opts_fp"]).read_bytes()
+            == original
+        )
+        assert store.load_compiled_page(p["log_fp"], p["opts_fp"]) == p["state"]
+
+        assert store.migrate("packed")["migrated_keys"] == 1
+        store = GraphStore(tmp_path)
+        assert store.format == "packed"
+        assert SegmentReader(tmp_path / "compiled.seg").get(key) == original
+        assert store.load_compiled_page(p["log_fp"], p["opts_fp"]) == p["state"]
+
+
+class TestDaemonTable:
+    def test_round_trip_and_byte_parity_through_the_daemon(
+        self, tmp_path, sock_path
+    ):
+        p = _payload()
+        local = GraphStore(tmp_path / "local", format="packed")
+        local.save(p["log_fp"], p["opts_fp"], p["graph"])
+        local.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+        with running_daemon(tmp_path / "served", sock_path):
+            remote = GraphStore(tmp_path / "unused", remote=sock_path)
+            remote.save(p["log_fp"], p["opts_fp"], p["graph"])
+            remote.save_compiled_page(p["log_fp"], p["opts_fp"], p["state"])
+            assert remote.load_compiled_page(p["log_fp"], p["opts_fp"]) == p["state"]
+            assert remote.stats()["n_compiled"] == 1
+        key = local.key(p["log_fp"], p["opts_fp"])
+        assert (
+            SegmentReader(tmp_path / "served" / "compiled.seg").get(key)
+            == SegmentReader(tmp_path / "local" / "compiled.seg").get(key)
+        )
+
+
+class TestSessionInheritance:
+    def test_flush_publishes_and_new_session_adopts(self, tmp_path):
+        options = PipelineOptions(window=2, cache_dir=str(tmp_path))
+        first = InterfaceSession(options=options)
+        first.append_sql(STATEMENTS)
+        page = first.compile(limit=32)
+        first.flush_to_store()
+        assert GraphStore(tmp_path).stats()["n_compiled"] == 1
+
+        second = InterfaceSession(options=options)
+        second.append_sql(STATEMENTS)
+        assert second.compile(limit=32) == page
+        stats = second._compiler.stats
+        # every combination replayed from the persisted page's slices
+        assert stats.combos_replayed > 0
+        assert stats.combos_rendered == 0
+
+    def test_flush_without_compile_skips_the_table(self, tmp_path):
+        options = PipelineOptions(window=2, cache_dir=str(tmp_path))
+        session = InterfaceSession(options=options)
+        session.append_sql(STATEMENTS)
+        session.flush_to_store()
+        assert GraphStore(tmp_path).stats()["n_compiled"] == 0

@@ -226,6 +226,75 @@ class TestServe:
         assert "serve-nodrain" in results
 
 
+class TestServeCompile:
+    def test_patch_stream_folds_to_the_full_page(self, pool):
+        from repro.compiler import compile_html
+        from repro.compiler.incremental import apply_patch, page_html
+
+        acks = []
+        events = [
+            ("fold-a", LOG_A[:2]),
+            ("fold-b", LOG_B[:2]),
+            ("fold-a", LOG_A[2]),
+            ("fold-b", LOG_B[2]),
+        ]
+        results = asyncio.run(
+            pool.serve(events, on_result=acks.append, compile="patch")
+        )
+        assert len(acks) == len(events)
+        states = {}
+        for ack in sorted(acks, key=lambda a: a.seq):
+            assert ack.compiled is not None
+            states[ack.client_id] = apply_patch(
+                states.get(ack.client_id), ack.compiled
+            )
+        # folding each client's patch stream reproduces the full page a
+        # one-shot compile of its final interface would render (the
+        # module-scoped pool drains other tests' clients too — only ours
+        # carry folded state)
+        for client_id in ("fold-a", "fold-b"):
+            assert page_html(states[client_id]) == compile_html(
+                results[client_id].interface
+            )
+
+    def test_page_mode_ships_full_html_every_append(self, pool):
+        from repro.compiler import compile_html
+
+        acks = []
+        events = [("page-mode", LOG_A[:2]), ("page-mode", LOG_A[2])]
+        results = asyncio.run(
+            pool.serve(events, on_result=acks.append, compile="page")
+        )
+        last = max(acks, key=lambda a: a.seq)
+        assert last.compiled["kind"] == "page_html"
+        assert last.compiled["html"] == compile_html(results["page-mode"].interface)
+
+    def test_compile_failure_does_not_fail_the_append(self, pool):
+        # one query mines no widgets: the compile errors, the append lands
+        acks = []
+        results = asyncio.run(
+            pool.serve(
+                [("compile-err", LOG_A[0])],
+                on_result=acks.append,
+                compile="page",
+            )
+        )
+        assert results["compile-err"].interface is not None
+        assert acks[0].compiled["kind"] == "error"
+        assert "CompileError" in acks[0].compiled["error"]
+
+    def test_invalid_compile_mode_rejected(self, pool):
+        with pytest.raises(ServiceError, match="compile"):
+            asyncio.run(pool.serve([], compile="xml"))
+
+    def test_compile_mode_resets_after_serve(self, pool):
+        asyncio.run(pool.serve([("reset-check", LOG_A[0])], compile="page"))
+        assert pool._compile_mode is None
+        pool.submit("reset-check", LOG_A[1])
+        results = pool.drain()
+        assert "reset-check" in results
+
+
 class TestSharedStore:
     def test_drain_publishes_graphs_widgets_and_proofs(self, tmp_path):
         cache_dir = tmp_path / "store"
